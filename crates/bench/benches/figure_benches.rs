@@ -1,0 +1,95 @@
+//! Criterion benchmarks that exercise reduced-scale versions of the paper's figures
+//! end to end: a full Hamava deployment processing rounds under the simulator, for
+//! both protocol instantiations, for a heterogeneous layout (E3 setup 2), and for the
+//! GeoBFT baseline (E6). The full figure regeneration lives in the `e*` binaries;
+//! these benches track the cost of the complete pipeline so regressions are caught by
+//! `cargo bench`.
+
+use ava_geobft::geobft_deployment;
+use ava_hamava::harness::{bftsmart_deployment, hotstuff_deployment, DeploymentOptions};
+use ava_simnet::{CostModel, LatencyModel};
+use ava_types::{Duration, Output, Region, SystemConfig};
+use ava_workload::WorkloadSpec;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn opts(seed: u64) -> DeploymentOptions {
+    DeploymentOptions {
+        seed,
+        latency: LatencyModel::paper_table2(),
+        costs: CostModel::cloud_vm(),
+        workload: WorkloadSpec { key_space: 1_000, ..WorkloadSpec::default() },
+        clients_per_cluster: 1,
+        client_concurrency: 32,
+    }
+}
+
+fn small_config(clusters: usize) -> SystemConfig {
+    let mut config = SystemConfig::even_split_single_region(4 * clusters, clusters, Region::UsWest);
+    config.params.batch_size = 20;
+    config
+}
+
+fn completed(outputs: &[Output]) -> usize {
+    outputs.iter().filter(|o| matches!(o, Output::TxCompleted { .. })).count()
+}
+
+fn bench_e0_shape(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_e0_small");
+    group.sample_size(10);
+    for clusters in [2usize, 3] {
+        group.bench_function(format!("ava_hotstuff_{clusters}clusters_5s"), |b| {
+            b.iter(|| {
+                let mut dep = hotstuff_deployment(small_config(clusters), opts(1));
+                dep.run_for(Duration::from_secs(5));
+                let n = completed(dep.outputs());
+                assert!(n > 0);
+                black_box(n)
+            })
+        });
+        group.bench_function(format!("ava_bftsmart_{clusters}clusters_5s"), |b| {
+            b.iter(|| {
+                let mut dep = bftsmart_deployment(small_config(clusters), opts(2));
+                dep.run_for(Duration::from_secs(5));
+                let n = completed(dep.outputs());
+                assert!(n > 0);
+                black_box(n)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_e3_heterogeneous(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_e3_small");
+    group.sample_size(10);
+    group.bench_function("heterogeneous_9asia_5eu_5s", |b| {
+        b.iter(|| {
+            let mut config = SystemConfig::heterogeneous(&[
+                vec![Region::AsiaSouth; 9],
+                vec![Region::Europe; 5],
+            ]);
+            config.params.batch_size = 20;
+            let mut dep = hotstuff_deployment(config, opts(3));
+            dep.run_for(Duration::from_secs(5));
+            black_box(completed(dep.outputs()))
+        })
+    });
+    group.finish();
+}
+
+fn bench_e6_geobft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_e6_small");
+    group.sample_size(10);
+    group.bench_function("geobft_2clusters_5s", |b| {
+        b.iter(|| {
+            let mut dep = geobft_deployment(small_config(2), opts(4));
+            dep.run_for(Duration::from_secs(5));
+            black_box(completed(dep.outputs()))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_e0_shape, bench_e3_heterogeneous, bench_e6_geobft);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! E4 (Fig. 4f-h): throughput under non-leader, leader and Byzantine-leader failures.
+//!
+//! Usage: `e4_failures [non-leader|leader|byzantine-leader]` (default: all three).
+use ava_bench::experiments::{e4_failures, ExperimentScale, FailureScenario};
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let scale = ExperimentScale::from_env();
+    let scenarios: Vec<FailureScenario> = match arg.as_str() {
+        "non-leader" => vec![FailureScenario::NonLeader],
+        "leader" => vec![FailureScenario::Leader],
+        "byzantine-leader" => vec![FailureScenario::ByzantineLeader],
+        _ => vec![
+            FailureScenario::NonLeader,
+            FailureScenario::Leader,
+            FailureScenario::ByzantineLeader,
+        ],
+    };
+    for s in scenarios {
+        e4_failures(s, &scale);
+    }
+}

@@ -1,0 +1,16 @@
+//! E5 (Fig. 5): impact of reconfigurations on throughput, and the parallel vs single
+//! workflow ablation.
+//!
+//! Usage: `e5_reconfiguration [joins-leaves|workflow]` (default: both).
+use ava_bench::experiments::{e5_joins_and_leaves, e5_workflow_comparison, ExperimentScale};
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let scale = ExperimentScale::from_env();
+    if arg != "workflow" {
+        e5_joins_and_leaves(&scale);
+    }
+    if arg != "joins-leaves" {
+        e5_workflow_comparison(&scale);
+    }
+}

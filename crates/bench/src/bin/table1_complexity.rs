@@ -1,0 +1,27 @@
+//! Regenerates Table I: best-case message complexity of the protocols.
+
+use ava_bench::report::print_table;
+use ava_bench::complexity_table;
+
+fn main() {
+    let (z, n) = (3u64, 32u64);
+    let rows: Vec<Vec<String>> = complexity_table(z, n)
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.protocol.to_string(),
+                r.decisions,
+                r.local,
+                r.global,
+                if r.decentralized { "yes".into() } else { "no".into() },
+                r.local_count.to_string(),
+                r.global_count.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("Table I: best-case complexity (z={z} clusters, n={n} nodes per cluster)"),
+        &["protocol", "D", "local", "global", "decentralized", "local msgs", "global msgs"],
+        &rows,
+    );
+}

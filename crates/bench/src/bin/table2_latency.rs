@@ -1,0 +1,25 @@
+//! Prints Table II: the inter-region round-trip latency matrix used by the simulator.
+
+use ava_bench::report::print_table;
+use ava_simnet::LatencyModel;
+use ava_types::Region;
+
+fn main() {
+    let model = LatencyModel::paper_table2();
+    let regions = [Region::UsWest, Region::Europe, Region::AsiaSouth];
+    let rows: Vec<Vec<String>> = regions
+        .iter()
+        .map(|a| {
+            let mut row = vec![a.zone_name().to_string()];
+            row.extend(regions.iter().map(|b| {
+                if a == b { "0".to_string() } else { format!("{:.0}", model.rtt_ms(*a, *b)) }
+            }));
+            row
+        })
+        .collect();
+    print_table(
+        "Table II: inter-region round-trip latency (ms)",
+        &["ms", "US (us-west1)", "EU (europe-west3)", "Asia (asia-south1)"],
+        &rows,
+    );
+}

@@ -1,0 +1,679 @@
+//! Experiment runners for E0–E8.
+//!
+//! Every function regenerates one of the paper's figures/tables as a printed table
+//! of rows (and returns the rows so tests and EXPERIMENTS.md generation can assert on
+//! them). Configurations follow the paper; the `ExperimentScale` controls run length
+//! and sweep density so that the default invocation finishes in seconds while
+//! `AVA_FULL=1` runs paper-scale parameters.
+
+use crate::report::{fmt, print_table, stage_breakdown, summarize, throughput_timeseries, RunMetrics};
+use ava_geobft::geobft_deployment;
+use ava_hamava::harness::{
+    bftsmart_deployment, hotstuff_deployment, Deployment, DeploymentOptions,
+};
+use ava_simnet::{CostModel, LatencyModel};
+use ava_types::{ClusterId, Duration, Output, Region, SystemConfig, Time};
+use ava_workload::WorkloadSpec;
+
+/// Which replicated system to run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Protocol {
+    /// Hamava instantiated with HotStuff (A.H).
+    AvaHotStuff,
+    /// Hamava instantiated with BFT-SMaRt (A.B).
+    AvaBftSmart,
+    /// The GeoBFT-style baseline (fixed membership).
+    GeoBft,
+}
+
+impl Protocol {
+    /// Short label used in tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Protocol::AvaHotStuff => "A.H",
+            Protocol::AvaBftSmart => "A.B",
+            Protocol::GeoBft => "GeoBFT",
+        }
+    }
+}
+
+/// Scaling knobs for experiment runs.
+#[derive(Clone, Copy, Debug)]
+pub struct ExperimentScale {
+    /// Virtual run length.
+    pub run: Duration,
+    /// Fraction of the run treated as warm-up (excluded from the measurement window).
+    pub warmup_frac: f64,
+    /// Whether to run the full paper-scale sweeps.
+    pub full: bool,
+}
+
+impl ExperimentScale {
+    /// Reduced scale: small deployments, 12 s virtual runs.
+    pub fn quick() -> Self {
+        ExperimentScale { run: Duration::from_secs(12), warmup_frac: 0.4, full: false }
+    }
+
+    /// Paper scale: 96-node deployments, 3-minute virtual runs.
+    pub fn paper() -> Self {
+        ExperimentScale { run: Duration::from_secs(180), warmup_frac: 2.0 / 3.0, full: true }
+    }
+
+    /// `AVA_FULL=1` selects paper scale.
+    pub fn from_env() -> Self {
+        if std::env::var("AVA_FULL").map(|v| v == "1").unwrap_or(false) {
+            Self::paper()
+        } else {
+            Self::quick()
+        }
+    }
+
+    fn window(&self) -> (Time, Time) {
+        let end = Time::ZERO + self.run;
+        let start = Time(((self.run.as_micros() as f64) * self.warmup_frac) as u64);
+        (start, end)
+    }
+
+    /// Total node count used by the E0/E1 sweeps.
+    pub fn total_nodes(&self) -> usize {
+        if self.full {
+            96
+        } else {
+            24
+        }
+    }
+
+    /// Cluster-count sweep used by E0/E1/E6.
+    pub fn cluster_sweep(&self) -> Vec<usize> {
+        if self.full {
+            vec![2, 3, 4, 6, 8, 12]
+        } else {
+            vec![2, 3, 4]
+        }
+    }
+}
+
+fn default_opts(seed: u64, scale: &ExperimentScale) -> DeploymentOptions {
+    DeploymentOptions {
+        seed,
+        latency: LatencyModel::paper_table2(),
+        costs: CostModel::cloud_vm(),
+        workload: WorkloadSpec {
+            key_space: if scale.full { 100_000 } else { 10_000 },
+            ..WorkloadSpec::default()
+        },
+        clients_per_cluster: 1,
+        client_concurrency: if scale.full { 128 } else { 64 },
+    }
+}
+
+fn adjust_batch(config: &mut SystemConfig, scale: &ExperimentScale) {
+    if !scale.full {
+        config.params.batch_size = 30;
+    }
+}
+
+/// Run one deployment of `protocol` and return its metrics plus all raw outputs.
+pub fn run_once(
+    protocol: Protocol,
+    config: SystemConfig,
+    opts: DeploymentOptions,
+    scale: &ExperimentScale,
+) -> (RunMetrics, Vec<Output>) {
+    let (start, end) = scale.window();
+    let outputs = match protocol {
+        Protocol::AvaHotStuff => {
+            let mut dep = hotstuff_deployment(config, opts);
+            dep.run_for(scale.run);
+            dep.sim.take_outputs()
+        }
+        Protocol::AvaBftSmart => {
+            let mut dep = bftsmart_deployment(config, opts);
+            dep.run_for(scale.run);
+            dep.sim.take_outputs()
+        }
+        Protocol::GeoBft => {
+            let mut dep = geobft_deployment(config, opts);
+            dep.run_for(scale.run);
+            dep.sim.take_outputs()
+        }
+    };
+    (summarize(&outputs, start, end), outputs)
+}
+
+// ---------------------------------------------------------------------------------
+// E0 / E1: throughput and latency vs. number of clusters
+// ---------------------------------------------------------------------------------
+
+/// E0 (Fig. 3, left): multi-cluster, single region.
+pub fn e0_single_region(scale: &ExperimentScale) -> Vec<Vec<String>> {
+    clusters_sweep(scale, false, "E0: multi-cluster, single region (Fig. 3 left)")
+}
+
+/// E1 (Fig. 3, right): multi-cluster, three regions.
+pub fn e1_multi_region(scale: &ExperimentScale) -> Vec<Vec<String>> {
+    clusters_sweep(scale, true, "E1: multi-cluster, multi-region (Fig. 3 right)")
+}
+
+fn clusters_sweep(scale: &ExperimentScale, multi_region: bool, title: &str) -> Vec<Vec<String>> {
+    let total = scale.total_nodes();
+    let regions = [Region::UsWest, Region::Europe, Region::AsiaSouth];
+    let mut rows = Vec::new();
+    for clusters in scale.cluster_sweep() {
+        let config = if multi_region {
+            SystemConfig::even_split_multi_region(total, clusters, &regions)
+        } else {
+            SystemConfig::even_split_single_region(total, clusters, Region::UsWest)
+        };
+        let mut row = vec![clusters.to_string()];
+        for protocol in [Protocol::AvaHotStuff, Protocol::AvaBftSmart] {
+            let mut cfg = config.clone();
+            adjust_batch(&mut cfg, scale);
+            let (m, _) = run_once(protocol, cfg, default_opts(1, scale), scale);
+            row.push(fmt(m.throughput_tps, 1));
+            row.push(fmt(m.avg_latency_ms / 1000.0, 3));
+        }
+        rows.push(row);
+    }
+    print_table(
+        title,
+        &["clusters", "A.H tput (txn/s)", "A.H latency (s)", "A.B tput (txn/s)", "A.B latency (s)"],
+        &rows,
+    );
+    rows
+}
+
+// ---------------------------------------------------------------------------------
+// E2: latency breakdown
+// ---------------------------------------------------------------------------------
+
+/// E2 (Fig. 4a): per-stage latency breakdown for 3 clusters × 4 nodes over 1, 2 and 3
+/// regions, for both systems.
+pub fn e2_latency_breakdown(scale: &ExperimentScale) -> Vec<Vec<String>> {
+    let region_sets: [(&str, Vec<Region>); 3] = [
+        ("1 region", vec![Region::AsiaSouth; 3]),
+        ("2 regions", vec![Region::Europe, Region::AsiaSouth, Region::AsiaSouth]),
+        ("3 regions", vec![Region::Europe, Region::AsiaSouth, Region::UsWest]),
+    ];
+    let mut rows = Vec::new();
+    for protocol in [Protocol::AvaBftSmart, Protocol::AvaHotStuff] {
+        for (label, regions) in &region_sets {
+            let cluster_regions: Vec<Vec<Region>> =
+                regions.iter().map(|&r| vec![r; 4]).collect();
+            let mut config = SystemConfig::heterogeneous(&cluster_regions);
+            adjust_batch(&mut config, scale);
+            let (metrics, outputs) = run_once(protocol, config, default_opts(2, scale), scale);
+            let stages = stage_breakdown(&outputs);
+            rows.push(vec![
+                protocol.label().to_string(),
+                (*label).to_string(),
+                fmt(stages[0], 1),
+                fmt(stages[1], 1),
+                fmt(stages[2], 1),
+                fmt(metrics.read_latency_ms, 1),
+                fmt(metrics.write_latency_ms, 1),
+            ]);
+        }
+    }
+    print_table(
+        "E2: latency breakdown (Fig. 4a)",
+        &[
+            "system",
+            "regions",
+            "intra-cluster (ms)",
+            "inter-cluster (ms)",
+            "execution (ms)",
+            "read latency (ms)",
+            "write latency (ms)",
+        ],
+        &rows,
+    );
+    rows
+}
+
+// ---------------------------------------------------------------------------------
+// E3: heterogeneity
+// ---------------------------------------------------------------------------------
+
+/// The three setups of E3 at scale factor `s`: (1) equal-sized clusters mixing
+/// regions, (2) clusters partitioned by region, (3) region partition plus an
+/// intra-region split.
+pub fn e3_setup(setup: usize, s: usize) -> SystemConfig {
+    let asia = Region::AsiaSouth;
+    let eu = Region::Europe;
+    let cluster_regions: Vec<Vec<Region>> = match setup {
+        1 => vec![
+            vec![asia; 7 * s],
+            [vec![asia; 2 * s], vec![eu; 5 * s]].concat(),
+        ],
+        2 => vec![vec![asia; 9 * s], vec![eu; 5 * s]],
+        3 => vec![vec![asia; 5 * s], vec![asia; 4 * s], vec![eu; 5 * s]],
+        _ => panic!("unknown E3 setup {setup}"),
+    };
+    SystemConfig::heterogeneous(&cluster_regions)
+}
+
+/// E3 (Fig. 4b–e): impact of heterogeneity for both systems.
+pub fn e3_heterogeneity(scale: &ExperimentScale) -> Vec<Vec<String>> {
+    let scales: Vec<usize> = if scale.full { vec![1, 2, 3, 4, 5] } else { vec![1, 2] };
+    let mut rows = Vec::new();
+    for protocol in [Protocol::AvaHotStuff, Protocol::AvaBftSmart] {
+        for &s in &scales {
+            let mut row = vec![protocol.label().to_string(), s.to_string()];
+            for setup in 1..=3 {
+                let mut config = e3_setup(setup, s);
+                adjust_batch(&mut config, scale);
+                let (m, _) = run_once(protocol, config, default_opts(3, scale), scale);
+                row.push(fmt(m.throughput_tps, 1));
+                row.push(fmt(m.avg_latency_ms / 1000.0, 3));
+            }
+            rows.push(row);
+        }
+    }
+    print_table(
+        "E3: heterogeneity (Fig. 4b-e)",
+        &[
+            "system",
+            "scale s",
+            "setup1 tput",
+            "setup1 lat (s)",
+            "setup2 tput",
+            "setup2 lat (s)",
+            "setup3 tput",
+            "setup3 lat (s)",
+        ],
+        &rows,
+    );
+    rows
+}
+
+// ---------------------------------------------------------------------------------
+// E4: failures
+// ---------------------------------------------------------------------------------
+
+/// Failure scenarios of E4.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FailureScenario {
+    /// E4.1: crash up to f non-leader replicas per cluster.
+    NonLeader,
+    /// E4.2: crash the leader of one cluster.
+    Leader,
+    /// E4.3: Byzantine leader that withholds inter-cluster messages.
+    ByzantineLeader,
+}
+
+/// E4 (Fig. 4f–h): throughput time series around a failure, for both systems.
+pub fn e4_failures(scenario: FailureScenario, scale: &ExperimentScale) -> Vec<Vec<String>> {
+    let nodes_per_cluster = if scale.full { 10 } else { 7 };
+    let fail_at = Time(scale.run.as_micros() / 3);
+    let mut series: Vec<(Protocol, Vec<(f64, f64)>)> = Vec::new();
+    for protocol in [Protocol::AvaHotStuff, Protocol::AvaBftSmart] {
+        let mut config = SystemConfig::homogeneous_regions(&[
+            (nodes_per_cluster, Region::UsWest),
+            (nodes_per_cluster, Region::Europe),
+        ]);
+        adjust_batch(&mut config, scale);
+        // Faster remote-leader/local timeouts so recovery fits the reduced run.
+        if !scale.full {
+            config.params.remote_leader_timeout = Duration::from_secs(4);
+            config.params.local_timeout = Duration::from_secs(4);
+            config.params.brd_timeout = Duration::from_secs(4);
+        }
+        let opts = default_opts(4, scale);
+        let outputs = match protocol {
+            Protocol::AvaHotStuff => {
+                let mut dep = hotstuff_deployment(config.clone(), opts);
+                inject_failure(&mut dep, scenario, fail_at, &config);
+                dep.run_for(scale.run);
+                dep.sim.take_outputs()
+            }
+            Protocol::AvaBftSmart | Protocol::GeoBft => {
+                let mut dep = bftsmart_deployment(config.clone(), opts);
+                inject_failure(&mut dep, scenario, fail_at, &config);
+                dep.run_for(scale.run);
+                dep.sim.take_outputs()
+            }
+        };
+        series.push((protocol, throughput_timeseries(&outputs, Duration::from_secs(2))));
+    }
+    let mut rows = Vec::new();
+    for (protocol, points) in &series {
+        for (t, tps) in points {
+            rows.push(vec![protocol.label().to_string(), fmt(*t, 0), fmt(*tps, 1)]);
+        }
+    }
+    print_table(
+        &format!("E4 ({scenario:?}): throughput over time, failure at {}s (Fig. 4f-h)",
+            fail_at.as_secs_f64()),
+        &["system", "time (s)", "throughput (txn/s)"],
+        &rows,
+    );
+    rows
+}
+
+fn inject_failure<T>(
+    dep: &mut Deployment<T>,
+    scenario: FailureScenario,
+    at: Time,
+    config: &SystemConfig,
+) where
+    T: ava_consensus::TotalOrderBroadcast + 'static,
+    T::Msg: Clone + ava_consensus::WireSize + 'static,
+    ava_hamava::AvaMsg<T::Msg>: ava_simnet::SimMessage,
+{
+    match scenario {
+        FailureScenario::NonLeader => {
+            // Crash f non-leader replicas in each cluster.
+            for cluster in &config.clusters {
+                let f = (cluster.replicas.len() - 1) / 3;
+                for (id, _) in cluster.replicas.iter().skip(1).take(f) {
+                    dep.crash_at(*id, at);
+                }
+            }
+        }
+        FailureScenario::Leader => {
+            let leader = dep.initial_leader(ClusterId(0));
+            dep.crash_at(leader, at);
+        }
+        FailureScenario::ByzantineLeader => {
+            // The leader keeps acting correctly locally but stops inter-cluster
+            // broadcasts; the remote cluster must trigger the remote leader change.
+            let leader = dep.initial_leader(ClusterId(0));
+            // Control message is delivered (and takes effect) at time `at`.
+            dep.sim.external_send(
+                leader,
+                leader,
+                ava_hamava::AvaMsg::Control(ava_hamava::ControlCmd::MuteInterCluster),
+                at,
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------------
+// E5: reconfiguration
+// ---------------------------------------------------------------------------------
+
+/// E5.1 (Fig. 5a): three joins and three leaves per cluster at marked times.
+pub fn e5_joins_and_leaves(scale: &ExperimentScale) -> Vec<Vec<String>> {
+    let nodes = if scale.full { 7 } else { 5 };
+    let mut rows = Vec::new();
+    for protocol in [Protocol::AvaHotStuff, Protocol::AvaBftSmart] {
+        let mut config = SystemConfig::homogeneous_regions(&[
+            (nodes, Region::UsWest),
+            (nodes, Region::Europe),
+        ]);
+        adjust_batch(&mut config, scale);
+        let opts = default_opts(5, scale);
+        let outputs = match protocol {
+            Protocol::AvaHotStuff => {
+                let mut dep = hotstuff_deployment(config, opts);
+                drive_churn(&mut dep, scale, 3);
+                dep.sim.take_outputs()
+            }
+            _ => {
+                let mut dep = bftsmart_deployment(config, opts);
+                drive_churn(&mut dep, scale, 3);
+                dep.sim.take_outputs()
+            }
+        };
+        let applied = outputs
+            .iter()
+            .filter(|o| matches!(o, Output::ReconfigApplied { .. }))
+            .count();
+        for (t, tps) in throughput_timeseries(&outputs, Duration::from_secs(2)) {
+            rows.push(vec![protocol.label().to_string(), fmt(t, 0), fmt(tps, 1), applied.to_string()]);
+        }
+    }
+    print_table(
+        "E5.1: join/leave churn (Fig. 5a)",
+        &["system", "time (s)", "throughput (txn/s)", "reconfigs applied (total)"],
+        &rows,
+    );
+    rows
+}
+
+fn drive_churn<T>(dep: &mut Deployment<T>, scale: &ExperimentScale, churn_count: usize)
+where
+    T: ava_consensus::TotalOrderBroadcast + 'static,
+    T::Msg: Clone + ava_consensus::WireSize + 'static,
+    ava_hamava::AvaMsg<T::Msg>: ava_simnet::SimMessage,
+{
+    // Run in three segments; at each boundary add joining replicas and request leaves.
+    let segment = Duration(scale.run.as_micros() / (churn_count as u64 + 1));
+    let mut joined = Vec::new();
+    for i in 0..churn_count {
+        dep.run_for(segment);
+        for cluster in dep.config.clusters.clone() {
+            let region = cluster.replicas[0].1;
+            let new_id = dep.add_joining_replica(cluster.id, region);
+            joined.push(new_id);
+            // Ask an original member (not the leader) to leave.
+            if let Some((leaver, _)) = cluster.replicas.get(1 + i) {
+                dep.request_leave(*leaver);
+            }
+        }
+    }
+    dep.run_for(segment);
+}
+
+/// E5.2 (Fig. 5b): parallel reconfiguration workflow vs. single workflow.
+pub fn e5_workflow_comparison(scale: &ExperimentScale) -> Vec<Vec<String>> {
+    let mut rows = Vec::new();
+    for protocol in [Protocol::AvaHotStuff, Protocol::AvaBftSmart] {
+        for parallel in [true, false] {
+            let mut config = SystemConfig::homogeneous_regions(&[
+                (if scale.full { 10 } else { 6 }, Region::UsWest),
+                (if scale.full { 8 } else { 5 }, Region::Europe),
+            ]);
+            adjust_batch(&mut config, scale);
+            config.params.parallel_reconfig_workflow = parallel;
+            let mut opts = default_opts(6, scale);
+            opts.workload = WorkloadSpec::default().write_only();
+            let (start, end) = scale.window();
+            let outputs = match protocol {
+                Protocol::AvaHotStuff => {
+                    let mut dep = hotstuff_deployment(config, opts);
+                    drive_churn(&mut dep, scale, 2);
+                    dep.sim.take_outputs()
+                }
+                _ => {
+                    let mut dep = bftsmart_deployment(config, opts);
+                    drive_churn(&mut dep, scale, 2);
+                    dep.sim.take_outputs()
+                }
+            };
+            let m = summarize(&outputs, start, end);
+            rows.push(vec![
+                protocol.label().to_string(),
+                if parallel { "parallel workflows".into() } else { "single workflow".into() },
+                fmt(m.throughput_tps, 1),
+                fmt(m.avg_latency_ms / 1000.0, 3),
+            ]);
+        }
+    }
+    print_table(
+        "E5.2: parallel vs single reconfiguration workflow (Fig. 5b)",
+        &["system", "workflow", "throughput (txn/s)", "latency (s)"],
+        &rows,
+    );
+    rows
+}
+
+// ---------------------------------------------------------------------------------
+// E6: comparison with GeoBFT
+// ---------------------------------------------------------------------------------
+
+/// E6 (Fig. 6): AVA-HOTSTUFF vs GeoBFT, single- and multi-region.
+pub fn e6_vs_geobft(scale: &ExperimentScale) -> Vec<Vec<String>> {
+    let total = if scale.full { 48 } else { 16 };
+    let regions = [Region::UsWest, Region::Europe, Region::AsiaSouth];
+    let mut rows = Vec::new();
+    for (mode, multi) in [("single region", false), ("multi region", true)] {
+        for clusters in scale.cluster_sweep() {
+            if clusters > total / 4 {
+                continue;
+            }
+            let config = if multi {
+                SystemConfig::even_split_multi_region(total, clusters, &regions)
+            } else {
+                SystemConfig::even_split_single_region(total, clusters, Region::UsWest)
+            };
+            let mut row = vec![mode.to_string(), clusters.to_string()];
+            for protocol in [Protocol::AvaHotStuff, Protocol::GeoBft] {
+                let mut cfg = config.clone();
+                adjust_batch(&mut cfg, scale);
+                let (m, _) = run_once(protocol, cfg, default_opts(7, scale), scale);
+                row.push(fmt(m.throughput_tps, 1));
+                row.push(fmt(m.avg_latency_ms / 1000.0, 3));
+            }
+            rows.push(row);
+        }
+    }
+    print_table(
+        "E6: Ava-HotStuff vs GeoBFT (Fig. 6)",
+        &["placement", "clusters", "A.H tput", "A.H lat (s)", "GeoBFT tput", "GeoBFT lat (s)"],
+        &rows,
+    );
+    rows
+}
+
+// ---------------------------------------------------------------------------------
+// E7: reconfiguration frequency
+// ---------------------------------------------------------------------------------
+
+/// E7 (Fig. 7): impact of the reconfiguration request frequency.
+pub fn e7_reconfig_frequency(scale: &ExperimentScale) -> Vec<Vec<String>> {
+    let mut rows = Vec::new();
+    for protocol in [Protocol::AvaHotStuff, Protocol::AvaBftSmart] {
+        for (label, churn_rounds) in [("none", 0usize), ("every 20s", 2), ("continuous", 6)] {
+            let mut config = SystemConfig::homogeneous_regions(&[
+                (if scale.full { 10 } else { 6 }, Region::UsWest),
+                (if scale.full { 10 } else { 6 }, Region::Europe),
+            ]);
+            adjust_batch(&mut config, scale);
+            let opts = default_opts(8, scale);
+            let (start, end) = scale.window();
+            let outputs = match protocol {
+                Protocol::AvaHotStuff => {
+                    let mut dep = hotstuff_deployment(config, opts);
+                    drive_churn(&mut dep, scale, churn_rounds);
+                    dep.sim.take_outputs()
+                }
+                _ => {
+                    let mut dep = bftsmart_deployment(config, opts);
+                    drive_churn(&mut dep, scale, churn_rounds);
+                    dep.sim.take_outputs()
+                }
+            };
+            let m = summarize(&outputs, start, end);
+            rows.push(vec![
+                protocol.label().to_string(),
+                label.to_string(),
+                fmt(m.throughput_tps, 1),
+                fmt(m.avg_latency_ms / 1000.0, 3),
+            ]);
+        }
+    }
+    print_table(
+        "E7: reconfiguration frequency (Fig. 7)",
+        &["system", "reconfig frequency", "throughput (txn/s)", "latency (s)"],
+        &rows,
+    );
+    rows
+}
+
+// ---------------------------------------------------------------------------------
+// E8: network latency during reconfiguration
+// ---------------------------------------------------------------------------------
+
+/// E8 (Fig. 8): impact of the inter-cluster network latency while reconfigurations
+/// are issued continuously. The second cluster is placed at increasing RTT from the
+/// first (52, 91, 142, 219 ms — the paper's us-east5, asia-northeast1, europe-west3,
+/// asia-south1 zones).
+pub fn e8_network_latency(scale: &ExperimentScale) -> Vec<Vec<String>> {
+    let second_regions = [
+        (Region::UsEast, 52.0),
+        (Region::AsiaNortheast, 91.0),
+        (Region::Europe, 142.0),
+        (Region::AsiaSouth, 219.0),
+    ];
+    let mut rows = Vec::new();
+    for protocol in [Protocol::AvaHotStuff, Protocol::AvaBftSmart] {
+        for &(region, rtt) in &second_regions {
+            let mut config = SystemConfig::homogeneous_regions(&[
+                (if scale.full { 10 } else { 6 }, Region::UsWest),
+                (if scale.full { 10 } else { 6 }, region),
+            ]);
+            adjust_batch(&mut config, scale);
+            let mut opts = default_opts(9, scale);
+            let mut latency = LatencyModel::paper_table2();
+            latency.set_rtt(Region::UsWest, region, rtt);
+            opts.latency = latency;
+            let (start, end) = scale.window();
+            let outputs = match protocol {
+                Protocol::AvaHotStuff => {
+                    let mut dep = hotstuff_deployment(config, opts);
+                    drive_churn(&mut dep, scale, 2);
+                    dep.sim.take_outputs()
+                }
+                _ => {
+                    let mut dep = bftsmart_deployment(config, opts);
+                    drive_churn(&mut dep, scale, 2);
+                    dep.sim.take_outputs()
+                }
+            };
+            let m = summarize(&outputs, start, end);
+            rows.push(vec![
+                protocol.label().to_string(),
+                format!("{rtt:.0} ms ({})", region.zone_name()),
+                fmt(m.throughput_tps, 1),
+                fmt(m.avg_latency_ms / 1000.0, 3),
+            ]);
+        }
+    }
+    print_table(
+        "E8: network latency during reconfiguration (Fig. 8)",
+        &["system", "inter-cluster RTT", "throughput (txn/s)", "latency (s)"],
+        &rows,
+    );
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_scale() -> ExperimentScale {
+        ExperimentScale { run: Duration::from_secs(6), warmup_frac: 0.3, full: false }
+    }
+
+    #[test]
+    fn e3_setups_match_paper_cluster_sizes() {
+        let s2 = e3_setup(2, 1);
+        let m = s2.membership();
+        assert_eq!(m.size(ClusterId(0)), 9);
+        assert_eq!(m.size(ClusterId(1)), 5);
+        let s3 = e3_setup(3, 2);
+        assert_eq!(s3.total_replicas(), 28);
+        assert_eq!(s3.clusters.len(), 3);
+        let s1 = e3_setup(1, 1);
+        assert_eq!(s1.clusters[0].replicas.len(), s1.clusters[1].replicas.len());
+    }
+
+    #[test]
+    fn run_once_produces_committed_transactions() {
+        let scale = tiny_scale();
+        let mut config = SystemConfig::even_split_single_region(8, 2, Region::UsWest);
+        config.params.batch_size = 20;
+        let (m, outputs) = run_once(Protocol::AvaHotStuff, config, default_opts(11, &scale), &scale);
+        assert!(m.completed > 0, "no transactions completed");
+        assert!(outputs.iter().any(|o| matches!(o, Output::RoundExecuted { .. })));
+    }
+
+    #[test]
+    fn complexity_scale_from_env_defaults_to_quick() {
+        std::env::remove_var("AVA_FULL");
+        assert!(!ExperimentScale::from_env().full);
+    }
+}

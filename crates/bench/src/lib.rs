@@ -1,0 +1,18 @@
+//! # ava-bench
+//!
+//! The experiment harness that regenerates every table and figure of the paper's
+//! evaluation (E0–E8, Table I, Table II) on top of the simulated deployments, plus
+//! Criterion micro-benchmarks of the hot protocol paths.
+//!
+//! Each experiment has a binary (`src/bin/e*.rs`) that prints the same rows/series
+//! the paper reports. Binaries run a reduced-scale configuration by default so they
+//! finish in seconds; set `AVA_FULL=1` to run the paper-scale configurations
+//! (96 nodes, three-minute virtual runs).
+
+pub mod complexity;
+pub mod experiments;
+pub mod report;
+
+pub use complexity::{complexity_table, ComplexityRow};
+pub use experiments::{ExperimentScale, Protocol};
+pub use report::{print_table, stage_breakdown, throughput_timeseries, RunMetrics};

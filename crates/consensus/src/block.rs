@@ -1,0 +1,142 @@
+//! Blocks: the unit of agreement of the local total-order broadcast.
+//!
+//! A block is a batch of operations proposed by the cluster leader at a given height.
+//! Once a quorum of the cluster signs it, the block plus its [`QuorumCert`] forms a
+//! [`CommittedBlock`], which is exactly what Stage 2 ships to other clusters ("each
+//! operation is paired with a certificate of consensus", §II-A).
+
+use ava_crypto::{Digest, QuorumCert};
+use ava_types::{ClusterId, Encode, Operation, ReplicaId};
+
+/// A proposed batch of operations.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Block {
+    /// The cluster in which the block was proposed.
+    pub cluster: ClusterId,
+    /// Consecutive height within the cluster's local log.
+    pub height: u64,
+    /// The replica that proposed the block.
+    pub proposer: ReplicaId,
+    /// The operations, in the proposed order.
+    pub ops: Vec<Operation>,
+}
+
+impl Block {
+    /// Canonical digest of the block (what votes and certificates sign).
+    pub fn digest(&self) -> Digest {
+        Digest::of(self)
+    }
+
+    /// Number of transactions (non-reconfiguration operations) in the block.
+    pub fn tx_count(&self) -> usize {
+        self.ops.iter().filter(|o| !o.is_reconfig()).count()
+    }
+
+    /// Approximate wire size of the block in bytes.
+    pub fn wire_size(&self) -> usize {
+        64 + self
+            .ops
+            .iter()
+            .map(|o| match o {
+                Operation::Trans(t) => t.payload_size as usize + 32,
+                Operation::ReconfigSet(rc) => rc.len() * 64 + 32,
+            })
+            .sum::<usize>()
+    }
+}
+
+impl Encode for Block {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.cluster.encode(out);
+        self.height.encode(out);
+        self.proposer.encode(out);
+        self.ops.encode(out);
+    }
+}
+
+/// A block together with the quorum certificate that committed it.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CommittedBlock {
+    /// The committed block.
+    pub block: Block,
+    /// Quorum certificate over the block digest, signed by the block's cluster.
+    pub cert: QuorumCert,
+}
+
+impl CommittedBlock {
+    /// Verify the certificate against a membership view of the originating cluster.
+    ///
+    /// `members` and `quorum` must come from the verifier's *current* membership map
+    /// for `block.cluster` — this is the heterogeneity-critical check discussed in
+    /// §II-B of the paper.
+    pub fn verify(
+        &self,
+        registry: &ava_crypto::KeyRegistry,
+        members: &[ReplicaId],
+        quorum: usize,
+    ) -> bool {
+        self.cert.cluster == self.block.cluster
+            && self.cert.is_valid(registry, &self.block.digest(), members, quorum)
+    }
+
+    /// Approximate wire size (block + signatures).
+    pub fn wire_size(&self) -> usize {
+        self.block.wire_size() + self.cert.signature_count() * 48
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ava_crypto::{KeyRegistry, SigSet};
+    use ava_types::{ClientId, Transaction};
+
+    fn block(n_tx: usize) -> Block {
+        Block {
+            cluster: ClusterId(0),
+            height: 3,
+            proposer: ReplicaId(1),
+            ops: (0..n_tx)
+                .map(|i| Operation::Trans(Transaction::write(ClientId(0), i as u64, i as u64, 1024)))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn digest_changes_with_content() {
+        assert_ne!(block(2).digest(), block(3).digest());
+        assert_eq!(block(2).digest(), block(2).digest());
+    }
+
+    #[test]
+    fn wire_size_tracks_payloads() {
+        assert!(block(10).wire_size() > 10 * 1024);
+        assert!(block(1).wire_size() < block(10).wire_size());
+    }
+
+    #[test]
+    fn committed_block_verification_uses_current_quorum() {
+        let reg = KeyRegistry::new();
+        let kps: Vec<_> = (0..4).map(|i| reg.register(ReplicaId(i))).collect();
+        let members: Vec<ReplicaId> = (0..4).map(ReplicaId).collect();
+        let b = block(2);
+        let digest = b.digest();
+        let sigs: SigSet = kps[..3].iter().map(|kp| kp.sign(&digest)).collect();
+        let cb = CommittedBlock { block: b, cert: QuorumCert::new(ClusterId(0), digest, sigs) };
+        assert!(cb.verify(&reg, &members, 3));
+        // With a grown cluster (quorum 5) the same certificate no longer validates.
+        let grown: Vec<ReplicaId> = (0..7).map(ReplicaId).collect();
+        assert!(!cb.verify(&reg, &grown, 5));
+    }
+
+    #[test]
+    fn verification_rejects_mismatched_cluster() {
+        let reg = KeyRegistry::new();
+        let kp = reg.register(ReplicaId(0));
+        let b = block(1);
+        let digest = b.digest();
+        let sigs: SigSet = [kp.sign(&digest)].into_iter().collect();
+        let cb = CommittedBlock { block: b, cert: QuorumCert::new(ClusterId(9), digest, sigs) };
+        assert!(!cb.verify(&reg, &[ReplicaId(0)], 1));
+    }
+}

@@ -1,0 +1,121 @@
+//! In-memory test harness for [`TotalOrderBroadcast`] implementations.
+//!
+//! The harness instantiates one TOB per replica of a cluster, routes their messages
+//! through a FIFO queue (optionally dropping messages to/from chosen replicas to
+//! emulate crashes) and records deliveries and complaints. Protocol crates use it for
+//! unit and property tests without pulling in the full simulator.
+
+use crate::block::CommittedBlock;
+use crate::tob::{TobAction, TotalOrderBroadcast};
+use ava_types::{Duration, Operation, ReplicaId, Time, Timestamp};
+use std::collections::{BTreeMap, HashSet, VecDeque};
+
+/// A deterministic, latency-free network of TOB instances.
+pub struct LocalNet<T: TotalOrderBroadcast> {
+    /// The instances, keyed by replica id.
+    pub nodes: BTreeMap<ReplicaId, T>,
+    /// Messages in flight: (from, to, msg).
+    queue: VecDeque<(ReplicaId, ReplicaId, T::Msg)>,
+    /// Blocks delivered per replica, in delivery order.
+    pub delivered: BTreeMap<ReplicaId, Vec<CommittedBlock>>,
+    /// Complaints emitted per replica.
+    pub complaints: BTreeMap<ReplicaId, Vec<ReplicaId>>,
+    /// Replicas whose in- and outbound messages are dropped (crashed).
+    pub down: HashSet<ReplicaId>,
+    /// Virtual time handed to the instances.
+    pub now: Time,
+}
+
+impl<T: TotalOrderBroadcast> LocalNet<T> {
+    /// Build a network from `(replica, instance)` pairs.
+    pub fn new(nodes: impl IntoIterator<Item = (ReplicaId, T)>) -> Self {
+        let nodes: BTreeMap<_, _> = nodes.into_iter().collect();
+        let delivered = nodes.keys().map(|&id| (id, Vec::new())).collect();
+        let complaints = nodes.keys().map(|&id| (id, Vec::new())).collect();
+        LocalNet {
+            nodes,
+            queue: VecDeque::new(),
+            delivered,
+            complaints,
+            down: HashSet::new(),
+            now: Time::ZERO,
+        }
+    }
+
+    /// Ask replica `at` to broadcast `op`.
+    pub fn broadcast(&mut self, at: ReplicaId, op: Operation) {
+        let now = self.now;
+        let actions = self.nodes.get_mut(&at).expect("unknown replica").broadcast(op, now);
+        self.apply(at, actions);
+    }
+
+    /// Advance virtual time and tick every live node.
+    pub fn tick(&mut self, advance: Duration) {
+        self.now = self.now + advance;
+        let ids: Vec<ReplicaId> = self.nodes.keys().copied().collect();
+        let now = self.now;
+        for id in ids {
+            if self.down.contains(&id) {
+                continue;
+            }
+            let actions = self.nodes.get_mut(&id).expect("node").on_tick(now);
+            self.apply(id, actions);
+        }
+    }
+
+    /// Install `leader` with timestamp `ts` at every live node.
+    pub fn install_leader(&mut self, leader: ReplicaId, ts: Timestamp) {
+        let ids: Vec<ReplicaId> = self.nodes.keys().copied().collect();
+        let now = self.now;
+        for id in ids {
+            if self.down.contains(&id) {
+                continue;
+            }
+            let actions = self.nodes.get_mut(&id).expect("node").new_leader(leader, ts, now);
+            self.apply(id, actions);
+        }
+    }
+
+    /// Deliver queued messages until the network is quiescent (or `max_steps` is
+    /// reached, to guard against livelock in broken protocols).
+    pub fn run_to_quiescence(&mut self, max_steps: usize) {
+        for _ in 0..max_steps {
+            let Some((from, to, msg)) = self.queue.pop_front() else {
+                return;
+            };
+            if self.down.contains(&from) || self.down.contains(&to) {
+                continue;
+            }
+            let now = self.now;
+            let Some(node) = self.nodes.get_mut(&to) else {
+                continue;
+            };
+            let actions = node.on_message(from, msg, now);
+            self.apply(to, actions);
+        }
+        assert!(self.queue.is_empty(), "run_to_quiescence exhausted max_steps");
+    }
+
+    /// Blocks delivered by `replica`.
+    pub fn delivered_at(&self, replica: ReplicaId) -> &[CommittedBlock] {
+        &self.delivered[&replica]
+    }
+
+    /// Operations delivered by `replica`, flattened across blocks.
+    pub fn delivered_ops(&self, replica: ReplicaId) -> Vec<Operation> {
+        self.delivered[&replica].iter().flat_map(|b| b.block.ops.clone()).collect()
+    }
+
+    fn apply(&mut self, at: ReplicaId, actions: Vec<TobAction<T::Msg>>) {
+        for action in actions {
+            match action {
+                TobAction::Send { to, msg } => self.queue.push_back((at, to, msg)),
+                TobAction::Deliver(block) => self.delivered.get_mut(&at).expect("node").push(block),
+                TobAction::Complain { leader } => {
+                    self.complaints.get_mut(&at).expect("node").push(leader)
+                }
+                TobAction::Consume(_) => {}
+            }
+        }
+    }
+}

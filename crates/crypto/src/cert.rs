@@ -1,0 +1,224 @@
+//! Signature sets and quorum certificates.
+//!
+//! Hamava's inter-cluster messages carry certificates proving that a payload was
+//! approved by a quorum of the originating cluster: commit certificates from the
+//! local total-order broadcast, the BRD certificates `Σ` (collected from a quorum)
+//! and `Σ'` (voted for delivery), and the complaint signature sets of the remote
+//! leader change. All of them are a [`SigSet`] over a digest, and validity is always
+//! judged against the membership of the *claimed* cluster.
+
+use crate::keys::{KeyRegistry, Signature};
+use crate::sha256::Digest;
+use ava_types::{ClusterId, Encode, ReplicaId};
+use std::collections::BTreeMap;
+
+/// A set of signatures over a single digest, at most one per signer.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct SigSet {
+    sigs: BTreeMap<ReplicaId, Signature>,
+}
+
+impl SigSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert a signature (replaces any previous signature by the same signer).
+    pub fn insert(&mut self, sig: Signature) {
+        self.sigs.insert(sig.signer, sig);
+    }
+
+    /// Number of distinct signers.
+    pub fn len(&self) -> usize {
+        self.sigs.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sigs.is_empty()
+    }
+
+    /// Whether `signer` has signed.
+    pub fn contains(&self, signer: ReplicaId) -> bool {
+        self.sigs.contains_key(&signer)
+    }
+
+    /// The signers, in ascending id order.
+    pub fn signers(&self) -> Vec<ReplicaId> {
+        self.sigs.keys().copied().collect()
+    }
+
+    /// Iterate over the signatures.
+    pub fn iter(&self) -> impl Iterator<Item = &Signature> {
+        self.sigs.values()
+    }
+
+    /// Count how many signatures verify over `digest`, only counting signers in
+    /// `allowed` (the membership of the claimed cluster).
+    pub fn count_valid(
+        &self,
+        registry: &KeyRegistry,
+        digest: &Digest,
+        allowed: &[ReplicaId],
+    ) -> usize {
+        self.sigs
+            .values()
+            .filter(|sig| allowed.contains(&sig.signer) && registry.verify(digest, sig))
+            .count()
+    }
+
+    /// Merge another signature set into this one.
+    pub fn merge(&mut self, other: &SigSet) {
+        for sig in other.iter() {
+            self.insert(*sig);
+        }
+    }
+}
+
+impl Encode for SigSet {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.sigs.len() as u64).encode(out);
+        for sig in self.sigs.values() {
+            sig.encode(out);
+        }
+    }
+}
+
+impl FromIterator<Signature> for SigSet {
+    fn from_iter<I: IntoIterator<Item = Signature>>(iter: I) -> Self {
+        let mut set = SigSet::new();
+        for sig in iter {
+            set.insert(sig);
+        }
+        set
+    }
+}
+
+/// A certificate that a quorum of a specific cluster signed a digest.
+///
+/// This is the unit attached to operations in inter-cluster messages (Alg. 1: "a
+/// certificate for an operation contains at least `2·f_i + 1` signatures").
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct QuorumCert {
+    /// The cluster whose quorum signed.
+    pub cluster: ClusterId,
+    /// The signed digest.
+    pub digest: Digest,
+    /// The signatures.
+    pub sigs: SigSet,
+}
+
+impl QuorumCert {
+    /// Build a certificate from parts.
+    pub fn new(cluster: ClusterId, digest: Digest, sigs: SigSet) -> Self {
+        QuorumCert { cluster, digest, sigs }
+    }
+
+    /// Verify that the certificate carries at least `threshold` valid signatures from
+    /// members of `members` over `expected` (which must equal the certificate's
+    /// digest).
+    pub fn is_valid(
+        &self,
+        registry: &KeyRegistry,
+        expected: &Digest,
+        members: &[ReplicaId],
+        threshold: usize,
+    ) -> bool {
+        if self.digest != *expected {
+            return false;
+        }
+        self.sigs.count_valid(registry, expected, members) >= threshold
+    }
+
+    /// Number of signatures carried (valid or not).
+    pub fn signature_count(&self) -> usize {
+        self.sigs.len()
+    }
+}
+
+impl Encode for QuorumCert {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.cluster.encode(out);
+        self.digest.encode(out);
+        self.sigs.encode(out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::Keypair;
+
+    fn setup(n: u32) -> (KeyRegistry, Vec<Keypair>, Vec<ReplicaId>) {
+        let reg = KeyRegistry::new();
+        let kps: Vec<Keypair> = (0..n).map(|i| reg.register(ReplicaId(i))).collect();
+        let ids: Vec<ReplicaId> = (0..n).map(ReplicaId).collect();
+        (reg, kps, ids)
+    }
+
+    #[test]
+    fn sigset_deduplicates_signers() {
+        let (_, kps, _) = setup(2);
+        let digest = Digest::of(&1u64);
+        let mut set = SigSet::new();
+        set.insert(kps[0].sign(&digest));
+        set.insert(kps[0].sign(&digest));
+        set.insert(kps[1].sign(&digest));
+        assert_eq!(set.len(), 2);
+        assert!(set.contains(ReplicaId(0)));
+    }
+
+    #[test]
+    fn count_valid_ignores_outsiders_and_bad_sigs() {
+        let (reg, kps, ids) = setup(4);
+        let digest = Digest::of(&7u64);
+        let other = Digest::of(&8u64);
+        let mut set = SigSet::new();
+        set.insert(kps[0].sign(&digest));
+        set.insert(kps[1].sign(&other)); // wrong digest
+        set.insert(kps[3].sign(&digest));
+        // Only members 0..3 allowed: kps[3] excluded.
+        assert_eq!(set.count_valid(&reg, &digest, &ids[..3]), 1);
+        assert_eq!(set.count_valid(&reg, &digest, &ids), 2);
+    }
+
+    #[test]
+    fn quorum_cert_valid_iff_threshold_met() {
+        let (reg, kps, ids) = setup(4); // f=1, quorum=3
+        let digest = Digest::of(&"ops".to_string());
+        let sigs: SigSet = kps[..3].iter().map(|kp| kp.sign(&digest)).collect();
+        let cert = QuorumCert::new(ClusterId(0), digest, sigs);
+        assert!(cert.is_valid(&reg, &digest, &ids, 3));
+        assert!(!cert.is_valid(&reg, &digest, &ids, 4));
+        assert!(!cert.is_valid(&reg, &Digest::of(&"other".to_string()), &ids, 3));
+        assert_eq!(cert.signature_count(), 3);
+    }
+
+    #[test]
+    fn stale_threshold_attack_is_rejected_with_updated_membership() {
+        // Section II-B attack: after C1 grows from 4 to 7 replicas (f': 2, quorum 5),
+        // a certificate with only 3 signatures must be rejected by a replica that has
+        // applied the reconfiguration, even though 3 was a quorum for the old size.
+        let (reg, kps, _) = setup(7);
+        let digest = Digest::of(&"forged-ops".to_string());
+        let sigs: SigSet = kps[..3].iter().map(|kp| kp.sign(&digest)).collect();
+        let cert = QuorumCert::new(ClusterId(0), digest, sigs);
+        let new_members: Vec<ReplicaId> = (0..7).map(ReplicaId).collect();
+        let old_quorum = 3;
+        let new_quorum = 5;
+        assert!(cert.is_valid(&reg, &digest, &new_members, old_quorum));
+        assert!(!cert.is_valid(&reg, &digest, &new_members, new_quorum));
+    }
+
+    #[test]
+    fn merge_unions_signers() {
+        let (_, kps, _) = setup(3);
+        let digest = Digest::of(&1u64);
+        let mut a: SigSet = kps[..1].iter().map(|kp| kp.sign(&digest)).collect();
+        let b: SigSet = kps[1..].iter().map(|kp| kp.sign(&digest)).collect();
+        a.merge(&b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.signers(), vec![ReplicaId(0), ReplicaId(1), ReplicaId(2)]);
+    }
+}

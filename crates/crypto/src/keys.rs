@@ -1,0 +1,172 @@
+//! Keypairs, signatures and the shared key registry.
+//!
+//! See the crate-level documentation for why this is a *simulation-grade* scheme:
+//! signatures are HMAC-SHA-256 tags over message digests under per-replica secrets,
+//! and verification looks the secret up in a registry shared by the whole simulated
+//! deployment. Replicas can only sign through their own [`Keypair`] handle, which is
+//! what enforces unforgeability inside the simulation.
+
+use crate::hmac::hmac_sha256;
+use crate::sha256::Digest;
+use ava_types::{Encode, ReplicaId};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A signature produced by a replica over a digest.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Signature {
+    /// The signing replica.
+    pub signer: ReplicaId,
+    /// HMAC tag over the signed digest.
+    pub tag: [u8; 32],
+}
+
+impl Encode for Signature {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.signer.encode(out);
+        out.extend_from_slice(&self.tag);
+    }
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    secrets: HashMap<ReplicaId, [u8; 32]>,
+}
+
+/// Registry mapping replica ids to their secrets.
+///
+/// Cloning the registry is cheap (it is an `Arc`); every replica of a simulated
+/// deployment holds a clone and uses it to verify signatures from any other replica.
+#[derive(Clone, Default)]
+pub struct KeyRegistry {
+    inner: Arc<RwLock<RegistryInner>>,
+}
+
+impl KeyRegistry {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Generate (deterministically from the replica id) and register a keypair for
+    /// `replica`. Returns the keypair handle the replica signs with.
+    pub fn register(&self, replica: ReplicaId) -> Keypair {
+        // Deterministic secrets keep simulation runs reproducible; unforgeability is
+        // structural (only the owning replica holds the Keypair), not cryptographic.
+        let secret = crate::sha256::sha256(&{
+            let mut bytes = b"ava-secret-".to_vec();
+            replica.encode(&mut bytes);
+            bytes
+        });
+        self.inner.write().secrets.insert(replica, secret);
+        Keypair { id: replica, secret }
+    }
+
+    /// Whether `replica` has a registered key.
+    pub fn is_registered(&self, replica: ReplicaId) -> bool {
+        self.inner.read().secrets.contains_key(&replica)
+    }
+
+    /// Verify `sig` over `digest`.
+    pub fn verify(&self, digest: &Digest, sig: &Signature) -> bool {
+        let inner = self.inner.read();
+        match inner.secrets.get(&sig.signer) {
+            Some(secret) => hmac_sha256(secret, &digest.0) == sig.tag,
+            None => false,
+        }
+    }
+
+    /// Number of registered keys.
+    pub fn len(&self) -> usize {
+        self.inner.read().secrets.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A replica's signing handle.
+#[derive(Clone)]
+pub struct Keypair {
+    /// The replica this keypair belongs to.
+    pub id: ReplicaId,
+    secret: [u8; 32],
+}
+
+impl Keypair {
+    /// Sign a digest.
+    pub fn sign(&self, digest: &Digest) -> Signature {
+        Signature { signer: self.id, tag: hmac_sha256(&self.secret, &digest.0) }
+    }
+
+    /// Sign the canonical encoding of a value.
+    pub fn sign_value<T: Encode + ?Sized>(&self, value: &T) -> Signature {
+        self.sign(&Digest::of(value))
+    }
+}
+
+impl std::fmt::Debug for Keypair {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print the secret.
+        write!(f, "Keypair({})", self.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_and_verify_roundtrip() {
+        let reg = KeyRegistry::new();
+        let kp = reg.register(ReplicaId(1));
+        let digest = Digest::of(&"hello".to_string());
+        let sig = kp.sign(&digest);
+        assert!(reg.verify(&digest, &sig));
+    }
+
+    #[test]
+    fn verification_fails_for_wrong_digest_or_signer() {
+        let reg = KeyRegistry::new();
+        let kp1 = reg.register(ReplicaId(1));
+        reg.register(ReplicaId(2));
+        let digest = Digest::of(&1u64);
+        let other = Digest::of(&2u64);
+        let sig = kp1.sign(&digest);
+        assert!(!reg.verify(&other, &sig));
+        // Claiming another signer with the same tag must fail.
+        let forged = Signature { signer: ReplicaId(2), ..sig };
+        assert!(!reg.verify(&digest, &forged));
+    }
+
+    #[test]
+    fn unregistered_signer_is_rejected() {
+        let reg = KeyRegistry::new();
+        let rogue_reg = KeyRegistry::new();
+        let rogue = rogue_reg.register(ReplicaId(9));
+        let digest = Digest::of(&3u64);
+        assert!(!reg.verify(&digest, &rogue.sign(&digest)));
+        assert!(!reg.is_registered(ReplicaId(9)));
+    }
+
+    #[test]
+    fn registry_counts_keys() {
+        let reg = KeyRegistry::new();
+        assert!(reg.is_empty());
+        reg.register(ReplicaId(0));
+        reg.register(ReplicaId(1));
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn debug_does_not_leak_secret() {
+        let reg = KeyRegistry::new();
+        let kp = reg.register(ReplicaId(3));
+        let s = format!("{kp:?}");
+        assert!(s.contains("p3"));
+        assert!(!s.contains("secret"));
+    }
+}

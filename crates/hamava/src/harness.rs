@@ -1,0 +1,236 @@
+//! Deployment harness: builds a complete simulated Hamava deployment (replicas,
+//! clients, key registry, latency model) from a [`SystemConfig`], for use by the
+//! examples, the integration tests and the benchmark harness.
+
+use crate::client::{Client, ClientConfig};
+use crate::messages::{AvaMsg, ControlCmd};
+use crate::replica::{Replica, ReplicaConfig};
+use ava_consensus::{TobConfig, TotalOrderBroadcast, WireSize};
+use ava_crypto::{KeyRegistry, Keypair};
+use ava_simnet::{client_node_id, CostModel, LatencyModel, SimMessage, Simulation};
+use ava_types::{
+    ClientId, ClusterId, Duration, Output, Region, ReplicaId, SystemConfig, Time,
+};
+use ava_workload::{ClientWorkload, WorkloadSpec};
+
+/// Options controlling a simulated deployment.
+#[derive(Clone, Debug)]
+pub struct DeploymentOptions {
+    /// RNG seed (runs with the same seed are identical).
+    pub seed: u64,
+    /// Network latency model.
+    pub latency: LatencyModel,
+    /// Per-node CPU cost model.
+    pub costs: CostModel,
+    /// Client workload.
+    pub workload: WorkloadSpec,
+    /// Clients per cluster (the paper deploys one per cluster).
+    pub clients_per_cluster: usize,
+    /// Outstanding requests per client ("client threads").
+    pub client_concurrency: usize,
+}
+
+impl Default for DeploymentOptions {
+    fn default() -> Self {
+        DeploymentOptions {
+            seed: 42,
+            latency: LatencyModel::paper_table2(),
+            costs: CostModel::cloud_vm(),
+            workload: WorkloadSpec::default(),
+            clients_per_cluster: 1,
+            client_concurrency: 128,
+        }
+    }
+}
+
+/// Factory building a TOB instance for one replica.
+pub type TobFactory<T> = Box<dyn Fn(TobConfig, Keypair, KeyRegistry, ReplicaId) -> T>;
+
+/// A fully built simulated deployment.
+pub struct Deployment<T: TotalOrderBroadcast + 'static> {
+    /// The underlying simulator. Exposed so experiments can inject faults directly.
+    pub sim: Simulation<AvaMsg<T::Msg>>,
+    /// The system configuration the deployment was built from.
+    pub config: SystemConfig,
+    /// The shared key registry.
+    pub registry: KeyRegistry,
+    opts: DeploymentOptions,
+    factory: TobFactory<T>,
+    next_replica_id: u32,
+    next_client_id: u32,
+}
+
+impl<T> Deployment<T>
+where
+    T: TotalOrderBroadcast + 'static,
+    T::Msg: Clone + WireSize + 'static,
+    AvaMsg<T::Msg>: SimMessage,
+{
+    /// Build a deployment: one replica actor per configured replica, plus
+    /// `clients_per_cluster` clients per cluster.
+    pub fn build(config: SystemConfig, opts: DeploymentOptions, factory: TobFactory<T>) -> Self {
+        let registry = KeyRegistry::new();
+        let mut sim = Simulation::new(opts.seed, opts.latency.clone(), opts.costs);
+        let membership = config.membership();
+
+        for spec in &config.clusters {
+            let members: Vec<ReplicaId> = spec.replicas.iter().map(|(id, _)| *id).collect();
+            let leader = members[0];
+            for &(id, region) in &spec.replicas {
+                let keypair = registry.register(id);
+                let mut tob_cfg = TobConfig::new(spec.id, id, members.clone());
+                tob_cfg.max_block_size = config.params.batch_size;
+                tob_cfg.timeout = config.params.local_timeout;
+                let tob = factory(tob_cfg, keypair.clone(), registry.clone(), leader);
+                let rcfg =
+                    ReplicaConfig::new(id, region, spec.id, config.params, membership.clone());
+                let replica = Replica::new(rcfg, keypair, registry.clone(), tob);
+                sim.add_node(id, region, spec.id.0, Box::new(replica));
+            }
+        }
+
+        let mut deployment = Deployment {
+            sim,
+            registry,
+            opts,
+            factory,
+            next_replica_id: config.max_replica_id() + 1,
+            next_client_id: 0,
+            config,
+        };
+        for cluster in deployment.config.clusters.clone() {
+            for _ in 0..deployment.opts.clients_per_cluster {
+                deployment.add_client(cluster.id);
+            }
+        }
+        deployment
+    }
+
+    /// Add one closed-loop client to `cluster`. Returns its id.
+    pub fn add_client(&mut self, cluster: ClusterId) -> ClientId {
+        self.add_client_with_workload(cluster, self.opts.workload.clone())
+    }
+
+    /// Add a client with a specific workload (e.g. write-only for E5.2).
+    pub fn add_client_with_workload(
+        &mut self,
+        cluster: ClusterId,
+        workload: WorkloadSpec,
+    ) -> ClientId {
+        let id = ClientId(self.next_client_id);
+        self.next_client_id += 1;
+        let spec = self
+            .config
+            .clusters
+            .iter()
+            .find(|c| c.id == cluster)
+            .expect("unknown cluster");
+        let targets: Vec<ReplicaId> = spec.replicas.iter().map(|(r, _)| *r).collect();
+        let region = spec.replicas.first().map(|(_, reg)| *reg).unwrap_or_default();
+        let mut ccfg = ClientConfig::new(id, cluster, targets);
+        ccfg.concurrency = self.opts.client_concurrency;
+        let client: Client<T::Msg> = Client::new(ccfg, ClientWorkload::new(workload, id));
+        self.sim.add_node(client_node_id(id), region, cluster.0, Box::new(client));
+        id
+    }
+
+    /// Add a new replica that will request to join `cluster` (E5-style churn).
+    /// Returns its id.
+    pub fn add_joining_replica(&mut self, cluster: ClusterId, region: Region) -> ReplicaId {
+        let id = ReplicaId(self.next_replica_id);
+        self.next_replica_id += 1;
+        let keypair = self.registry.register(id);
+        let membership = self.config.membership();
+        let members = membership.member_ids(cluster);
+        let leader = members.first().copied().unwrap_or(id);
+        let mut tob_cfg = TobConfig::new(cluster, id, members);
+        tob_cfg.max_block_size = self.config.params.batch_size;
+        tob_cfg.timeout = self.config.params.local_timeout;
+        let tob = (self.factory)(tob_cfg, keypair.clone(), self.registry.clone(), leader);
+        let mut rcfg =
+            ReplicaConfig::new(id, region, cluster, self.config.params, membership);
+        rcfg.joining = true;
+        let replica = Replica::new(rcfg, keypair, self.registry.clone(), tob);
+        self.sim.add_node(id, region, cluster.0, Box::new(replica));
+        id
+    }
+
+    /// Ask `replica` to request leaving its cluster.
+    pub fn request_leave(&mut self, replica: ReplicaId) {
+        let at = self.sim.now();
+        self.sim.external_send(replica, replica, AvaMsg::Control(ControlCmd::RequestLeave), at);
+    }
+
+    /// Turn `replica` Byzantine in the E4.3 sense (withholds inter-cluster messages).
+    pub fn mute_inter_cluster(&mut self, replica: ReplicaId) {
+        let at = self.sim.now();
+        self.sim
+            .external_send(replica, replica, AvaMsg::Control(ControlCmd::MuteInterCluster), at);
+    }
+
+    /// Make `replica` stop proposing when it is the local leader (E4.2-style leader
+    /// failure confined to the protocol).
+    pub fn silence_local_leader(&mut self, replica: ReplicaId) {
+        let at = self.sim.now();
+        self.sim
+            .external_send(replica, replica, AvaMsg::Control(ControlCmd::SilentLocalLeader), at);
+    }
+
+    /// Crash `replica` at `at`.
+    pub fn crash_at(&mut self, replica: ReplicaId, at: Time) {
+        self.sim.crash_at(replica, at);
+    }
+
+    /// The initial leader of `cluster` (its first member).
+    pub fn initial_leader(&self, cluster: ClusterId) -> ReplicaId {
+        self.config
+            .clusters
+            .iter()
+            .find(|c| c.id == cluster)
+            .and_then(|c| c.replicas.first().map(|(id, _)| *id))
+            .expect("unknown cluster")
+    }
+
+    /// Run the simulation for `d` of virtual time.
+    pub fn run_for(&mut self, d: Duration) {
+        self.sim.run_for(d);
+    }
+
+    /// Run until virtual time `t`.
+    pub fn run_until(&mut self, t: Time) {
+        self.sim.run_until(t);
+    }
+
+    /// Measurement events collected so far.
+    pub fn outputs(&self) -> &[Output] {
+        self.sim.outputs()
+    }
+}
+
+/// Build an AVA-HOTSTUFF deployment (Hamava instantiated with the HotStuff TOB).
+pub fn hotstuff_deployment(
+    config: SystemConfig,
+    opts: DeploymentOptions,
+) -> Deployment<ava_hotstuff::HotStuff> {
+    Deployment::build(
+        config,
+        opts,
+        Box::new(|cfg, keypair, registry, leader| {
+            ava_hotstuff::HotStuff::new(cfg, keypair, registry, leader)
+        }),
+    )
+}
+
+/// Build an AVA-BFTSMART deployment (Hamava instantiated with the BFT-SMaRt TOB).
+pub fn bftsmart_deployment(
+    config: SystemConfig,
+    opts: DeploymentOptions,
+) -> Deployment<ava_bftsmart::BftSmart> {
+    Deployment::build(
+        config,
+        opts,
+        Box::new(|cfg, keypair, registry, leader| {
+            ava_bftsmart::BftSmart::new(cfg, keypair, registry, leader)
+        }),
+    )
+}

@@ -1,0 +1,53 @@
+//! # ava-hamava
+//!
+//! The core of this reproduction: the Hamava fault-tolerant, reconfigurable,
+//! heterogeneous clustered replication protocol (ICDE 2025), implemented as a set of
+//! composable sans-I/O state machines plus a [`replica::Replica`] actor that ties
+//! them together into the paper's three-stage round structure.
+//!
+//! | Paper algorithm | Module |
+//! |---|---|
+//! | Alg. 1 — inter-cluster broadcast | [`replica`] (`inter_broadcast`, `on_inter`, `on_local_share`) |
+//! | Alg. 2 — heterogeneous remote leader change | [`remote_leader`] |
+//! | Alg. 3 — reconfiguration collection | [`replica`] (requester + member sides) |
+//! | Alg. 4–6 — Byzantine Reliable Dissemination | [`brd`] |
+//! | Alg. 7 — local ordering | [`replica`] + any [`ava_consensus::TotalOrderBroadcast`] |
+//! | Alg. 8 — leader change | [`replica::Replica::install_leader`] wiring |
+//! | Alg. 9 — leader election | [`leader_election`] |
+//! | Alg. 10 — execution & reconfiguration application | [`replica`] (`execute`) |
+//!
+//! The replica is generic over the local consensus protocol: instantiating it with
+//! `ava-hotstuff` gives AVA-HOTSTUFF and with `ava-bftsmart` gives AVA-BFTSMART, the
+//! two systems evaluated in the paper.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use ava_hamava::harness::{hotstuff_deployment, DeploymentOptions};
+//! use ava_types::{Duration, Region, SystemConfig};
+//!
+//! // Two heterogeneous clusters: 4 replicas in the US, 7 in Europe.
+//! let config = SystemConfig::heterogeneous(&[
+//!     vec![Region::UsWest; 4],
+//!     vec![Region::Europe; 7],
+//! ]);
+//! let mut deployment = hotstuff_deployment(config, DeploymentOptions::default());
+//! deployment.run_for(Duration::from_secs(5));
+//! assert!(!deployment.outputs().is_empty());
+//! ```
+
+pub mod brd;
+pub mod client;
+pub mod harness;
+pub mod leader_election;
+pub mod messages;
+pub mod remote_leader;
+pub mod replica;
+
+pub use brd::{Brd, BrdAction, BrdCert, BrdMsg};
+pub use client::{Client, ClientConfig};
+pub use harness::{bftsmart_deployment, hotstuff_deployment, Deployment, DeploymentOptions};
+pub use leader_election::{ElectionAction, ElectionMsg, LeaderElection};
+pub use messages::{AvaMsg, ControlCmd, RoundPackage};
+pub use remote_leader::{RemoteLeaderAction, RemoteLeaderChange, RemoteLeaderMsg};
+pub use replica::{Replica, ReplicaConfig, ReplicaStatus};

@@ -1,0 +1,895 @@
+//! The Hamava replica: composition of all sub-protocols into the three-stage round
+//! structure of the paper (Alg. 7–10), generic over the local total-order broadcast.
+
+use crate::brd::{Brd, BrdAction, BrdCert};
+use crate::leader_election::{ElectionAction, LeaderElection};
+use crate::messages::{AvaMsg, ControlCmd, RoundPackage};
+use crate::remote_leader::{RemoteLeaderAction, RemoteLeaderChange};
+use ava_consensus::{CommittedBlock, FaultMode, TobAction, TotalOrderBroadcast};
+use ava_crypto::{KeyRegistry, Keypair};
+use ava_simnet::{Actor, Context, SimMessage};
+use ava_types::{
+    ClientId, ClusterId, Duration, Membership, Operation, Output, ProtocolParams, Reconfig, Region,
+    ReplicaId, Round, StageKind, Time, Timestamp, Transaction, TxId, TxKind,
+};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Timer kind used for the replica's periodic tick.
+const TICK: u64 = 1;
+
+/// Lifecycle status of a replica.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ReplicaStatus {
+    /// Participating in replication.
+    Active,
+    /// Trying to join a cluster (Alg. 3 requester side).
+    Joining {
+        /// The cluster being joined.
+        target: ClusterId,
+        /// Acks received so far.
+        acks: BTreeSet<ReplicaId>,
+        /// CurrState senders seen, by round.
+        state_senders: BTreeMap<Round, BTreeSet<ReplicaId>>,
+    },
+    /// Has left the system (stops processing).
+    Left,
+}
+
+/// Per-round bookkeeping.
+#[derive(Debug, Default)]
+struct RoundState {
+    /// Blocks delivered by the local TOB this round.
+    blocks: Vec<CommittedBlock>,
+    /// Transactions delivered this round (across blocks).
+    tx_count: usize,
+    /// The reconfiguration set delivered by BRD for this round.
+    recs: Option<(Vec<Reconfig>, Option<BrdCert>)>,
+    /// Whether `send-recs` was called already (Alg. 7 line 20).
+    sent_recs: bool,
+    /// Whether Stage 1 is complete at this replica.
+    stage1_done: bool,
+    /// Whether this replica (as leader) already ran the inter-cluster broadcast.
+    inter_broadcast_done: bool,
+    /// Packages received per cluster (the paper's `operations_j`).
+    packages: BTreeMap<ClusterId, RoundPackage>,
+    /// When the round started.
+    started_at: Time,
+    /// When Stage 1 finished.
+    stage1_end: Option<Time>,
+}
+
+/// Configuration of a single replica.
+#[derive(Clone)]
+pub struct ReplicaConfig {
+    /// This replica's id.
+    pub me: ReplicaId,
+    /// This replica's region.
+    pub region: Region,
+    /// The cluster this replica belongs to (or wants to join).
+    pub cluster: ClusterId,
+    /// Protocol parameters.
+    pub params: ProtocolParams,
+    /// Initial membership map of the whole system.
+    pub membership: Membership,
+    /// Interval of the periodic tick driving timeouts and batching.
+    pub tick_interval: Duration,
+    /// Maximum time Stage 1 waits for a full batch before closing the round with a
+    /// partial batch (keeps rounds progressing under light load).
+    pub stage1_max_wait: Duration,
+    /// If true, start in joining mode (the replica is not yet a member).
+    pub joining: bool,
+}
+
+impl ReplicaConfig {
+    /// Reasonable defaults for an active replica.
+    pub fn new(
+        me: ReplicaId,
+        region: Region,
+        cluster: ClusterId,
+        params: ProtocolParams,
+        membership: Membership,
+    ) -> Self {
+        ReplicaConfig {
+            me,
+            region,
+            cluster,
+            params,
+            membership,
+            tick_interval: Duration::from_millis(10),
+            stage1_max_wait: Duration::from_millis(1500),
+            joining: false,
+        }
+    }
+}
+
+/// A Hamava replica, generic over the local total-order broadcast `T`.
+pub struct Replica<T: TotalOrderBroadcast> {
+    cfg: ReplicaConfig,
+    keypair: Keypair,
+    registry: KeyRegistry,
+    status: ReplicaStatus,
+    membership: Membership,
+    round: Round,
+    round_state: RoundState,
+    tob: T,
+    election: LeaderElection,
+    brd: Brd,
+    rlc: RemoteLeaderChange,
+    leader: ReplicaId,
+    leader_ts: Timestamp,
+    /// Reconfiguration requests collected this round (Alg. 3 member side).
+    collected_recs: BTreeSet<Reconfig>,
+    /// Regions of replicas that requested to join (needed to build `Reconfig::Join`).
+    join_regions: HashMap<ReplicaId, Region>,
+    /// Client write requests waiting for execution, keyed by transaction id.
+    pending_clients: HashMap<TxId, (ReplicaId, ClientId)>,
+    /// The replicated key-value state (key → write counter).
+    kv: BTreeMap<u64, u64>,
+    /// Package of the previous round (re-sent by a new leader, Alg. 8 line 17).
+    prev_package: Option<RoundPackage>,
+    /// Packages that arrived for future rounds (a remote cluster can be one round
+    /// ahead).
+    future_packages: Vec<RoundPackage>,
+    /// E4.3-style Byzantine behaviour: withhold inter-cluster messages.
+    mute_inter: bool,
+    /// Whether this replica asked to leave.
+    leave_requested: bool,
+    /// Rounds executed so far (exposed for tests/benches).
+    executed_rounds: u64,
+}
+
+impl<T: TotalOrderBroadcast> Replica<T> {
+    /// Create a replica around an already-constructed TOB instance.
+    pub fn new(cfg: ReplicaConfig, keypair: Keypair, registry: KeyRegistry, tob: T) -> Self {
+        let members = cfg.membership.member_ids(cfg.cluster);
+        let leader = members.first().copied().unwrap_or(cfg.me);
+        let election = LeaderElection::new(cfg.me, members.clone());
+        let brd = Brd::new(
+            cfg.me,
+            members,
+            keypair.clone(),
+            registry.clone(),
+            leader,
+            Timestamp(0),
+            Round(1),
+            cfg.params.brd_timeout,
+        );
+        let rlc = RemoteLeaderChange::new(
+            cfg.me,
+            cfg.cluster,
+            cfg.membership.clone(),
+            keypair.clone(),
+            registry.clone(),
+            cfg.params.remote_leader_timeout,
+            cfg.params.leader_change_grace,
+        );
+        let status = if cfg.joining {
+            ReplicaStatus::Joining {
+                target: cfg.cluster,
+                acks: BTreeSet::new(),
+                state_senders: BTreeMap::new(),
+            }
+        } else {
+            ReplicaStatus::Active
+        };
+        Replica {
+            membership: cfg.membership.clone(),
+            cfg,
+            keypair,
+            registry,
+            status,
+            round: Round(1),
+            round_state: RoundState::default(),
+            tob,
+            election,
+            brd,
+            rlc,
+            leader,
+            leader_ts: Timestamp(0),
+            collected_recs: BTreeSet::new(),
+            join_regions: HashMap::new(),
+            pending_clients: HashMap::new(),
+            kv: BTreeMap::new(),
+            prev_package: None,
+            future_packages: Vec::new(),
+            mute_inter: false,
+            leave_requested: false,
+            executed_rounds: 0,
+        }
+    }
+
+    /// The replica's current round (for tests).
+    pub fn current_round(&self) -> Round {
+        self.round
+    }
+
+    /// Number of rounds executed (for tests).
+    pub fn executed_rounds(&self) -> u64 {
+        self.executed_rounds
+    }
+
+    /// Current status (for tests).
+    pub fn status(&self) -> &ReplicaStatus {
+        &self.status
+    }
+
+    /// Current membership view (for tests).
+    pub fn membership(&self) -> &Membership {
+        &self.membership
+    }
+
+    /// Current key-value state (for tests).
+    pub fn kv(&self) -> &BTreeMap<u64, u64> {
+        &self.kv
+    }
+
+    fn my_members(&self) -> Vec<ReplicaId> {
+        self.membership.member_ids(self.cfg.cluster)
+    }
+
+    fn is_leader(&self) -> bool {
+        self.leader == self.cfg.me
+    }
+
+    // ---- action plumbing -------------------------------------------------------
+
+    fn apply_tob_actions(
+        &mut self,
+        actions: Vec<TobAction<T::Msg>>,
+        ctx: &mut Context<'_, AvaMsg<T::Msg>>,
+    ) {
+        for action in actions {
+            match action {
+                TobAction::Send { to, msg } => ctx.send(to, AvaMsg::Tob(msg)),
+                TobAction::Consume(d) => ctx.consume(d),
+                TobAction::Complain { .. } => {
+                    let actions = self.election.complain();
+                    self.apply_election_actions(actions, ctx);
+                }
+                TobAction::Deliver(block) => self.on_local_block(block, ctx),
+            }
+        }
+    }
+
+    fn apply_brd_actions(&mut self, actions: Vec<BrdAction>, ctx: &mut Context<'_, AvaMsg<T::Msg>>) {
+        for action in actions {
+            match action {
+                BrdAction::Send { to, msg } => ctx.send(to, AvaMsg::Brd(msg)),
+                BrdAction::Consume(d) => ctx.consume(d),
+                BrdAction::Complain { .. } => {
+                    let actions = self.election.complain();
+                    self.apply_election_actions(actions, ctx);
+                }
+                BrdAction::Deliver { recs, cert } => {
+                    if self.round_state.recs.is_none() {
+                        self.round_state.recs = Some((recs, Some(cert)));
+                        self.check_stage1(ctx);
+                    }
+                }
+            }
+        }
+    }
+
+    fn apply_election_actions(
+        &mut self,
+        actions: Vec<ElectionAction>,
+        ctx: &mut Context<'_, AvaMsg<T::Msg>>,
+    ) {
+        for action in actions {
+            match action {
+                ElectionAction::Send { to, msg } => ctx.send(to, AvaMsg::Election(msg)),
+                ElectionAction::NewLeader { leader, ts } => self.install_leader(leader, ts, ctx),
+            }
+        }
+    }
+
+    fn apply_rlc_actions(
+        &mut self,
+        actions: Vec<RemoteLeaderAction>,
+        ctx: &mut Context<'_, AvaMsg<T::Msg>>,
+    ) {
+        for action in actions {
+            match action {
+                RemoteLeaderAction::Send { to, msg } => ctx.send(to, AvaMsg::RemoteLeader(msg)),
+                RemoteLeaderAction::Consume(d) => ctx.consume(d),
+                RemoteLeaderAction::RequestNextLeader => {
+                    let actions = self.election.next_leader();
+                    self.apply_election_actions(actions, ctx);
+                }
+            }
+        }
+    }
+
+    // ---- leader changes --------------------------------------------------------
+
+    fn install_leader(
+        &mut self,
+        leader: ReplicaId,
+        ts: Timestamp,
+        ctx: &mut Context<'_, AvaMsg<T::Msg>>,
+    ) {
+        self.leader = leader;
+        self.leader_ts = ts;
+        let now = ctx.now();
+        let tob_actions = self.tob.new_leader(leader, ts, now);
+        self.apply_tob_actions(tob_actions, ctx);
+        let brd_actions = self.brd.new_leader(leader, ts, now);
+        self.apply_brd_actions(brd_actions, ctx);
+        self.rlc.note_local_leader_change(now);
+        ctx.emit(Output::LeaderChanged {
+            cluster: self.cfg.cluster,
+            new_leader: leader,
+            timestamp: ts.0,
+            at: now,
+            replica: self.cfg.me,
+        });
+        // Alg. 8 lines 14–18: a new leader re-runs the inter-cluster broadcast for
+        // the current round (if Stage 1 is already complete) and for the previous
+        // round, in case the failed leader never communicated them.
+        if self.is_leader() {
+            // Capture the previous round's package first: inter_broadcast below
+            // updates `prev_package` to the current round's package.
+            let previous = self.prev_package.clone();
+            if self.round_state.stage1_done {
+                self.round_state.inter_broadcast_done = false;
+                self.inter_broadcast(ctx);
+            }
+            if let Some(prev) = previous {
+                if prev.round != self.round {
+                    self.send_package_to_remotes(&prev, ctx);
+                }
+            }
+        }
+    }
+
+    // ---- stage 1: local ordering + reconfiguration ------------------------------
+
+    fn on_local_block(&mut self, block: CommittedBlock, ctx: &mut Context<'_, AvaMsg<T::Msg>>) {
+        // Reconfiguration sets ordered through the TOB (single-workflow mode).
+        let mut reconfig_sets = Vec::new();
+        for op in &block.block.ops {
+            if let Operation::ReconfigSet(rc) = op {
+                reconfig_sets.push(rc.clone());
+            }
+        }
+        self.round_state.tx_count += block.block.tx_count();
+        self.round_state.blocks.push(block);
+        if !self.cfg.params.parallel_reconfig_workflow {
+            if let Some(rc) = reconfig_sets.into_iter().next() {
+                if self.round_state.recs.is_none() {
+                    self.round_state.recs = Some((rc, None));
+                }
+            }
+        }
+        // Alg. 7 line 20: once a large fraction of the batch is ordered, start the
+        // reconfiguration dissemination so it overlaps the tail of local ordering.
+        if self.round_state.tx_count >= self.cfg.params.alpha_threshold()
+            && !self.round_state.sent_recs
+        {
+            self.send_recs(ctx);
+        }
+        self.check_stage1(ctx);
+    }
+
+    fn send_recs(&mut self, ctx: &mut Context<'_, AvaMsg<T::Msg>>) {
+        if self.round_state.sent_recs {
+            return;
+        }
+        self.round_state.sent_recs = true;
+        let recs: Vec<Reconfig> = self.collected_recs.iter().copied().collect();
+        if self.cfg.params.parallel_reconfig_workflow {
+            let actions = self.brd.broadcast(recs, ctx.now());
+            self.apply_brd_actions(actions, ctx);
+        } else {
+            // Single-workflow ablation (E5.2): the reconfiguration set competes with
+            // transactions for slots in the total order.
+            let actions = self.tob.broadcast(Operation::ReconfigSet(recs), ctx.now());
+            self.apply_tob_actions(actions, ctx);
+        }
+    }
+
+    fn check_stage1(&mut self, ctx: &mut Context<'_, AvaMsg<T::Msg>>) {
+        if self.round_state.stage1_done {
+            return;
+        }
+        let now = ctx.now();
+        let batch_full = self.round_state.tx_count >= self.cfg.params.batch_size;
+        let waited_long_enough = now.since(self.round_state.started_at) >= self.cfg.stage1_max_wait
+            && self.round_state.tx_count > 0;
+        if !(batch_full || waited_long_enough) {
+            return;
+        }
+        if !self.round_state.sent_recs {
+            self.send_recs(ctx);
+        }
+        let Some((recs, cert)) = self.round_state.recs.clone() else {
+            return;
+        };
+        self.round_state.stage1_done = true;
+        self.round_state.stage1_end = Some(now);
+        ctx.emit(Output::StageCompleted {
+            replica: self.cfg.me,
+            cluster: self.cfg.cluster,
+            round: self.round,
+            stage: StageKind::IntraCluster,
+            started_at: self.round_state.started_at,
+            completed_at: now,
+        });
+        // `operations_i`: every replica records its own cluster's package locally.
+        let own = RoundPackage {
+            cluster: self.cfg.cluster,
+            round: self.round,
+            blocks: self.round_state.blocks.clone(),
+            recs,
+            recs_cert: cert,
+        };
+        self.round_state.packages.insert(self.cfg.cluster, own);
+        // Alg. 7 line 23: the leader starts the inter-cluster broadcast.
+        if self.is_leader() {
+            self.inter_broadcast(ctx);
+        }
+        self.check_stage2(ctx);
+    }
+
+    // ---- stage 2: inter-cluster communication -----------------------------------
+
+    fn inter_broadcast(&mut self, ctx: &mut Context<'_, AvaMsg<T::Msg>>) {
+        if self.round_state.inter_broadcast_done {
+            return;
+        }
+        self.round_state.inter_broadcast_done = true;
+        let Some(own) = self.round_state.packages.get(&self.cfg.cluster).cloned() else {
+            return;
+        };
+        self.prev_package = Some(own.clone());
+        self.send_package_to_remotes(&own, ctx);
+    }
+
+    fn send_package_to_remotes(
+        &mut self,
+        package: &RoundPackage,
+        ctx: &mut Context<'_, AvaMsg<T::Msg>>,
+    ) {
+        if self.mute_inter {
+            // E4.3 Byzantine leader: behaves correctly locally but never sends Inter.
+            return;
+        }
+        for cluster in self.membership.cluster_ids() {
+            if cluster == self.cfg.cluster {
+                continue;
+            }
+            // Alg. 1 line 13: send to f_j + 1 distinct replicas of the remote cluster
+            // so that at least one correct replica receives the package.
+            let targets = self.membership.first_k(cluster, self.membership.one_correct(cluster));
+            for to in targets {
+                ctx.send(to, AvaMsg::Inter(package.clone()));
+            }
+        }
+    }
+
+    fn on_inter(&mut self, package: RoundPackage, ctx: &mut Context<'_, AvaMsg<T::Msg>>) {
+        if package.round < self.round || package.cluster == self.cfg.cluster {
+            return;
+        }
+        ctx.consume(
+            ctx.costs()
+                .per_sig_verify
+                .saturating_mul(package.blocks.iter().map(|b| b.cert.signature_count() as u64).sum()),
+        );
+        if !package.verify(&self.registry, &self.membership) {
+            return;
+        }
+        // Alg. 1 line 16: re-broadcast as a Local message within the local cluster.
+        for member in self.my_members() {
+            ctx.send(member, AvaMsg::LocalShare(package.clone()));
+        }
+    }
+
+    fn on_local_share(&mut self, package: RoundPackage, ctx: &mut Context<'_, AvaMsg<T::Msg>>) {
+        if package.cluster == self.cfg.cluster {
+            return;
+        }
+        if package.round > self.round {
+            self.future_packages.push(package);
+            return;
+        }
+        if package.round < self.round
+            || self.round_state.packages.contains_key(&package.cluster)
+        {
+            return;
+        }
+        ctx.consume(
+            ctx.costs()
+                .per_sig_verify
+                .saturating_mul(package.blocks.iter().map(|b| b.cert.signature_count() as u64).sum()),
+        );
+        if !package.verify(&self.registry, &self.membership) {
+            return;
+        }
+        self.rlc.mark_received(package.cluster);
+        self.round_state.packages.insert(package.cluster, package);
+        self.check_stage2(ctx);
+    }
+
+    fn check_stage2(&mut self, ctx: &mut Context<'_, AvaMsg<T::Msg>>) {
+        if !self.round_state.stage1_done {
+            return;
+        }
+        let expected = self.membership.cluster_count();
+        if self.round_state.packages.len() < expected {
+            return;
+        }
+        let now = ctx.now();
+        ctx.emit(Output::StageCompleted {
+            replica: self.cfg.me,
+            cluster: self.cfg.cluster,
+            round: self.round,
+            stage: StageKind::InterCluster,
+            started_at: self.round_state.stage1_end.unwrap_or(self.round_state.started_at),
+            completed_at: now,
+        });
+        self.execute(ctx);
+    }
+
+    // ---- stage 3: execution (Alg. 10) -------------------------------------------
+
+    fn execute(&mut self, ctx: &mut Context<'_, AvaMsg<T::Msg>>) {
+        let now = ctx.now();
+        let stage_start = now;
+        let packages = std::mem::take(&mut self.round_state.packages);
+        let mut executed_txns = 0usize;
+        let mut all_recs: Vec<(ClusterId, Vec<Reconfig>)> = Vec::new();
+
+        // Transactions first, cluster by cluster in the predefined (ascending) order.
+        for (cluster, package) in &packages {
+            for block in &package.blocks {
+                for op in &block.block.ops {
+                    match op {
+                        Operation::Trans(tx) => {
+                            self.apply_transaction(tx, ctx);
+                            executed_txns += 1;
+                        }
+                        Operation::ReconfigSet(rc) => {
+                            all_recs.push((*cluster, rc.clone()));
+                        }
+                    }
+                }
+            }
+            if !package.recs.is_empty() {
+                all_recs.push((*cluster, package.recs.clone()));
+            }
+        }
+        ctx.consume(ctx.costs().per_tx_execute.saturating_mul(executed_txns as u64));
+
+        // Then reconfigurations, uniformly, updating membership and thresholds.
+        let mut local_recs: Vec<Reconfig> = Vec::new();
+        for (cluster, recs) in &all_recs {
+            self.membership.apply_set(*cluster, recs);
+            if *cluster == self.cfg.cluster {
+                local_recs.extend(recs.iter().copied());
+            }
+            for rc in recs {
+                ctx.emit(Output::ReconfigApplied {
+                    replica: rc.replica(),
+                    cluster: *cluster,
+                    joined: rc.is_join(),
+                    round: self.round,
+                    at: now,
+                });
+            }
+        }
+
+        // Kick-start joining replicas of the local cluster and handle own leave.
+        let next_round = self.round.next();
+        for rc in &local_recs {
+            match rc {
+                Reconfig::Join { replica, .. } => {
+                    ctx.send(
+                        *replica,
+                        AvaMsg::CurrState {
+                            state: self.kv.clone(),
+                            membership: self.membership.clone(),
+                            round: next_round,
+                            leader_ts: self.leader_ts.0,
+                        },
+                    );
+                }
+                Reconfig::Leave { replica } => {
+                    if *replica == self.cfg.me {
+                        self.status = ReplicaStatus::Left;
+                    }
+                }
+            }
+        }
+
+        ctx.emit(Output::StageCompleted {
+            replica: self.cfg.me,
+            cluster: self.cfg.cluster,
+            round: self.round,
+            stage: StageKind::Execution,
+            started_at: stage_start,
+            completed_at: ctx.now(),
+        });
+        ctx.emit(Output::RoundExecuted {
+            replica: self.cfg.me,
+            cluster: self.cfg.cluster,
+            round: self.round,
+            txns: executed_txns,
+            at: ctx.now(),
+        });
+
+        // Remember own package for Alg. 8's previous-round re-broadcast.
+        if let Some(own) = packages.get(&self.cfg.cluster) {
+            self.prev_package = Some(own.clone());
+        }
+        self.executed_rounds += 1;
+
+        // Clear per-round reconfiguration collection state (Alg. 10 line 36).
+        for rc in &local_recs {
+            self.collected_recs.remove(rc);
+        }
+
+        if self.status == ReplicaStatus::Left {
+            return;
+        }
+        self.start_round(next_round, ctx);
+    }
+
+    fn apply_transaction(&mut self, tx: &Transaction, ctx: &mut Context<'_, AvaMsg<T::Msg>>) {
+        if let TxKind::Write { key, .. } = tx.kind {
+            *self.kv.entry(key).or_insert(0) += 1;
+        }
+        if let Some((client_node, _client)) = self.pending_clients.remove(&tx.id) {
+            ctx.send(client_node, AvaMsg::ClientResponse { tx: tx.id, is_write: tx.kind.is_write() });
+        }
+    }
+
+    fn start_round(&mut self, round: Round, ctx: &mut Context<'_, AvaMsg<T::Msg>>) {
+        self.round = round;
+        self.round_state = RoundState { started_at: ctx.now(), ..Default::default() };
+        // Membership may have changed: propagate to every sub-protocol.
+        let members = self.my_members();
+        self.tob.set_membership(members.clone());
+        self.election.set_members(members.clone());
+        self.rlc.set_membership(self.membership.clone());
+        self.rlc.start_round(round, ctx.now());
+        self.brd = Brd::new(
+            self.cfg.me,
+            members,
+            self.keypair.clone(),
+            self.registry.clone(),
+            self.leader,
+            self.leader_ts,
+            round,
+            self.cfg.params.brd_timeout,
+        );
+        // Re-deliver packages that arrived early for this round.
+        let future = std::mem::take(&mut self.future_packages);
+        for package in future {
+            self.on_local_share(package, ctx);
+        }
+    }
+
+    // ---- reconfiguration collection (Alg. 3, member side) -----------------------
+
+    fn on_request_join(
+        &mut self,
+        replica: ReplicaId,
+        region: Region,
+        ctx: &mut Context<'_, AvaMsg<T::Msg>>,
+    ) {
+        self.join_regions.insert(replica, region);
+        self.collected_recs.insert(Reconfig::Join { replica, region });
+        ctx.send(
+            replica,
+            AvaMsg::Ack { members: self.my_members(), round: self.round },
+        );
+    }
+
+    fn on_request_leave(&mut self, replica: ReplicaId, ctx: &mut Context<'_, AvaMsg<T::Msg>>) {
+        self.collected_recs.insert(Reconfig::Leave { replica });
+        ctx.send(
+            replica,
+            AvaMsg::Ack { members: self.my_members(), round: self.round },
+        );
+    }
+
+    // ---- joining-replica side ----------------------------------------------------
+
+    fn send_join_request(&mut self, ctx: &mut Context<'_, AvaMsg<T::Msg>>) {
+        let ReplicaStatus::Joining { target, .. } = &self.status else {
+            return;
+        };
+        let msg = AvaMsg::RequestJoin {
+            replica: self.cfg.me,
+            region: self.cfg.region,
+            round: self.round,
+        };
+        for member in self.membership.member_ids(*target) {
+            ctx.send(member, msg.clone());
+        }
+    }
+
+    fn on_curr_state(
+        &mut self,
+        from: ReplicaId,
+        state: BTreeMap<u64, u64>,
+        membership: Membership,
+        round: Round,
+        leader_ts: u64,
+        ctx: &mut Context<'_, AvaMsg<T::Msg>>,
+    ) {
+        let quorum_needed = {
+            let ReplicaStatus::Joining { target, state_senders, .. } = &mut self.status else {
+                return;
+            };
+            let senders = state_senders.entry(round).or_default();
+            senders.insert(from);
+            // A quorum of the cluster we are joining must report the same round
+            // (Alg. 10 line 39).
+            senders.len() >= 2 * self.cfg.membership.f(*target) + 1
+        };
+        if !quorum_needed {
+            return;
+        }
+        // Adopt the state and become an active member starting at `round`.
+        self.kv = state;
+        self.membership = membership;
+        self.round = round;
+        self.leader_ts = Timestamp(leader_ts);
+        let members = self.my_members();
+        self.leader = LeaderElection::leader_for(&members, leader_ts);
+        self.election = LeaderElection::new(self.cfg.me, members.clone());
+        self.tob.set_membership(members);
+        let leader = self.leader;
+        let ts = self.leader_ts;
+        let now = ctx.now();
+        let tob_actions = self.tob.new_leader(leader, ts, now);
+        self.apply_tob_actions(tob_actions, ctx);
+        self.status = ReplicaStatus::Active;
+        self.start_round(round, ctx);
+        ctx.emit(Output::ReconfigApplied {
+            replica: self.cfg.me,
+            cluster: self.cfg.cluster,
+            joined: true,
+            round,
+            at: ctx.now(),
+        });
+    }
+
+    // ---- client requests ---------------------------------------------------------
+
+    fn on_client_request(
+        &mut self,
+        from: ReplicaId,
+        tx: Transaction,
+        client: ClientId,
+        ctx: &mut Context<'_, AvaMsg<T::Msg>>,
+    ) {
+        match tx.kind {
+            TxKind::Read { key } => {
+                // Reads are served locally without going through the three stages
+                // (the paper's E2 latency breakdown relies on this).
+                let _ = self.kv.get(&key);
+                ctx.consume(ctx.costs().per_tx_execute);
+                ctx.send(from, AvaMsg::ClientResponse { tx: tx.id, is_write: false });
+            }
+            TxKind::Write { .. } => {
+                self.pending_clients.insert(tx.id, (from, client));
+                let actions = self.tob.broadcast(Operation::Trans(tx), ctx.now());
+                self.apply_tob_actions(actions, ctx);
+            }
+        }
+    }
+
+    // ---- control commands ---------------------------------------------------------
+
+    fn on_control(&mut self, cmd: ControlCmd, ctx: &mut Context<'_, AvaMsg<T::Msg>>) {
+        match cmd {
+            ControlCmd::RequestLeave => {
+                if !self.leave_requested {
+                    self.leave_requested = true;
+                    let msg = AvaMsg::RequestLeave { replica: self.cfg.me, round: self.round };
+                    for member in self.my_members() {
+                        ctx.send(member, msg.clone());
+                    }
+                }
+            }
+            ControlCmd::MuteInterCluster => {
+                self.mute_inter = true;
+            }
+            ControlCmd::SilentLocalLeader => {
+                self.tob.set_fault_mode(FaultMode::SilentLeader);
+            }
+        }
+    }
+}
+
+impl<T: TotalOrderBroadcast> Actor<AvaMsg<T::Msg>> for Replica<T>
+where
+    AvaMsg<T::Msg>: SimMessage,
+{
+    fn on_start(&mut self, ctx: &mut Context<'_, AvaMsg<T::Msg>>) {
+        ctx.set_timer(self.cfg.tick_interval, TICK);
+        match self.status {
+            ReplicaStatus::Active => {
+                self.round_state.started_at = ctx.now();
+                self.rlc.start_round(self.round, ctx.now());
+            }
+            ReplicaStatus::Joining { .. } => self.send_join_request(ctx),
+            ReplicaStatus::Left => {}
+        }
+    }
+
+    fn on_message(&mut self, from: ReplicaId, msg: AvaMsg<T::Msg>, ctx: &mut Context<'_, AvaMsg<T::Msg>>) {
+        if self.status == ReplicaStatus::Left {
+            return;
+        }
+        if let ReplicaStatus::Joining { .. } = self.status {
+            match msg {
+                AvaMsg::Ack { .. } => {
+                    if let ReplicaStatus::Joining { acks, .. } = &mut self.status {
+                        acks.insert(from);
+                    }
+                }
+                AvaMsg::CurrState { state, membership, round, leader_ts } => {
+                    self.on_curr_state(from, state, membership, round, leader_ts, ctx);
+                }
+                _ => {}
+            }
+            return;
+        }
+        match msg {
+            AvaMsg::Tob(m) => {
+                let actions = self.tob.on_message(from, m, ctx.now());
+                self.apply_tob_actions(actions, ctx);
+            }
+            AvaMsg::Brd(m) => {
+                let actions = self.brd.on_message(from, m, ctx.now());
+                self.apply_brd_actions(actions, ctx);
+            }
+            AvaMsg::Election(m) => {
+                let actions = self.election.on_message(from, m);
+                self.apply_election_actions(actions, ctx);
+            }
+            AvaMsg::RemoteLeader(m) => {
+                let actions = self.rlc.on_message(from, m, ctx.now());
+                self.apply_rlc_actions(actions, ctx);
+            }
+            AvaMsg::Inter(package) => self.on_inter(package, ctx),
+            AvaMsg::LocalShare(package) => self.on_local_share(package, ctx),
+            AvaMsg::RequestJoin { replica, region, .. } => self.on_request_join(replica, region, ctx),
+            AvaMsg::RequestLeave { replica, .. } => self.on_request_leave(replica, ctx),
+            AvaMsg::Ack { .. } => {}
+            AvaMsg::CurrState { .. } => {}
+            AvaMsg::ClientRequest { tx, client } => self.on_client_request(from, tx, client, ctx),
+            AvaMsg::ClientResponse { .. } => {}
+            AvaMsg::Control(cmd) => self.on_control(cmd, ctx),
+        }
+    }
+
+    fn on_timer(&mut self, kind: u64, ctx: &mut Context<'_, AvaMsg<T::Msg>>) {
+        if kind != TICK || self.status == ReplicaStatus::Left {
+            return;
+        }
+        ctx.set_timer(self.cfg.tick_interval, TICK);
+        if let ReplicaStatus::Joining { acks, .. } = &self.status {
+            // Alg. 3's client timer: keep re-sending the join request until a quorum
+            // acknowledged it.
+            let target_quorum = self.cfg.membership.quorum(self.cfg.cluster);
+            if acks.len() < target_quorum {
+                self.send_join_request(ctx);
+            }
+            return;
+        }
+        let now = ctx.now();
+        let tob_actions = self.tob.on_tick(now);
+        self.apply_tob_actions(tob_actions, ctx);
+        let brd_actions = self.brd.on_tick(now);
+        self.apply_brd_actions(brd_actions, ctx);
+        let rlc_actions = self.rlc.on_tick(now);
+        self.apply_rlc_actions(rlc_actions, ctx);
+        // Drive Stage 1 completion under light load (partial batches).
+        self.check_stage1(ctx);
+    }
+}

@@ -1,0 +1,182 @@
+//! Unit and property tests for the HotStuff total-order broadcast.
+
+use super::*;
+use ava_consensus::testkit::LocalNet;
+use ava_types::{ClientId, ClusterId, Duration, Transaction};
+use proptest::prelude::*;
+
+fn make_net(n: u32) -> LocalNet<HotStuff> {
+    let registry = KeyRegistry::new();
+    let members: Vec<ReplicaId> = (0..n).map(ReplicaId).collect();
+    let leader = ReplicaId(0);
+    let nodes = members.iter().map(|&id| {
+        let kp = registry.register(id);
+        let mut cfg = TobConfig::new(ClusterId(0), id, members.clone());
+        cfg.max_block_size = 10;
+        cfg.timeout = Duration::from_secs(5);
+        (id, HotStuff::new(cfg, kp, registry.clone(), leader))
+    });
+    LocalNet::new(nodes.collect::<Vec<_>>())
+}
+
+fn tx(seq: u64) -> Operation {
+    Operation::Trans(Transaction::write(ClientId(1), seq, seq % 16, 512))
+}
+
+#[test]
+fn all_replicas_deliver_the_same_block() {
+    let mut net = make_net(4);
+    for i in 0..5 {
+        net.broadcast(ReplicaId(i % 4), tx(i as u64));
+    }
+    net.run_to_quiescence(100_000);
+    let reference = net.delivered_ops(ReplicaId(0));
+    assert_eq!(reference.len(), 5);
+    for i in 1..4 {
+        assert_eq!(net.delivered_ops(ReplicaId(i)), reference, "replica {i} diverged");
+    }
+}
+
+#[test]
+fn delivered_blocks_carry_valid_quorum_certificates() {
+    let registry = KeyRegistry::new();
+    let members: Vec<ReplicaId> = (0..4).map(ReplicaId).collect();
+    let nodes: Vec<(ReplicaId, HotStuff)> = members
+        .iter()
+        .map(|&id| {
+            let kp = registry.register(id);
+            let cfg = TobConfig::new(ClusterId(0), id, members.clone());
+            (id, HotStuff::new(cfg, kp, registry.clone(), ReplicaId(0)))
+        })
+        .collect();
+    let mut net = LocalNet::new(nodes);
+    net.broadcast(ReplicaId(1), tx(0));
+    net.tick(Duration::from_millis(10));
+    net.run_to_quiescence(100_000);
+    let blocks = net.delivered_at(ReplicaId(2));
+    assert_eq!(blocks.len(), 1);
+    assert!(blocks[0].verify(&registry, &members, 3));
+}
+
+#[test]
+fn respects_batch_size_limit() {
+    let mut net = make_net(4);
+    for i in 0..25 {
+        net.broadcast(ReplicaId(0), tx(i));
+    }
+    net.tick(Duration::from_millis(1));
+    net.run_to_quiescence(200_000);
+    let blocks = net.delivered_at(ReplicaId(0));
+    assert!(blocks.len() >= 3, "expected multiple blocks, got {}", blocks.len());
+    assert!(blocks.iter().all(|b| b.block.ops.len() <= 10));
+    assert_eq!(net.delivered_ops(ReplicaId(3)).len(), 25);
+}
+
+#[test]
+fn heights_are_consecutive_and_ordered() {
+    let mut net = make_net(7);
+    for i in 0..30 {
+        net.broadcast(ReplicaId(i % 7), tx(i as u64));
+        if i % 10 == 9 {
+            net.run_to_quiescence(200_000);
+        }
+    }
+    net.run_to_quiescence(200_000);
+    for r in 0..7 {
+        let blocks = net.delivered_at(ReplicaId(r));
+        for (i, b) in blocks.iter().enumerate() {
+            assert_eq!(b.block.height, i as u64);
+        }
+    }
+}
+
+#[test]
+fn silent_leader_triggers_complaints_and_new_leader_recovers() {
+    let mut net = make_net(4);
+    net.nodes.get_mut(&ReplicaId(0)).unwrap().set_fault_mode(FaultMode::SilentLeader);
+    for i in 0..4 {
+        net.broadcast(ReplicaId(i), tx(i as u64));
+    }
+    net.run_to_quiescence(100_000);
+    assert!(net.delivered_ops(ReplicaId(1)).is_empty());
+    // Past the timeout every replica that is still waiting complains.
+    net.tick(Duration::from_secs(6));
+    net.run_to_quiescence(100_000);
+    let complainers = net.complaints.values().filter(|c| !c.is_empty()).count();
+    assert!(complainers >= 3, "expected non-leader replicas to complain, got {complainers}");
+    // Installing the next leader recovers liveness without losing operations.
+    net.install_leader(ReplicaId(1), Timestamp(1));
+    net.run_to_quiescence(100_000);
+    net.tick(Duration::from_millis(10));
+    net.run_to_quiescence(100_000);
+    let ops = net.delivered_ops(ReplicaId(2));
+    assert_eq!(ops.len(), 4, "all operations should be delivered after leader change");
+}
+
+#[test]
+fn crashed_follower_does_not_block_progress() {
+    let mut net = make_net(4);
+    net.down.insert(ReplicaId(3));
+    for i in 0..6 {
+        net.broadcast(ReplicaId(i % 3), tx(i as u64));
+    }
+    net.run_to_quiescence(100_000);
+    assert_eq!(net.delivered_ops(ReplicaId(0)).len(), 6);
+    assert_eq!(net.delivered_ops(ReplicaId(1)).len(), 6);
+    assert!(net.delivered_ops(ReplicaId(3)).is_empty());
+}
+
+#[test]
+fn duplicate_forwards_are_not_delivered_twice() {
+    let mut net = make_net(4);
+    net.broadcast(ReplicaId(1), tx(7));
+    net.broadcast(ReplicaId(2), tx(7));
+    net.run_to_quiescence(100_000);
+    assert_eq!(net.delivered_ops(ReplicaId(0)), vec![tx(7)]);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Agreement and total order hold for arbitrary small workloads and cluster
+    /// sizes: all correct replicas deliver exactly the same sequence of operations.
+    #[test]
+    fn prop_uniform_agreement(n in 4u32..8, ops in 1usize..30, submitter_seed in 0u32..1000) {
+        let mut net = make_net(n);
+        for i in 0..ops {
+            let submitter = ReplicaId((submitter_seed.wrapping_add(i as u32)) % n);
+            net.broadcast(submitter, tx(i as u64));
+        }
+        net.tick(Duration::from_millis(1));
+        net.run_to_quiescence(2_000_000);
+        let reference = net.delivered_ops(ReplicaId(0));
+        prop_assert_eq!(reference.len(), ops);
+        for r in 1..n {
+            prop_assert_eq!(net.delivered_ops(ReplicaId(r)), reference.clone());
+        }
+    }
+
+    /// Every delivered block carries a certificate valid for the cluster quorum.
+    #[test]
+    fn prop_certificates_always_valid(n in 4u32..8, ops in 1usize..15) {
+        let registry = KeyRegistry::new();
+        let members: Vec<ReplicaId> = (0..n).map(ReplicaId).collect();
+        let nodes: Vec<(ReplicaId, HotStuff)> = members.iter().map(|&id| {
+            let kp = registry.register(id);
+            let cfg = TobConfig::new(ClusterId(0), id, members.clone());
+            (id, HotStuff::new(cfg, kp, registry.clone(), ReplicaId(0)))
+        }).collect();
+        let quorum = 2 * ((n as usize - 1) / 3) + 1;
+        let mut net = LocalNet::new(nodes);
+        for i in 0..ops {
+            net.broadcast(ReplicaId(i as u32 % n), tx(i as u64));
+        }
+        net.tick(Duration::from_millis(1));
+        net.run_to_quiescence(2_000_000);
+        for &r in &members {
+            for block in net.delivered_at(r) {
+                prop_assert!(block.verify(&registry, &members, quorum));
+            }
+        }
+    }
+}

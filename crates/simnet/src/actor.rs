@@ -1,0 +1,147 @@
+//! The [`Actor`] trait implemented by protocol state machines and the [`Context`]
+//! through which they interact with the simulated world.
+
+use crate::cost::CostModel;
+use ava_types::{Duration, Output, ReplicaId, Time};
+use rand::rngs::StdRng;
+
+/// Messages exchanged by actors.
+///
+/// `size_bytes` feeds the latency/CPU cost model; implementations should return a
+/// value roughly proportional to what a wire encoding of the message would be (the
+/// protocol crates account for payloads and signature sets).
+pub trait SimMessage: Clone {
+    /// Approximate wire size of the message in bytes.
+    fn size_bytes(&self) -> usize {
+        256
+    }
+}
+
+impl SimMessage for () {}
+
+/// A protocol state machine driven by the simulator.
+///
+/// Handlers receive a [`Context`] used to send messages, set timers, consume CPU
+/// time, emit measurement events and draw randomness. All side effects go through the
+/// context, which is what keeps runs deterministic and replayable.
+pub trait Actor<M: SimMessage> {
+    /// Called once when the node is added to the simulation.
+    fn on_start(&mut self, ctx: &mut Context<'_, M>) {
+        let _ = ctx;
+    }
+
+    /// Called when a message from `from` is delivered to this node.
+    fn on_message(&mut self, from: ReplicaId, msg: M, ctx: &mut Context<'_, M>);
+
+    /// Called when a timer previously set with [`Context::set_timer`] fires.
+    fn on_timer(&mut self, kind: u64, ctx: &mut Context<'_, M>) {
+        let _ = (kind, ctx);
+    }
+}
+
+/// Buffered side effects of one handler invocation, applied by the simulator after
+/// the handler returns.
+pub(crate) struct Effects<M> {
+    pub sends: Vec<(ReplicaId, M)>,
+    pub timers: Vec<(Duration, u64)>,
+    pub consumed: Duration,
+    pub outputs: Vec<Output>,
+}
+
+impl<M> Default for Effects<M> {
+    fn default() -> Self {
+        Effects { sends: Vec::new(), timers: Vec::new(), consumed: Duration::ZERO, outputs: Vec::new() }
+    }
+}
+
+/// The world as seen by an actor while handling one event.
+pub struct Context<'a, M> {
+    pub(crate) node: ReplicaId,
+    pub(crate) now: Time,
+    pub(crate) costs: CostModel,
+    pub(crate) rng: &'a mut StdRng,
+    pub(crate) effects: &'a mut Effects<M>,
+}
+
+impl<'a, M> Context<'a, M> {
+    /// The id of the node whose handler is running.
+    pub fn node(&self) -> ReplicaId {
+        self.node
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// The CPU cost model (so actors can charge themselves for signature checks and
+    /// execution work via [`Context::consume`]).
+    pub fn costs(&self) -> CostModel {
+        self.costs
+    }
+
+    /// Send `msg` to `to`. Delivery is scheduled after this handler's processing time
+    /// plus the network latency between the two nodes' regions.
+    pub fn send(&mut self, to: ReplicaId, msg: M) {
+        self.effects.sends.push((to, msg));
+    }
+
+    /// Send `msg` to every node in `targets`.
+    pub fn send_many<I: IntoIterator<Item = ReplicaId>>(&mut self, targets: I, msg: M)
+    where
+        M: Clone,
+    {
+        for to in targets {
+            self.send(to, msg.clone());
+        }
+    }
+
+    /// Arrange for [`Actor::on_timer`] to be called with `kind` after `delay`.
+    pub fn set_timer(&mut self, delay: Duration, kind: u64) {
+        self.effects.timers.push((delay, kind));
+    }
+
+    /// Charge the node `amount` of CPU time on top of the per-event cost.
+    pub fn consume(&mut self, amount: Duration) {
+        self.effects.consumed += amount;
+    }
+
+    /// Record a measurement event.
+    pub fn emit(&mut self, output: Output) {
+        self.effects.outputs.push(output);
+    }
+
+    /// Deterministic per-simulation random number generator.
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn context_buffers_effects() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut effects = Effects::<()>::default();
+        let mut ctx = Context {
+            node: ReplicaId(3),
+            now: Time::from_millis(5),
+            costs: CostModel::zero(),
+            rng: &mut rng,
+            effects: &mut effects,
+        };
+        ctx.send(ReplicaId(1), ());
+        ctx.send_many([ReplicaId(2), ReplicaId(4)], ());
+        ctx.set_timer(Duration::from_millis(10), 7);
+        ctx.consume(Duration::from_micros(30));
+        ctx.emit(Output::Custom { name: "x", value: 1.0, at: ctx.now() });
+        assert_eq!(ctx.node(), ReplicaId(3));
+        assert_eq!(effects.sends.len(), 3);
+        assert_eq!(effects.timers, vec![(Duration::from_millis(10), 7)]);
+        assert_eq!(effects.consumed, Duration::from_micros(30));
+        assert_eq!(effects.outputs.len(), 1);
+    }
+}

@@ -1,0 +1,76 @@
+//! The simulator's event queue entries.
+
+use ava_types::{ReplicaId, Time};
+use std::cmp::Ordering;
+
+/// What happens when an event fires.
+#[derive(Clone, Debug)]
+pub enum EventKind<M> {
+    /// A node starts (its `on_start` hook runs).
+    Start,
+    /// A message from `from` is delivered.
+    Deliver {
+        /// Sending node.
+        from: ReplicaId,
+        /// The message.
+        msg: M,
+        /// Payload size used for cost accounting.
+        size: usize,
+    },
+    /// A timer set by the node fires.
+    Timer {
+        /// The timer kind the node passed to `set_timer`.
+        kind: u64,
+    },
+}
+
+/// A scheduled event.
+#[derive(Clone, Debug)]
+pub struct Event<M> {
+    /// When the event is scheduled.
+    pub at: Time,
+    /// Tie-breaking sequence number (FIFO among simultaneous events).
+    pub seq: u64,
+    /// The node the event is addressed to.
+    pub node: ReplicaId,
+    /// What the event is.
+    pub kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<M> Eq for Event<M> {}
+
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse ordering so that BinaryHeap pops the earliest event first.
+        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BinaryHeap;
+
+    #[test]
+    fn heap_pops_earliest_event_first() {
+        let mut heap: BinaryHeap<Event<()>> = BinaryHeap::new();
+        for (at, seq) in [(30u64, 0u64), (10, 1), (20, 2), (10, 0)] {
+            heap.push(Event { at: Time(at), seq, node: ReplicaId(0), kind: EventKind::Start });
+        }
+        let order: Vec<(u64, u64)> =
+            std::iter::from_fn(|| heap.pop().map(|e| (e.at.0, e.seq))).collect();
+        assert_eq!(order, vec![(10, 0), (10, 1), (20, 2), (30, 0)]);
+    }
+}

@@ -1,0 +1,505 @@
+//! The discrete-event simulation engine.
+
+use crate::actor::{Actor, Context, Effects, SimMessage};
+use crate::cost::CostModel;
+use crate::event::{Event, EventKind};
+use crate::latency::LatencyModel;
+use crate::stats::NetStats;
+use ava_types::{ClientId, Duration, Output, Region, ReplicaId, Time};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BinaryHeap, HashMap};
+
+/// Node id assigned to a client process. Clients live in a reserved id range so that
+/// they never collide with replica ids.
+pub fn client_node_id(client: ClientId) -> ReplicaId {
+    ReplicaId(1_000_000 + client.0)
+}
+
+/// A fault-injection rule dropping messages on matching links during a time window.
+#[derive(Clone, Debug)]
+pub struct DropRule {
+    /// Only match messages from this sender (None = any).
+    pub from: Option<ReplicaId>,
+    /// Only match messages to this receiver (None = any).
+    pub to: Option<ReplicaId>,
+    /// Rule becomes active at this time.
+    pub after: Time,
+    /// Rule stops applying at this time (None = forever).
+    pub until: Option<Time>,
+    /// Probability of dropping a matching message (1.0 = always).
+    pub probability: f64,
+}
+
+impl DropRule {
+    /// Drop every message from `from`, starting at `after`.
+    pub fn silence_node(from: ReplicaId, after: Time) -> Self {
+        DropRule { from: Some(from), to: None, after, until: None, probability: 1.0 }
+    }
+
+    fn matches(&self, from: ReplicaId, to: ReplicaId, at: Time) -> bool {
+        if at < self.after {
+            return false;
+        }
+        if let Some(until) = self.until {
+            if at >= until {
+                return false;
+            }
+        }
+        self.from.map_or(true, |f| f == from) && self.to.map_or(true, |t| t == to)
+    }
+}
+
+struct NodeSlot<M> {
+    actor: Box<dyn Actor<M>>,
+    region: Region,
+    group: u32,
+    busy_until: Time,
+    crashed: bool,
+}
+
+/// The deterministic discrete-event simulator.
+///
+/// `M` is the single message type exchanged by all actors of the simulation (protocol
+/// crates define an enum covering their sub-protocols).
+pub struct Simulation<M: SimMessage> {
+    nodes: HashMap<ReplicaId, NodeSlot<M>>,
+    queue: BinaryHeap<Event<M>>,
+    seq: u64,
+    now: Time,
+    latency: LatencyModel,
+    costs: CostModel,
+    rng: StdRng,
+    outputs: Vec<Output>,
+    stats: NetStats,
+    drop_rules: Vec<DropRule>,
+    crash_schedule: Vec<(Time, ReplicaId)>,
+}
+
+impl<M: SimMessage> Simulation<M> {
+    /// Create a simulation with the given RNG seed, latency model and cost model.
+    pub fn new(seed: u64, latency: LatencyModel, costs: CostModel) -> Self {
+        Simulation {
+            nodes: HashMap::new(),
+            queue: BinaryHeap::new(),
+            seq: 0,
+            now: Time::ZERO,
+            latency,
+            costs,
+            rng: StdRng::seed_from_u64(seed),
+            outputs: Vec::new(),
+            stats: NetStats::default(),
+            drop_rules: Vec::new(),
+            crash_schedule: Vec::new(),
+        }
+    }
+
+    /// Convenience constructor with the paper's latency table and cloud-VM costs.
+    pub fn with_defaults(seed: u64) -> Self {
+        Self::new(seed, LatencyModel::paper_table2(), CostModel::cloud_vm())
+    }
+
+    /// Add a node. `group` tags the node's cluster for local/global message
+    /// accounting. The node's `on_start` hook runs at the current virtual time.
+    pub fn add_node(
+        &mut self,
+        id: ReplicaId,
+        region: Region,
+        group: u32,
+        actor: Box<dyn Actor<M>>,
+    ) {
+        assert!(!self.nodes.contains_key(&id), "node {id} already exists");
+        self.nodes.insert(id, NodeSlot { actor, region, group, busy_until: self.now, crashed: false });
+        self.push_event(self.now, id, EventKind::Start);
+    }
+
+    /// Whether a node with this id exists (crashed or not).
+    pub fn has_node(&self, id: ReplicaId) -> bool {
+        self.nodes.contains_key(&id)
+    }
+
+    /// Whether the node is currently crashed.
+    pub fn is_crashed(&self, id: ReplicaId) -> bool {
+        self.nodes.get(&id).map(|n| n.crashed).unwrap_or(false)
+    }
+
+    /// Crash `node` at virtual time `at`: from then on it neither receives messages
+    /// nor fires timers.
+    pub fn crash_at(&mut self, node: ReplicaId, at: Time) {
+        self.crash_schedule.push((at, node));
+    }
+
+    /// Crash `node` immediately.
+    pub fn crash_now(&mut self, node: ReplicaId) {
+        let at = self.now;
+        self.crash_at(node, at);
+    }
+
+    /// Install a message drop rule.
+    pub fn add_drop_rule(&mut self, rule: DropRule) {
+        self.drop_rules.push(rule);
+    }
+
+    /// Inject a message from outside the simulation (or on behalf of `from`) that
+    /// will be delivered to `to` at time `at` (clamped to the current time).
+    pub fn external_send(&mut self, from: ReplicaId, to: ReplicaId, msg: M, at: Time) {
+        let at = at.max(self.now);
+        let size = msg.size_bytes();
+        let (fg, tg) = (self.group_of(from), self.group_of(to));
+        self.stats.record_send(fg, tg, size);
+        self.push_event(at, to, EventKind::Deliver { from, msg, size });
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Measurement events emitted so far.
+    pub fn outputs(&self) -> &[Output] {
+        &self.outputs
+    }
+
+    /// Take ownership of the emitted measurement events, leaving the buffer empty.
+    pub fn take_outputs(&mut self) -> Vec<Output> {
+        std::mem::take(&mut self.outputs)
+    }
+
+    /// Network statistics.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Number of pending events.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Run until the queue is empty or virtual time reaches `deadline`.
+    pub fn run_until(&mut self, deadline: Time) {
+        while let Some(next_at) = self.queue.peek().map(|e| e.at) {
+            if next_at > deadline {
+                break;
+            }
+            self.step();
+        }
+        self.now = self.now.max(deadline);
+    }
+
+    /// Run for `d` of virtual time from the current time.
+    pub fn run_for(&mut self, d: Duration) {
+        let deadline = self.now + d;
+        self.run_until(deadline);
+    }
+
+    /// Process a single event. Returns false if the queue was empty.
+    pub fn step(&mut self) -> bool {
+        let Some(event) = self.queue.pop() else {
+            return false;
+        };
+        self.now = self.now.max(event.at);
+        self.apply_scheduled_crashes();
+        self.stats.events_processed += 1;
+
+        let Some(slot) = self.nodes.get_mut(&event.node) else {
+            if matches!(event.kind, EventKind::Deliver { .. }) {
+                self.stats.dropped_messages += 1;
+            }
+            return true;
+        };
+        if slot.crashed {
+            if matches!(event.kind, EventKind::Deliver { .. }) {
+                self.stats.dropped_messages += 1;
+            }
+            return true;
+        }
+
+        let start = event.at.max(slot.busy_until);
+        let from_region = slot.region;
+        let from_group = slot.group;
+        let mut effects = Effects::default();
+        let event_bytes;
+        {
+            let mut ctx = Context {
+                node: event.node,
+                now: start,
+                costs: self.costs,
+                rng: &mut self.rng,
+                effects: &mut effects,
+            };
+            match event.kind {
+                EventKind::Start => {
+                    event_bytes = 0;
+                    slot.actor.on_start(&mut ctx);
+                }
+                EventKind::Deliver { from, msg, size } => {
+                    event_bytes = size;
+                    slot.actor.on_message(from, msg, &mut ctx);
+                }
+                EventKind::Timer { kind } => {
+                    event_bytes = 0;
+                    slot.actor.on_timer(kind, &mut ctx);
+                }
+            }
+        }
+        let service = self.costs.event_cost(event_bytes) + effects.consumed;
+        let depart = start + service;
+        slot.busy_until = depart;
+
+        self.outputs.extend(effects.outputs);
+        for (delay, kind) in effects.timers {
+            self.push_event(start + delay, event.node, EventKind::Timer { kind });
+        }
+        for (to, msg) in effects.sends {
+            self.route(event.node, from_region, from_group, to, msg, depart);
+        }
+        true
+    }
+
+    fn route(
+        &mut self,
+        from: ReplicaId,
+        from_region: Region,
+        from_group: u32,
+        to: ReplicaId,
+        msg: M,
+        depart: Time,
+    ) {
+        let size = msg.size_bytes();
+        let Some(dest) = self.nodes.get(&to) else {
+            // Destination not (yet) part of the simulation, e.g. a replica that left.
+            self.stats.dropped_messages += 1;
+            return;
+        };
+        let to_region = dest.region;
+        let to_group = dest.group;
+        self.stats.record_send(from_group, to_group, size);
+        if self.drop_rules.iter().any(|r| r.matches(from, to, depart))
+            && self.roll(self.drop_probability(from, to, depart))
+        {
+            self.stats.dropped_messages += 1;
+            return;
+        }
+        let latency = self.latency.one_way(from_region, to_region, from == to, &mut self.rng);
+        self.push_event(depart + latency, to, EventKind::Deliver { from, msg, size });
+    }
+
+    fn drop_probability(&self, from: ReplicaId, to: ReplicaId, at: Time) -> f64 {
+        self.drop_rules
+            .iter()
+            .filter(|r| r.matches(from, to, at))
+            .map(|r| r.probability)
+            .fold(0.0, f64::max)
+    }
+
+    fn roll(&mut self, probability: f64) -> bool {
+        if probability >= 1.0 {
+            true
+        } else if probability <= 0.0 {
+            false
+        } else {
+            self.rng.gen_bool(probability)
+        }
+    }
+
+    fn group_of(&self, node: ReplicaId) -> u32 {
+        self.nodes.get(&node).map(|n| n.group).unwrap_or(u32::MAX)
+    }
+
+    fn apply_scheduled_crashes(&mut self) {
+        if self.crash_schedule.is_empty() {
+            return;
+        }
+        let now = self.now;
+        let mut remaining = Vec::with_capacity(self.crash_schedule.len());
+        for (at, node) in self.crash_schedule.drain(..) {
+            if at <= now {
+                if let Some(slot) = self.nodes.get_mut(&node) {
+                    slot.crashed = true;
+                }
+            } else {
+                remaining.push((at, node));
+            }
+        }
+        self.crash_schedule = remaining;
+    }
+
+    fn push_event(&mut self, at: Time, node: ReplicaId, kind: EventKind<M>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Event { at, seq, node, kind });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial protocol: on start, node 0 pings its peer; every node echoes pings
+    /// back `hops` times and emits a Custom output when done.
+    #[derive(Clone)]
+    struct Ping {
+        peer: ReplicaId,
+        remaining: u32,
+        initiator: bool,
+    }
+
+    #[derive(Clone)]
+    struct PingMsg;
+
+    impl SimMessage for PingMsg {
+        fn size_bytes(&self) -> usize {
+            100
+        }
+    }
+
+    impl Actor<PingMsg> for Ping {
+        fn on_start(&mut self, ctx: &mut Context<'_, PingMsg>) {
+            if self.initiator {
+                ctx.send(self.peer, PingMsg);
+            }
+        }
+        fn on_message(&mut self, _from: ReplicaId, _msg: PingMsg, ctx: &mut Context<'_, PingMsg>) {
+            if self.remaining == 0 {
+                ctx.emit(Output::Custom { name: "done", value: 1.0, at: ctx.now() });
+            } else {
+                self.remaining -= 1;
+                ctx.send(self.peer, PingMsg);
+            }
+        }
+    }
+
+    fn two_node_sim(regions: (Region, Region)) -> Simulation<PingMsg> {
+        let mut sim = Simulation::new(
+            7,
+            LatencyModel::paper_table2().with_jitter(0.0),
+            CostModel::zero(),
+        );
+        sim.add_node(
+            ReplicaId(0),
+            regions.0,
+            0,
+            Box::new(Ping { peer: ReplicaId(1), remaining: 3, initiator: true }),
+        );
+        sim.add_node(
+            ReplicaId(1),
+            regions.1,
+            1,
+            Box::new(Ping { peer: ReplicaId(0), remaining: 3, initiator: false }),
+        );
+        sim
+    }
+
+    #[test]
+    fn ping_pong_latency_matches_model() {
+        let mut sim = two_node_sim((Region::UsWest, Region::Europe));
+        sim.run_until(Time::from_secs(10));
+        // The first node to exhaust its ping budget (node 1, on its 4th receipt) has
+        // seen the 7th one-way hop; each hop is 148/2 = 74 ms.
+        let done_at = sim
+            .outputs()
+            .iter()
+            .find_map(|o| match o {
+                Output::Custom { name: "done", at, .. } => Some(*at),
+                _ => None,
+            })
+            .expect("ping-pong should complete");
+        assert_eq!(done_at, Time::from_millis(74 * 7));
+    }
+
+    #[test]
+    fn same_seed_gives_identical_runs() {
+        let run = |seed| {
+            let mut sim = Simulation::new(seed, LatencyModel::paper_table2(), CostModel::cloud_vm());
+            sim.add_node(
+                ReplicaId(0),
+                Region::UsWest,
+                0,
+                Box::new(Ping { peer: ReplicaId(1), remaining: 10, initiator: true }),
+            );
+            sim.add_node(
+                ReplicaId(1),
+                Region::AsiaSouth,
+                1,
+                Box::new(Ping { peer: ReplicaId(0), remaining: 10, initiator: false }),
+            );
+            sim.run_until(Time::from_secs(20));
+            (sim.stats().total_messages(), sim.outputs().len(), sim.now())
+        };
+        assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    fn crashed_node_stops_responding() {
+        let mut sim = two_node_sim((Region::UsWest, Region::UsWest));
+        sim.crash_at(ReplicaId(1), Time::from_millis(1));
+        sim.run_until(Time::from_secs(5));
+        assert!(sim.is_crashed(ReplicaId(1)));
+        assert!(sim.stats().dropped_messages >= 1);
+        assert!(sim.outputs().is_empty());
+    }
+
+    #[test]
+    fn drop_rule_silences_link() {
+        let mut sim = two_node_sim((Region::UsWest, Region::UsWest));
+        sim.add_drop_rule(DropRule::silence_node(ReplicaId(0), Time::ZERO));
+        sim.run_until(Time::from_secs(5));
+        assert!(sim.outputs().is_empty());
+        assert!(sim.stats().dropped_messages >= 1);
+    }
+
+    #[test]
+    fn stats_distinguish_local_and_global_messages() {
+        let mut sim = two_node_sim((Region::UsWest, Region::Europe));
+        sim.run_until(Time::from_secs(10));
+        // Both nodes are in different groups, so all traffic is global:
+        // 1 initial ping + 3 replies from each side = 7 messages.
+        assert_eq!(sim.stats().local_messages, 0);
+        assert_eq!(sim.stats().global_messages, 7);
+    }
+
+    #[test]
+    fn cpu_cost_delays_processing() {
+        // With a large per-event cost the ping-pong completes later than with zero
+        // cost, demonstrating the busy-server model.
+        let run = |costs: CostModel| {
+            let mut sim =
+                Simulation::new(1, LatencyModel::paper_table2().with_jitter(0.0), costs);
+            sim.add_node(
+                ReplicaId(0),
+                Region::UsWest,
+                0,
+                Box::new(Ping { peer: ReplicaId(1), remaining: 5, initiator: true }),
+            );
+            sim.add_node(
+                ReplicaId(1),
+                Region::UsWest,
+                0,
+                Box::new(Ping { peer: ReplicaId(0), remaining: 5, initiator: false }),
+            );
+            sim.run_until(Time::from_secs(10));
+            sim.outputs().iter().map(|o| o.at()).max().unwrap_or(Time::ZERO)
+        };
+        let slow = CostModel { per_event: Duration::from_millis(10), ..CostModel::zero() };
+        assert!(run(slow) > run(CostModel::zero()));
+    }
+
+    #[test]
+    fn external_send_reaches_target() {
+        let mut sim = two_node_sim((Region::UsWest, Region::UsWest));
+        // Deliver an extra ping to node 1 directly.
+        sim.external_send(ReplicaId(99), ReplicaId(1), PingMsg, Time::from_millis(1));
+        sim.run_until(Time::from_secs(5));
+        // Node 1 got at least the external message plus protocol traffic.
+        assert!(sim.stats().total_messages() >= 8);
+    }
+
+    #[test]
+    fn run_until_advances_clock_even_when_idle() {
+        let mut sim: Simulation<PingMsg> =
+            Simulation::new(3, LatencyModel::paper_table2(), CostModel::zero());
+        sim.run_until(Time::from_secs(7));
+        assert_eq!(sim.now(), Time::from_secs(7));
+        assert_eq!(sim.pending_events(), 0);
+    }
+}

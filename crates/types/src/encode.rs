@@ -1,0 +1,131 @@
+//! Deterministic binary encoding used for hashing and signing.
+//!
+//! Certificates in Hamava sign digests of protocol payloads (batches of operations,
+//! reconfiguration sets, complaints). [`Encode`] produces a canonical byte string for
+//! a value so that every replica computes the same digest for the same logical value.
+//! It is intentionally *not* a full serialization framework: the simulator passes
+//! messages by value, so only digest material needs encoding.
+
+/// Canonical, deterministic binary encoding of a value.
+pub trait Encode {
+    /// Append the canonical encoding of `self` to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+
+    /// Convenience: encode into a fresh buffer.
+    fn encoded(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode(&mut out);
+        out
+    }
+}
+
+impl Encode for u8 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(*self);
+    }
+}
+
+impl Encode for u32 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+}
+
+impl Encode for u64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+}
+
+impl Encode for usize {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(*self as u64).to_le_bytes());
+    }
+}
+
+impl Encode for bool {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(*self));
+    }
+}
+
+impl Encode for str {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.len() as u64).to_le_bytes());
+        out.extend_from_slice(self.as_bytes());
+    }
+}
+
+impl Encode for String {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.as_str().encode(out);
+    }
+}
+
+impl<T: Encode> Encode for Option<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+        }
+    }
+}
+
+impl<T: Encode> Encode for [T] {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.len() as u64).to_le_bytes());
+        for item in self {
+            item.encode(out);
+        }
+    }
+}
+
+impl<T: Encode> Encode for Vec<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.as_slice().encode(out);
+    }
+}
+
+impl<A: Encode, B: Encode> Encode for (A, B) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_encodings_are_length_prefixed_where_needed() {
+        let v: Vec<u8> = vec![1, 2, 3];
+        let enc = v.encoded();
+        assert_eq!(&enc[..8], &3u64.to_le_bytes());
+        assert_eq!(&enc[8..], &[1, 2, 3]);
+        let s = "ab".encoded();
+        assert_eq!(&s[..8], &2u64.to_le_bytes());
+        assert_eq!(&s[8..], b"ab");
+    }
+
+    #[test]
+    fn option_encoding_distinguishes_none_and_some() {
+        assert_ne!(Option::<u32>::None.encoded(), Some(0u32).encoded());
+    }
+
+    #[test]
+    fn nested_vectors_encode_deterministically() {
+        let a: Vec<Vec<u8>> = vec![vec![1], vec![2, 3]];
+        let b: Vec<Vec<u8>> = vec![vec![1], vec![2, 3]];
+        assert_eq!(a.encoded(), b.encoded());
+    }
+
+    #[test]
+    fn different_values_have_different_encodings() {
+        assert_ne!(5u64.encoded(), 6u64.encoded());
+        assert_ne!("abc".encoded(), "abd".encoded());
+    }
+}

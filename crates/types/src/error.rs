@@ -1,0 +1,70 @@
+//! Error type shared across the workspace.
+
+use crate::ids::{ClusterId, ReplicaId, Round};
+use std::fmt;
+
+/// Errors surfaced by the protocol and simulation crates.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum AvaError {
+    /// A certificate did not carry enough valid signatures for the claimed cluster.
+    InvalidCertificate {
+        /// The cluster the certificate claims to be from.
+        cluster: ClusterId,
+        /// Signatures expected (the quorum size).
+        expected: usize,
+        /// Valid signatures found.
+        found: usize,
+    },
+    /// A signature failed verification.
+    BadSignature {
+        /// The claimed signer.
+        signer: ReplicaId,
+    },
+    /// A message referred to a round the replica is not currently in.
+    WrongRound {
+        /// Round carried by the message.
+        got: Round,
+        /// The replica's current round.
+        current: Round,
+    },
+    /// A replica id was not found in the membership map.
+    UnknownReplica(ReplicaId),
+    /// A cluster id was not found in the membership map.
+    UnknownCluster(ClusterId),
+    /// Generic configuration error with a description.
+    Config(String),
+}
+
+impl fmt::Display for AvaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AvaError::InvalidCertificate { cluster, expected, found } => write!(
+                f,
+                "invalid certificate for {cluster}: expected {expected} signatures, found {found}"
+            ),
+            AvaError::BadSignature { signer } => write!(f, "bad signature from {signer}"),
+            AvaError::WrongRound { got, current } => {
+                write!(f, "message for {got} but replica is in {current}")
+            }
+            AvaError::UnknownReplica(r) => write!(f, "unknown replica {r}"),
+            AvaError::UnknownCluster(c) => write!(f, "unknown cluster {c}"),
+            AvaError::Config(msg) => write!(f, "configuration error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AvaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_useful_messages() {
+        let e = AvaError::InvalidCertificate { cluster: ClusterId(1), expected: 5, found: 3 };
+        assert!(e.to_string().contains("expected 5"));
+        let e = AvaError::WrongRound { got: Round(2), current: Round(3) };
+        assert!(e.to_string().contains("r2"));
+        assert!(AvaError::Config("bad".into()).to_string().contains("bad"));
+    }
+}

@@ -1,0 +1,158 @@
+//! Measurement events emitted by protocol actors and collected by the simulator.
+//!
+//! The benchmark harness derives every figure of the paper (throughput, latency,
+//! latency breakdown, time series around failures and reconfigurations) from this
+//! stream of events.
+
+use crate::ids::{ClientId, ClusterId, ReplicaId, Round, TxId};
+use crate::time::Time;
+
+/// The stage of a Hamava round, used for the E2 latency breakdown.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum StageKind {
+    /// Stage 1: intra-cluster replication (local ordering + reconfiguration).
+    IntraCluster,
+    /// Stage 2: inter-cluster communication.
+    InterCluster,
+    /// Stage 3: ordering and execution.
+    Execution,
+}
+
+impl StageKind {
+    /// All stages, in protocol order.
+    pub const ALL: [StageKind; 3] =
+        [StageKind::IntraCluster, StageKind::InterCluster, StageKind::Execution];
+
+    /// Human-readable label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            StageKind::IntraCluster => "intra-cluster replication",
+            StageKind::InterCluster => "inter-cluster communication",
+            StageKind::Execution => "execution",
+        }
+    }
+}
+
+/// An observable event produced by the replicated system.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Output {
+    /// A transaction finished (executed for writes, served locally for reads).
+    TxCompleted {
+        /// The transaction.
+        tx: TxId,
+        /// Issuing client.
+        client: ClientId,
+        /// Cluster that processed it.
+        cluster: ClusterId,
+        /// Time the client issued it.
+        issued_at: Time,
+        /// Time the response was produced.
+        completed_at: Time,
+        /// Whether it was a write (went through the three stages).
+        is_write: bool,
+    },
+    /// A replica finished a stage of a round (for the E2 breakdown).
+    StageCompleted {
+        /// Reporting replica.
+        replica: ReplicaId,
+        /// Its cluster.
+        cluster: ClusterId,
+        /// The round.
+        round: Round,
+        /// Which stage completed.
+        stage: StageKind,
+        /// When the stage started at this replica.
+        started_at: Time,
+        /// When it completed.
+        completed_at: Time,
+    },
+    /// A replica executed a round (all three stages done).
+    RoundExecuted {
+        /// Reporting replica.
+        replica: ReplicaId,
+        /// Its cluster.
+        cluster: ClusterId,
+        /// The executed round.
+        round: Round,
+        /// Number of transactions executed in the round across all clusters.
+        txns: usize,
+        /// When execution finished.
+        at: Time,
+    },
+    /// A reconfiguration was applied (the requesting replica joined or left).
+    ReconfigApplied {
+        /// The replica that joined or left.
+        replica: ReplicaId,
+        /// The cluster affected.
+        cluster: ClusterId,
+        /// True for join, false for leave.
+        joined: bool,
+        /// The round in which it took effect.
+        round: Round,
+        /// When it was applied.
+        at: Time,
+    },
+    /// A cluster changed its local leader.
+    LeaderChanged {
+        /// The cluster whose leader changed.
+        cluster: ClusterId,
+        /// The new leader.
+        new_leader: ReplicaId,
+        /// The new leader timestamp.
+        timestamp: u64,
+        /// When the change happened (at the reporting replica).
+        at: Time,
+        /// The replica reporting the change.
+        replica: ReplicaId,
+    },
+    /// Free-form named measurement (used by benches for auxiliary series).
+    Custom {
+        /// Metric name.
+        name: &'static str,
+        /// Metric value.
+        value: f64,
+        /// When it was recorded.
+        at: Time,
+    },
+}
+
+impl Output {
+    /// The time the event refers to (completion time for transactions and stages).
+    pub fn at(&self) -> Time {
+        match self {
+            Output::TxCompleted { completed_at, .. } => *completed_at,
+            Output::StageCompleted { completed_at, .. } => *completed_at,
+            Output::RoundExecuted { at, .. }
+            | Output::ReconfigApplied { at, .. }
+            | Output::LeaderChanged { at, .. }
+            | Output::Custom { at, .. } => *at,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_labels_cover_all_stages() {
+        for s in StageKind::ALL {
+            assert!(!s.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn output_at_returns_completion_time() {
+        let o = Output::TxCompleted {
+            tx: TxId { client: ClientId(0), seq: 1 },
+            client: ClientId(0),
+            cluster: ClusterId(0),
+            issued_at: Time(10),
+            completed_at: Time(42),
+            is_write: true,
+        };
+        assert_eq!(o.at(), Time(42));
+        let o = Output::Custom { name: "x", value: 1.0, at: Time(7) };
+        assert_eq!(o.at(), Time(7));
+    }
+}

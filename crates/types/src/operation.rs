@@ -1,0 +1,249 @@
+//! Operations replicated by Hamava: transactions and reconfiguration requests.
+//!
+//! A round replicates, per cluster, a batch of transactions (ordered by the local
+//! total-order broadcast) plus one *set* of reconfiguration requests (agreed through
+//! Byzantine Reliable Dissemination). Stage 3 executes the union of all clusters'
+//! batches in a deterministic order.
+
+use crate::encode::Encode;
+use crate::ids::{ClientId, Region, ReplicaId, Round, TxId};
+
+/// The kind of a YCSB-style key/value transaction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TxKind {
+    /// Read the value of `key`.
+    Read { key: u64 },
+    /// Write `value_size` bytes under `key`.
+    Write { key: u64, value_size: u32 },
+}
+
+impl TxKind {
+    /// Whether this is a write transaction (goes through the three stages).
+    pub fn is_write(&self) -> bool {
+        matches!(self, TxKind::Write { .. })
+    }
+
+    /// The key accessed by the transaction.
+    pub fn key(&self) -> u64 {
+        match *self {
+            TxKind::Read { key } | TxKind::Write { key, .. } => key,
+        }
+    }
+}
+
+/// A client transaction.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Transaction {
+    /// Globally unique id (client, sequence number).
+    pub id: TxId,
+    /// The key/value operation.
+    pub kind: TxKind,
+    /// Total request payload size in bytes (the paper uses 1 KB operations).
+    pub payload_size: u32,
+}
+
+impl Transaction {
+    /// Construct a write transaction.
+    pub fn write(client: ClientId, seq: u64, key: u64, payload_size: u32) -> Self {
+        Transaction {
+            id: TxId { client, seq },
+            kind: TxKind::Write { key, value_size: payload_size },
+            payload_size,
+        }
+    }
+
+    /// Construct a read transaction.
+    pub fn read(client: ClientId, seq: u64, key: u64) -> Self {
+        Transaction { id: TxId { client, seq }, kind: TxKind::Read { key }, payload_size: 64 }
+    }
+}
+
+/// A single reconfiguration request: a replica joining or leaving a cluster.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Reconfig {
+    /// `join(p)`: replica `p`, located in `region`, asks to join the cluster it sent
+    /// the request to.
+    Join { replica: ReplicaId, region: Region },
+    /// `leave(p)`: replica `p` asks to leave its cluster.
+    Leave { replica: ReplicaId },
+}
+
+impl Reconfig {
+    /// The replica the request is about.
+    pub fn replica(&self) -> ReplicaId {
+        match *self {
+            Reconfig::Join { replica, .. } | Reconfig::Leave { replica } => replica,
+        }
+    }
+
+    /// Whether this is a join request.
+    pub fn is_join(&self) -> bool {
+        matches!(self, Reconfig::Join { .. })
+    }
+}
+
+/// An operation replicated within a round: either a transaction or the set of
+/// reconfigurations agreed for that round.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Operation {
+    /// `Trans(p, t)` in the paper: a transaction issued by client `p`.
+    Trans(Transaction),
+    /// `Reconfig(rc)` in the paper: the reconfiguration set for the round.
+    ReconfigSet(Vec<Reconfig>),
+}
+
+impl Operation {
+    /// Whether this operation is a reconfiguration set.
+    pub fn is_reconfig(&self) -> bool {
+        matches!(self, Operation::ReconfigSet(_))
+    }
+}
+
+/// The batch of operations a cluster replicates in one round: the ordered
+/// transactions plus (at most) one reconfiguration set.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct OperationBatch {
+    /// The round the batch belongs to.
+    pub round: Round,
+    /// Ordered operations (transactions first, then at most one reconfiguration set;
+    /// the order within the batch is the local total-order).
+    pub ops: Vec<Operation>,
+}
+
+impl OperationBatch {
+    /// Create an empty batch for `round`.
+    pub fn new(round: Round) -> Self {
+        OperationBatch { round, ops: Vec::new() }
+    }
+
+    /// Number of transactions in the batch.
+    pub fn tx_count(&self) -> usize {
+        self.ops.iter().filter(|o| !o.is_reconfig()).count()
+    }
+
+    /// The reconfiguration set of the batch, if any.
+    pub fn reconfig_set(&self) -> Option<&Vec<Reconfig>> {
+        self.ops.iter().find_map(|o| match o {
+            Operation::ReconfigSet(rc) => Some(rc),
+            Operation::Trans(_) => None,
+        })
+    }
+
+    /// Total payload bytes carried by the batch (used for message-size modelling).
+    pub fn payload_bytes(&self) -> usize {
+        self.ops
+            .iter()
+            .map(|o| match o {
+                Operation::Trans(t) => t.payload_size as usize,
+                Operation::ReconfigSet(rc) => rc.len() * 64,
+            })
+            .sum()
+    }
+}
+
+impl Encode for TxKind {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match *self {
+            TxKind::Read { key } => {
+                out.push(0);
+                key.encode(out);
+            }
+            TxKind::Write { key, value_size } => {
+                out.push(1);
+                key.encode(out);
+                value_size.encode(out);
+            }
+        }
+    }
+}
+
+impl Encode for Transaction {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.id.encode(out);
+        self.kind.encode(out);
+        self.payload_size.encode(out);
+    }
+}
+
+impl Encode for Reconfig {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match *self {
+            Reconfig::Join { replica, region } => {
+                out.push(0);
+                replica.encode(out);
+                region.encode(out);
+            }
+            Reconfig::Leave { replica } => {
+                out.push(1);
+                replica.encode(out);
+            }
+        }
+    }
+}
+
+impl Encode for Operation {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Operation::Trans(t) => {
+                out.push(0);
+                t.encode(out);
+            }
+            Operation::ReconfigSet(rc) => {
+                out.push(1);
+                rc.encode(out);
+            }
+        }
+    }
+}
+
+impl Encode for OperationBatch {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.round.encode(out);
+        self.ops.encode(out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch() -> OperationBatch {
+        let mut b = OperationBatch::new(Round(1));
+        b.ops.push(Operation::Trans(Transaction::write(ClientId(0), 0, 7, 1024)));
+        b.ops.push(Operation::Trans(Transaction::read(ClientId(0), 1, 9)));
+        b.ops.push(Operation::ReconfigSet(vec![Reconfig::Leave { replica: ReplicaId(3) }]));
+        b
+    }
+
+    #[test]
+    fn tx_kind_accessors() {
+        assert!(TxKind::Write { key: 1, value_size: 10 }.is_write());
+        assert!(!TxKind::Read { key: 1 }.is_write());
+        assert_eq!(TxKind::Read { key: 42 }.key(), 42);
+    }
+
+    #[test]
+    fn batch_counts_transactions_and_finds_reconfigs() {
+        let b = batch();
+        assert_eq!(b.tx_count(), 2);
+        assert_eq!(b.reconfig_set().unwrap().len(), 1);
+        assert!(b.payload_bytes() >= 1024);
+    }
+
+    #[test]
+    fn reconfig_accessors() {
+        let j = Reconfig::Join { replica: ReplicaId(9), region: Region::Europe };
+        assert!(j.is_join());
+        assert_eq!(j.replica(), ReplicaId(9));
+        assert!(!Reconfig::Leave { replica: ReplicaId(9) }.is_join());
+    }
+
+    #[test]
+    fn encoding_distinguishes_batches() {
+        let a = batch();
+        let mut b = batch();
+        b.ops.pop();
+        assert_ne!(a.encoded(), b.encoded());
+        assert_eq!(a.encoded(), batch().encoded());
+    }
+}

@@ -1,0 +1,11 @@
+//! # ava-workload
+//!
+//! YCSB-like workload generation for the Hamava reproduction: the paper's evaluation
+//! uses the YCSB benchmark with an 85% read / 15% write mix, Zipfian key selection,
+//! 1 KB operations and batches of 100 transactions per round.
+
+pub mod spec;
+pub mod zipf;
+
+pub use spec::{ClientWorkload, WorkloadSpec, YCSB_DEFAULT};
+pub use zipf::Zipfian;

@@ -1,0 +1,136 @@
+//! Workload specification: read/write mix, key space, skew, payload size.
+
+use crate::zipf::Zipfian;
+use ava_types::{ClientId, Transaction};
+use rand::Rng;
+
+/// A YCSB-like workload specification.
+#[derive(Clone, Debug)]
+pub struct WorkloadSpec {
+    /// Fraction of read transactions (the paper uses 0.85).
+    pub read_ratio: f64,
+    /// Number of distinct keys.
+    pub key_space: u64,
+    /// Zipfian skew parameter.
+    pub zipf_theta: f64,
+    /// Payload size of write operations in bytes (the paper uses 1 KB).
+    pub payload_size: u32,
+}
+
+/// The paper's default workload: YCSB, 85% reads, Zipfian keys, 1 KB operations.
+pub const YCSB_DEFAULT: WorkloadSpec =
+    WorkloadSpec { read_ratio: 0.85, key_space: 100_000, zipf_theta: 0.9, payload_size: 1024 };
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        YCSB_DEFAULT
+    }
+}
+
+impl WorkloadSpec {
+    /// A write-only variant (used by the reconfiguration experiments E5.2).
+    pub fn write_only(mut self) -> Self {
+        self.read_ratio = 0.0;
+        self
+    }
+
+    /// Build the Zipfian sampler for this spec.
+    pub fn sampler(&self) -> Zipfian {
+        Zipfian::new(self.key_space, self.zipf_theta)
+    }
+
+    /// Generate the next transaction for `client` with sequence number `seq`.
+    pub fn next_transaction<R: Rng + ?Sized>(
+        &self,
+        client: ClientId,
+        seq: u64,
+        sampler: &Zipfian,
+        rng: &mut R,
+    ) -> Transaction {
+        let key = sampler.sample(rng);
+        if rng.gen::<f64>() < self.read_ratio {
+            Transaction::read(client, seq, key)
+        } else {
+            Transaction::write(client, seq, key, self.payload_size)
+        }
+    }
+}
+
+/// A generator bound to one client, producing a deterministic transaction stream.
+#[derive(Clone, Debug)]
+pub struct ClientWorkload {
+    spec: WorkloadSpec,
+    sampler: Zipfian,
+    client: ClientId,
+    next_seq: u64,
+}
+
+impl ClientWorkload {
+    /// Create a generator for `client`.
+    pub fn new(spec: WorkloadSpec, client: ClientId) -> Self {
+        let sampler = spec.sampler();
+        ClientWorkload { spec, sampler, client, next_seq: 0 }
+    }
+
+    /// The next transaction in the stream.
+    pub fn next_tx<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Transaction {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.spec.next_transaction(self.client, seq, &self.sampler, rng)
+    }
+
+    /// Number of transactions generated so far.
+    pub fn issued(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn default_matches_paper_parameters() {
+        let spec = WorkloadSpec::default();
+        assert_eq!(spec.read_ratio, 0.85);
+        assert_eq!(spec.payload_size, 1024);
+    }
+
+    #[test]
+    fn read_write_mix_is_roughly_respected() {
+        let spec = WorkloadSpec::default();
+        let sampler = spec.sampler();
+        let mut rng = StdRng::seed_from_u64(11);
+        let total = 10_000;
+        let reads = (0..total)
+            .filter(|&i| {
+                !spec.next_transaction(ClientId(0), i, &sampler, &mut rng).kind.is_write()
+            })
+            .count();
+        let ratio = reads as f64 / total as f64;
+        assert!((ratio - 0.85).abs() < 0.03, "observed read ratio {ratio}");
+    }
+
+    #[test]
+    fn write_only_spec_only_writes() {
+        let spec = WorkloadSpec::default().write_only();
+        let sampler = spec.sampler();
+        let mut rng = StdRng::seed_from_u64(5);
+        for i in 0..500 {
+            assert!(spec.next_transaction(ClientId(1), i, &sampler, &mut rng).kind.is_write());
+        }
+    }
+
+    #[test]
+    fn client_workload_issues_unique_sequence_numbers() {
+        let mut wl = ClientWorkload::new(WorkloadSpec::default(), ClientId(3));
+        let mut rng = StdRng::seed_from_u64(9);
+        let a = wl.next_tx(&mut rng);
+        let b = wl.next_tx(&mut rng);
+        assert_eq!(a.id.client, ClientId(3));
+        assert_ne!(a.id.seq, b.id.seq);
+        assert_eq!(wl.issued(), 2);
+    }
+}

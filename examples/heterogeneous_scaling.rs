@@ -1,0 +1,41 @@
+//! Heterogeneity (the paper's experiment E3): compare the three cluster layouts for
+//! 9 Asia + 5 EU replicas — (1) equal-sized clusters that mix regions, (2) clusters
+//! partitioned by region, (3) region partition plus an intra-region split — and show
+//! that heterogeneous, region-aligned clusters improve throughput.
+//!
+//! Run with: `cargo run --release --example heterogeneous_scaling`
+
+use hamava_repro::bench::experiments::e3_setup;
+use hamava_repro::hamava::harness::{hotstuff_deployment, DeploymentOptions};
+use hamava_repro::types::{Duration, Output};
+
+fn main() {
+    let run = Duration::from_secs(15);
+    println!("running the three E3 layouts (scale factor 1) for {run} of virtual time each\n");
+    let mut results = Vec::new();
+    for setup in 1..=3 {
+        let mut config = e3_setup(setup, 1);
+        config.params.batch_size = 40;
+        let mut deployment = hotstuff_deployment(config, DeploymentOptions::default());
+        deployment.run_for(run);
+        let completed = deployment
+            .outputs()
+            .iter()
+            .filter(|o| matches!(o, Output::TxCompleted { .. }))
+            .count();
+        let tput = completed as f64 / run.as_secs_f64();
+        let label = match setup {
+            1 => "setup 1: equal clusters, regions mixed   ",
+            2 => "setup 2: one cluster per region           ",
+            _ => "setup 3: region + intra-region partition  ",
+        };
+        println!("{label} throughput = {tput:.1} txn/s");
+        results.push(tput);
+    }
+    println!(
+        "\nheterogeneous, region-aligned layouts (setups 2 and 3) avoid paying WAN latency \
+         inside the local-ordering stage, which is why the paper finds they outperform the \
+         homogeneous layout (setup 1), especially at higher scale factors."
+    );
+    let _ = results;
+}

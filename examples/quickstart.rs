@@ -1,0 +1,55 @@
+//! Quickstart: two heterogeneous clusters (4 replicas in the US, 7 in Europe)
+//! replicating a YCSB-like workload with Hamava on top of HotStuff.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use hamava_repro::hamava::harness::{hotstuff_deployment, DeploymentOptions};
+use hamava_repro::types::{Duration, Output, Region, SystemConfig, Time};
+
+fn main() {
+    // The paper's running example: heterogeneous clusters of 4 and 7 replicas.
+    let mut config = SystemConfig::heterogeneous(&[
+        vec![Region::UsWest; 4],
+        vec![Region::Europe; 7],
+    ]);
+    config.params.batch_size = 50;
+
+    let mut deployment = hotstuff_deployment(config, DeploymentOptions::default());
+    let run = Duration::from_secs(20);
+    println!("running a 2-cluster AVA-HOTSTUFF deployment for {run} of virtual time...");
+    deployment.run_for(run);
+
+    let outputs = deployment.outputs();
+    let completed: Vec<_> = outputs
+        .iter()
+        .filter_map(|o| match o {
+            Output::TxCompleted { issued_at, completed_at, is_write, .. } => {
+                Some((completed_at.since(*issued_at).as_millis_f64(), *is_write))
+            }
+            _ => None,
+        })
+        .collect();
+    let rounds = outputs
+        .iter()
+        .filter(|o| matches!(o, Output::RoundExecuted { .. }))
+        .count();
+    let writes = completed.iter().filter(|(_, w)| *w).count();
+    let avg_ms = completed.iter().map(|(l, _)| l).sum::<f64>() / completed.len().max(1) as f64;
+
+    println!("rounds executed (across replicas): {rounds}");
+    println!(
+        "transactions completed: {} ({} writes, {} reads)",
+        completed.len(),
+        writes,
+        completed.len() - writes
+    );
+    println!(
+        "throughput: {:.1} txn/s, average latency: {avg_ms:.1} ms",
+        completed.len() as f64 / (Time::ZERO + run).as_secs_f64()
+    );
+    println!(
+        "network: {} intra-cluster and {} inter-cluster messages",
+        deployment.sim.stats().local_messages,
+        deployment.sim.stats().global_messages
+    );
+}

@@ -1,0 +1,173 @@
+//! Cross-crate integration tests: full simulated deployments of AVA-HOTSTUFF and
+//! AVA-BFTSMART processing transactions across heterogeneous geo-distributed
+//! clusters.
+
+use hamava_repro::hamava::harness::{
+    bftsmart_deployment, hotstuff_deployment, DeploymentOptions,
+};
+use hamava_repro::simnet::{CostModel, LatencyModel};
+use hamava_repro::types::{ClusterId, Duration, Output, Region, StageKind, SystemConfig};
+use hamava_repro::workload::WorkloadSpec;
+
+fn quick_opts(seed: u64) -> DeploymentOptions {
+    DeploymentOptions {
+        seed,
+        latency: LatencyModel::paper_table2().with_jitter(0.0),
+        costs: CostModel::cloud_vm(),
+        workload: WorkloadSpec { key_space: 2_000, ..WorkloadSpec::default() },
+        clients_per_cluster: 1,
+        client_concurrency: 48,
+    }
+}
+
+fn completed_writes(outputs: &[Output]) -> usize {
+    outputs
+        .iter()
+        .filter(|o| matches!(o, Output::TxCompleted { is_write: true, .. }))
+        .count()
+}
+
+#[test]
+fn hotstuff_two_heterogeneous_clusters_process_transactions() {
+    let mut config =
+        SystemConfig::heterogeneous(&[vec![Region::UsWest; 4], vec![Region::Europe; 7]]);
+    config.params.batch_size = 25;
+    let mut dep = hotstuff_deployment(config, quick_opts(1));
+    dep.run_for(Duration::from_secs(15));
+    let outputs = dep.outputs();
+    let rounds = outputs.iter().filter(|o| matches!(o, Output::RoundExecuted { .. })).count();
+    assert!(rounds > 0, "no rounds executed");
+    assert!(completed_writes(outputs) > 0, "no writes completed");
+    // Reads complete too (served locally) and faster on average than writes.
+    let (mut read_lat, mut write_lat) = (Vec::new(), Vec::new());
+    for o in outputs {
+        if let Output::TxCompleted { issued_at, completed_at, is_write, .. } = o {
+            let lat = completed_at.since(*issued_at).as_millis_f64();
+            if *is_write {
+                write_lat.push(lat);
+            } else {
+                read_lat.push(lat);
+            }
+        }
+    }
+    let mean = |v: &Vec<f64>| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    assert!(!read_lat.is_empty() && !write_lat.is_empty());
+    assert!(
+        mean(&read_lat) < mean(&write_lat),
+        "reads ({:.1} ms) should be faster than writes ({:.1} ms)",
+        mean(&read_lat),
+        mean(&write_lat)
+    );
+}
+
+#[test]
+fn bftsmart_deployment_also_processes_transactions() {
+    let mut config =
+        SystemConfig::homogeneous_regions(&[(4, Region::UsWest), (4, Region::AsiaSouth)]);
+    config.params.batch_size = 25;
+    let mut dep = bftsmart_deployment(config, quick_opts(2));
+    dep.run_for(Duration::from_secs(15));
+    assert!(completed_writes(dep.outputs()) > 0);
+}
+
+#[test]
+fn all_three_stages_are_reported_per_round() {
+    let mut config =
+        SystemConfig::homogeneous_regions(&[(4, Region::UsWest), (4, Region::Europe)]);
+    config.params.batch_size = 20;
+    let mut dep = hotstuff_deployment(config, quick_opts(3));
+    dep.run_for(Duration::from_secs(12));
+    for stage in StageKind::ALL {
+        assert!(
+            dep.outputs().iter().any(
+                |o| matches!(o, Output::StageCompleted { stage: s, .. } if *s == stage)
+            ),
+            "missing stage report for {stage:?}"
+        );
+    }
+}
+
+#[test]
+fn clustering_reduces_inter_cluster_traffic_share() {
+    // With clusters, the vast majority of messages must be intra-cluster: that is the
+    // point of the protocol (Table I's local vs global complexity).
+    let mut config = SystemConfig::even_split_multi_region(
+        12,
+        3,
+        &[Region::UsWest, Region::Europe, Region::AsiaSouth],
+    );
+    config.params.batch_size = 20;
+    let mut dep = hotstuff_deployment(config, quick_opts(4));
+    dep.run_for(Duration::from_secs(12));
+    let stats = dep.sim.stats();
+    assert!(stats.local_messages > 0 && stats.global_messages > 0);
+    assert!(
+        stats.local_messages > stats.global_messages * 3,
+        "local {} vs global {}",
+        stats.local_messages,
+        stats.global_messages
+    );
+}
+
+#[test]
+fn same_seed_is_deterministic_and_different_seeds_differ() {
+    let run = |seed: u64| {
+        let mut config =
+            SystemConfig::homogeneous_regions(&[(4, Region::UsWest), (4, Region::Europe)]);
+        config.params.batch_size = 20;
+        let mut dep = hotstuff_deployment(config, quick_opts(seed));
+        dep.run_for(Duration::from_secs(8));
+        (dep.sim.stats().total_messages(), completed_writes(dep.outputs()))
+    };
+    assert_eq!(run(7), run(7));
+    assert_ne!(run(7).0, run(8).0);
+}
+
+#[test]
+fn non_leader_crashes_within_f_are_tolerated() {
+    let mut config =
+        SystemConfig::homogeneous_regions(&[(7, Region::UsWest), (7, Region::Europe)]);
+    config.params.batch_size = 20;
+    let mut dep = hotstuff_deployment(config.clone(), quick_opts(5));
+    // Crash f = 2 non-leader replicas in cluster 0 five seconds in.
+    for (id, _) in config.clusters[0].replicas.iter().skip(1).take(2) {
+        dep.crash_at(*id, hamava_repro::types::Time::from_secs(5));
+    }
+    dep.run_for(Duration::from_secs(20));
+    let before = dep
+        .outputs()
+        .iter()
+        .filter(|o| matches!(o, Output::TxCompleted { completed_at, is_write: true, .. }
+            if completed_at.as_secs_f64() < 5.0))
+        .count();
+    let after = dep
+        .outputs()
+        .iter()
+        .filter(|o| matches!(o, Output::TxCompleted { completed_at, is_write: true, .. }
+            if completed_at.as_secs_f64() > 8.0))
+        .count();
+    assert!(before > 0, "no progress before the crashes");
+    assert!(after > 0, "progress must continue with f crashed replicas");
+}
+
+#[test]
+fn geobft_baseline_and_hotstuff_both_commit_under_identical_workload() {
+    let mut config = SystemConfig::even_split_single_region(8, 2, Region::UsWest);
+    config.params.batch_size = 20;
+    let mut geo = hamava_repro::geobft::geobft_deployment(config.clone(), quick_opts(6));
+    geo.run_for(Duration::from_secs(10));
+    let mut ava = hotstuff_deployment(config, quick_opts(6));
+    ava.run_for(Duration::from_secs(10));
+    assert!(completed_writes(geo.outputs()) > 0);
+    assert!(completed_writes(ava.outputs()) > 0);
+}
+
+#[test]
+fn membership_is_heterogeneous_and_thresholds_follow_cluster_sizes() {
+    let config =
+        SystemConfig::heterogeneous(&[vec![Region::UsWest; 4], vec![Region::Europe; 10]]);
+    let m = config.membership();
+    assert_eq!(m.f(ClusterId(0)), 1);
+    assert_eq!(m.f(ClusterId(1)), 3);
+    assert_eq!(m.quorum(ClusterId(1)), 7);
+}

@@ -1,0 +1,123 @@
+//! Integration tests of the reconfiguration path: joins, leaves, and the Byzantine
+//! remote-leader-change scenario, exercised end to end through the simulator.
+
+use hamava_repro::hamava::harness::{
+    bftsmart_deployment, hotstuff_deployment, DeploymentOptions,
+};
+use hamava_repro::simnet::{CostModel, LatencyModel};
+use hamava_repro::types::{ClusterId, Duration, Output, Region, SystemConfig, Time};
+use hamava_repro::workload::WorkloadSpec;
+
+fn quick_opts(seed: u64) -> DeploymentOptions {
+    DeploymentOptions {
+        seed,
+        latency: LatencyModel::paper_table2().with_jitter(0.0),
+        costs: CostModel::cloud_vm(),
+        workload: WorkloadSpec { key_space: 1_000, ..WorkloadSpec::default() },
+        clients_per_cluster: 1,
+        client_concurrency: 48,
+    }
+}
+
+#[test]
+fn a_replica_can_join_a_running_cluster() {
+    let mut config =
+        SystemConfig::homogeneous_regions(&[(4, Region::UsWest), (4, Region::Europe)]);
+    config.params.batch_size = 20;
+    let mut dep = hotstuff_deployment(config, quick_opts(11));
+    dep.run_for(Duration::from_secs(5));
+    let new_replica = dep.add_joining_replica(ClusterId(0), Region::UsWest);
+    dep.run_for(Duration::from_secs(20));
+    let joined = dep.outputs().iter().any(|o| {
+        matches!(o, Output::ReconfigApplied { replica, joined: true, cluster, .. }
+            if *replica == new_replica && *cluster == ClusterId(0))
+    });
+    assert!(joined, "the joining replica was never added to the configuration");
+    // Processing continues after the join.
+    let late_commits = dep
+        .outputs()
+        .iter()
+        .filter(|o| matches!(o, Output::TxCompleted { completed_at, .. }
+            if completed_at.as_secs_f64() > 15.0))
+        .count();
+    assert!(late_commits > 0, "transaction processing stalled after the join");
+}
+
+#[test]
+fn a_replica_can_leave_a_running_cluster() {
+    let mut config =
+        SystemConfig::homogeneous_regions(&[(5, Region::UsWest), (5, Region::Europe)]);
+    config.params.batch_size = 20;
+    let mut dep = bftsmart_deployment(config.clone(), quick_opts(12));
+    dep.run_for(Duration::from_secs(5));
+    let leaver = config.clusters[0].replicas[3].0;
+    dep.request_leave(leaver);
+    dep.run_for(Duration::from_secs(20));
+    let left = dep.outputs().iter().any(|o| {
+        matches!(o, Output::ReconfigApplied { replica, joined: false, .. } if *replica == leaver)
+    });
+    assert!(left, "the leave request was never applied");
+    let late_commits = dep
+        .outputs()
+        .iter()
+        .filter(|o| matches!(o, Output::TxCompleted { completed_at, .. }
+            if completed_at.as_secs_f64() > 15.0))
+        .count();
+    assert!(late_commits > 0, "transaction processing stalled after the leave");
+}
+
+#[test]
+fn byzantine_leader_withholding_inter_messages_is_replaced() {
+    let mut config =
+        SystemConfig::homogeneous_regions(&[(4, Region::UsWest), (4, Region::Europe)]);
+    config.params.batch_size = 20;
+    // Short timeouts keep the test fast (the paper uses 20 s in E4.3).
+    config.params.remote_leader_timeout = Duration::from_secs(4);
+    config.params.brd_timeout = Duration::from_secs(4);
+    config.params.local_timeout = Duration::from_secs(4);
+    let mut dep = hotstuff_deployment(config, quick_opts(13));
+    let byzantine = dep.initial_leader(ClusterId(0));
+    dep.run_for(Duration::from_secs(5));
+    dep.mute_inter_cluster(byzantine);
+    dep.run_for(Duration::from_secs(30));
+    // Cluster 0 must have moved to a different leader.
+    let changed = dep.outputs().iter().any(|o| {
+        matches!(o, Output::LeaderChanged { cluster, new_leader, .. }
+            if *cluster == ClusterId(0) && *new_leader != byzantine)
+    });
+    assert!(changed, "remote leader change never replaced the Byzantine leader");
+    // And throughput recovers afterwards.
+    let recovery_commits = dep
+        .outputs()
+        .iter()
+        .filter(|o| matches!(o, Output::TxCompleted { completed_at, is_write: true, .. }
+            if *completed_at > Time::from_secs(20)))
+        .count();
+    assert!(recovery_commits > 0, "no transactions committed after the leader change");
+}
+
+#[test]
+fn crashed_local_leader_is_replaced_by_election() {
+    let mut config =
+        SystemConfig::homogeneous_regions(&[(4, Region::UsWest), (4, Region::Europe)]);
+    config.params.batch_size = 20;
+    config.params.remote_leader_timeout = Duration::from_secs(4);
+    config.params.brd_timeout = Duration::from_secs(4);
+    config.params.local_timeout = Duration::from_secs(4);
+    let mut dep = bftsmart_deployment(config, quick_opts(14));
+    let leader = dep.initial_leader(ClusterId(1));
+    dep.crash_at(leader, Time::from_secs(5));
+    dep.run_for(Duration::from_secs(35));
+    let changed = dep.outputs().iter().any(|o| {
+        matches!(o, Output::LeaderChanged { cluster, new_leader, .. }
+            if *cluster == ClusterId(1) && *new_leader != leader)
+    });
+    assert!(changed, "cluster 1 never elected a replacement leader");
+    let recovery_commits = dep
+        .outputs()
+        .iter()
+        .filter(|o| matches!(o, Output::TxCompleted { completed_at, is_write: true, .. }
+            if *completed_at > Time::from_secs(25)))
+        .count();
+    assert!(recovery_commits > 0, "no transactions committed after the leader crash");
+}
