@@ -65,10 +65,8 @@ fn bench_e3_heterogeneous(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("heterogeneous_9asia_5eu_5s", |b| {
         b.iter(|| {
-            let mut config = SystemConfig::heterogeneous(&[
-                vec![Region::AsiaSouth; 9],
-                vec![Region::Europe; 5],
-            ]);
+            let mut config =
+                SystemConfig::heterogeneous(&[vec![Region::AsiaSouth; 9], vec![Region::Europe; 5]]);
             config.params.batch_size = 20;
             let mut dep = hotstuff_deployment(config, opts(3));
             dep.run_for(Duration::from_secs(5));

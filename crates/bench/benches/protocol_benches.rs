@@ -6,7 +6,10 @@ use ava_consensus::testkit::LocalNet;
 use ava_consensus::{TobConfig, TotalOrderBroadcast};
 use ava_crypto::{hmac_sha256, sha256, Digest, KeyRegistry};
 use ava_hamava::brd::{Brd, BrdAction, BrdMsg};
-use ava_types::{ClientId, ClusterId, Duration, Operation, Reconfig, Region, ReplicaId, Round, Time, Timestamp, Transaction};
+use ava_types::{
+    ClientId, ClusterId, Duration, Operation, Reconfig, Region, ReplicaId, Round, Time, Timestamp,
+    Transaction,
+};
 use ava_workload::Zipfian;
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;

@@ -1,7 +1,7 @@
 //! Regenerates Table I: best-case message complexity of the protocols.
 
-use ava_bench::report::print_table;
 use ava_bench::complexity_table;
+use ava_bench::report::print_table;
 
 fn main() {
     let (z, n) = (3u64, 32u64);

@@ -12,7 +12,11 @@ fn main() {
         .map(|a| {
             let mut row = vec![a.zone_name().to_string()];
             row.extend(regions.iter().map(|b| {
-                if a == b { "0".to_string() } else { format!("{:.0}", model.rtt_ms(*a, *b)) }
+                if a == b {
+                    "0".to_string()
+                } else {
+                    format!("{:.0}", model.rtt_ms(*a, *b))
+                }
             }));
             row
         })

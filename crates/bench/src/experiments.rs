@@ -6,7 +6,9 @@
 //! and sweep density so that the default invocation finishes in seconds while
 //! `AVA_FULL=1` runs paper-scale parameters.
 
-use crate::report::{fmt, print_table, stage_breakdown, summarize, throughput_timeseries, RunMetrics};
+use crate::report::{
+    fmt, print_table, stage_breakdown, summarize, throughput_timeseries, RunMetrics,
+};
 use ava_geobft::geobft_deployment;
 use ava_hamava::harness::{
     bftsmart_deployment, hotstuff_deployment, Deployment, DeploymentOptions,
@@ -198,8 +200,7 @@ pub fn e2_latency_breakdown(scale: &ExperimentScale) -> Vec<Vec<String>> {
     let mut rows = Vec::new();
     for protocol in [Protocol::AvaBftSmart, Protocol::AvaHotStuff] {
         for (label, regions) in &region_sets {
-            let cluster_regions: Vec<Vec<Region>> =
-                regions.iter().map(|&r| vec![r; 4]).collect();
+            let cluster_regions: Vec<Vec<Region>> = regions.iter().map(|&r| vec![r; 4]).collect();
             let mut config = SystemConfig::heterogeneous(&cluster_regions);
             adjust_batch(&mut config, scale);
             let (metrics, outputs) = run_once(protocol, config, default_opts(2, scale), scale);
@@ -242,10 +243,7 @@ pub fn e3_setup(setup: usize, s: usize) -> SystemConfig {
     let asia = Region::AsiaSouth;
     let eu = Region::Europe;
     let cluster_regions: Vec<Vec<Region>> = match setup {
-        1 => vec![
-            vec![asia; 7 * s],
-            [vec![asia; 2 * s], vec![eu; 5 * s]].concat(),
-        ],
+        1 => vec![vec![asia; 7 * s], [vec![asia; 2 * s], vec![eu; 5 * s]].concat()],
         2 => vec![vec![asia; 9 * s], vec![eu; 5 * s]],
         3 => vec![vec![asia; 5 * s], vec![asia; 4 * s], vec![eu; 5 * s]],
         _ => panic!("unknown E3 setup {setup}"),
@@ -343,8 +341,10 @@ pub fn e4_failures(scenario: FailureScenario, scale: &ExperimentScale) -> Vec<Ve
         }
     }
     print_table(
-        &format!("E4 ({scenario:?}): throughput over time, failure at {}s (Fig. 4f-h)",
-            fail_at.as_secs_f64()),
+        &format!(
+            "E4 ({scenario:?}): throughput over time, failure at {}s (Fig. 4f-h)",
+            fail_at.as_secs_f64()
+        ),
         &["system", "time (s)", "throughput (txn/s)"],
         &rows,
     );
@@ -399,10 +399,8 @@ pub fn e5_joins_and_leaves(scale: &ExperimentScale) -> Vec<Vec<String>> {
     let nodes = if scale.full { 7 } else { 5 };
     let mut rows = Vec::new();
     for protocol in [Protocol::AvaHotStuff, Protocol::AvaBftSmart] {
-        let mut config = SystemConfig::homogeneous_regions(&[
-            (nodes, Region::UsWest),
-            (nodes, Region::Europe),
-        ]);
+        let mut config =
+            SystemConfig::homogeneous_regions(&[(nodes, Region::UsWest), (nodes, Region::Europe)]);
         adjust_batch(&mut config, scale);
         let opts = default_opts(5, scale);
         let outputs = match protocol {
@@ -417,12 +415,15 @@ pub fn e5_joins_and_leaves(scale: &ExperimentScale) -> Vec<Vec<String>> {
                 dep.sim.take_outputs()
             }
         };
-        let applied = outputs
-            .iter()
-            .filter(|o| matches!(o, Output::ReconfigApplied { .. }))
-            .count();
+        let applied =
+            outputs.iter().filter(|o| matches!(o, Output::ReconfigApplied { .. })).count();
         for (t, tps) in throughput_timeseries(&outputs, Duration::from_secs(2)) {
-            rows.push(vec![protocol.label().to_string(), fmt(t, 0), fmt(tps, 1), applied.to_string()]);
+            rows.push(vec![
+                protocol.label().to_string(),
+                fmt(t, 0),
+                fmt(tps, 1),
+                applied.to_string(),
+            ]);
         }
     }
     print_table(
@@ -666,7 +667,8 @@ mod tests {
         let scale = tiny_scale();
         let mut config = SystemConfig::even_split_single_region(8, 2, Region::UsWest);
         config.params.batch_size = 20;
-        let (m, outputs) = run_once(Protocol::AvaHotStuff, config, default_opts(11, &scale), &scale);
+        let (m, outputs) =
+            run_once(Protocol::AvaHotStuff, config, default_opts(11, &scale), &scale);
         assert!(m.completed > 0, "no transactions completed");
         assert!(outputs.iter().any(|o| matches!(o, Output::RoundExecuted { .. })));
     }

@@ -217,7 +217,9 @@ impl BftSmart {
             instance.prepares.insert(sig);
         }
         // Move to the commit phase once a prepare quorum is known.
-        if !instance.sent_commit && instance.prepares.len() >= quorum && instance.digest == Some(digest)
+        if !instance.sent_commit
+            && instance.prepares.len() >= quorum
+            && instance.digest == Some(digest)
         {
             instance.sent_commit = true;
             out.push(TobAction::Consume(self.cfg.sign_cost));

@@ -97,7 +97,9 @@ mod tests {
             height: 3,
             proposer: ReplicaId(1),
             ops: (0..n_tx)
-                .map(|i| Operation::Trans(Transaction::write(ClientId(0), i as u64, i as u64, 1024)))
+                .map(|i| {
+                    Operation::Trans(Transaction::write(ClientId(0), i as u64, i as u64, 1024))
+                })
                 .collect(),
         }
     }

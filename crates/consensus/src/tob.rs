@@ -108,15 +108,23 @@ pub trait TotalOrderBroadcast {
     fn broadcast(&mut self, op: Operation, now: Time) -> Vec<TobAction<Self::Msg>>;
 
     /// Handle a protocol message from `from`.
-    fn on_message(&mut self, from: ReplicaId, msg: Self::Msg, now: Time)
-        -> Vec<TobAction<Self::Msg>>;
+    fn on_message(
+        &mut self,
+        from: ReplicaId,
+        msg: Self::Msg,
+        now: Time,
+    ) -> Vec<TobAction<Self::Msg>>;
 
     /// Periodic tick: drives batching, retransmission and leader liveness checks.
     fn on_tick(&mut self, now: Time) -> Vec<TobAction<Self::Msg>>;
 
     /// Install a new leader elected with timestamp `ts` (Alg. 7 `new-leader`).
-    fn new_leader(&mut self, leader: ReplicaId, ts: Timestamp, now: Time)
-        -> Vec<TobAction<Self::Msg>>;
+    fn new_leader(
+        &mut self,
+        leader: ReplicaId,
+        ts: Timestamp,
+        now: Time,
+    ) -> Vec<TobAction<Self::Msg>>;
 
     /// Update the cluster membership after a reconfiguration took effect.
     fn set_membership(&mut self, members: Vec<ReplicaId>);

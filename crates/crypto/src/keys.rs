@@ -9,9 +9,8 @@
 use crate::hmac::hmac_sha256;
 use crate::sha256::Digest;
 use ava_types::{Encode, ReplicaId};
-use parking_lot::RwLock;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 /// A signature produced by a replica over a digest.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -59,18 +58,18 @@ impl KeyRegistry {
             replica.encode(&mut bytes);
             bytes
         });
-        self.inner.write().secrets.insert(replica, secret);
+        self.inner.write().expect("registry lock poisoned").secrets.insert(replica, secret);
         Keypair { id: replica, secret }
     }
 
     /// Whether `replica` has a registered key.
     pub fn is_registered(&self, replica: ReplicaId) -> bool {
-        self.inner.read().secrets.contains_key(&replica)
+        self.inner.read().expect("registry lock poisoned").secrets.contains_key(&replica)
     }
 
     /// Verify `sig` over `digest`.
     pub fn verify(&self, digest: &Digest, sig: &Signature) -> bool {
-        let inner = self.inner.read();
+        let inner = self.inner.read().expect("registry lock poisoned");
         match inner.secrets.get(&sig.signer) {
             Some(secret) => hmac_sha256(secret, &digest.0) == sig.tag,
             None => false,
@@ -79,7 +78,7 @@ impl KeyRegistry {
 
     /// Number of registered keys.
     pub fn len(&self) -> usize {
-        self.inner.read().secrets.len()
+        self.inner.read().expect("registry lock poisoned").secrets.len()
     }
 
     /// Whether the registry is empty.

@@ -70,20 +70,14 @@ mod tests {
         config.params.batch_size = 20;
         let mut dep = geobft_deployment(config, small_opts());
         dep.run_for(Duration::from_secs(10));
-        let committed = dep
-            .outputs()
-            .iter()
-            .filter(|o| matches!(o, Output::TxCompleted { .. }))
-            .count();
+        let committed =
+            dep.outputs().iter().filter(|o| matches!(o, Output::TxCompleted { .. })).count();
         assert!(committed > 0, "GeoBFT baseline should commit transactions");
     }
 
     #[test]
     fn non_clustered_config_is_one_cluster_across_regions() {
-        let cfg = non_clustered_config(
-            9,
-            &[Region::UsWest, Region::Europe, Region::AsiaSouth],
-        );
+        let cfg = non_clustered_config(9, &[Region::UsWest, Region::Europe, Region::AsiaSouth]);
         assert_eq!(cfg.clusters.len(), 1);
         let m = cfg.membership();
         assert_eq!(m.size(ClusterId(0)), 9);

@@ -83,7 +83,7 @@ pub struct BrdCert {
     /// `Σ`: the contributions the set was aggregated from (may be empty if this
     /// replica only learned the set through Echo/Ready amplification).
     pub contributions: Vec<RecsContribution>,
-    /// `Σ'`: Ready signatures from a quorum over [`ready_digest`] of the set.
+    /// `Σ'`: Ready signatures from a quorum over the ready digest of the set.
     pub ready_sigs: SigSet,
 }
 
@@ -314,9 +314,7 @@ impl Brd {
         self.my_recs = Some(recs.clone());
         self.started_at = Some(now);
         out.push(BrdAction::Consume(self.sign_cost));
-        let sig = self
-            .keypair
-            .sign(&RecsContribution::signing_digest(self.round, self.me, &recs));
+        let sig = self.keypair.sign(&RecsContribution::signing_digest(self.round, self.me, &recs));
         let contribution = RecsContribution { from: self.me, round: self.round, recs, sig };
         out.push(BrdAction::Send { to: self.leader, msg: BrdMsg::Recs(contribution) });
         out
@@ -390,9 +388,8 @@ impl Brd {
             });
         } else if let Some(my_recs) = self.my_recs.clone() {
             out.push(BrdAction::Consume(self.sign_cost));
-            let sig = self
-                .keypair
-                .sign(&RecsContribution::signing_digest(self.round, self.me, &my_recs));
+            let sig =
+                self.keypair.sign(&RecsContribution::signing_digest(self.round, self.me, &my_recs));
             let contribution =
                 RecsContribution { from: self.me, round: self.round, recs: my_recs, sig };
             out.push(BrdAction::Send { to: self.leader, msg: BrdMsg::Recs(contribution) });
@@ -431,7 +428,9 @@ impl Brd {
         if self.me != self.leader || round != self.round {
             return;
         }
-        out.push(BrdAction::Consume(self.verify_cost.saturating_mul(self.proof_len(&proof) as u64)));
+        out.push(BrdAction::Consume(
+            self.verify_cost.saturating_mul(self.proof_len(&proof) as u64),
+        ));
         if !self.verify_justify(&recs, &proof, true) {
             return;
         }
@@ -482,7 +481,8 @@ impl Brd {
         let (recs, justify) = if let Some(high) = self.high_valid.clone() {
             (high.recs, high.proof)
         } else {
-            let contributions: Vec<RecsContribution> = self.contributions.values().cloned().collect();
+            let contributions: Vec<RecsContribution> =
+                self.contributions.values().cloned().collect();
             let mut union: Vec<Reconfig> =
                 contributions.iter().flat_map(|c| c.recs.iter().copied()).collect();
             union.sort();
@@ -525,8 +525,11 @@ impl Brd {
             }
             AggJustify::Readies(sigs) => {
                 allow_ready
-                    && sigs.count_valid(&self.registry, &ready_digest(self.round, recs), &self.members)
-                        >= self.f() + 1
+                    && sigs.count_valid(
+                        &self.registry,
+                        &ready_digest(self.round, recs),
+                        &self.members,
+                    ) >= self.f() + 1
             }
         }
     }
@@ -543,7 +546,9 @@ impl Brd {
         if from != self.leader || ts != self.ts || round != self.round || self.echoed {
             return;
         }
-        out.push(BrdAction::Consume(self.verify_cost.saturating_mul(self.proof_len(&justify) as u64)));
+        out.push(BrdAction::Consume(
+            self.verify_cost.saturating_mul(self.proof_len(&justify) as u64),
+        ));
         if !self.verify_justify(&recs, &justify, true) {
             return;
         }

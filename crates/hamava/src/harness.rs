@@ -8,9 +8,7 @@ use crate::replica::{Replica, ReplicaConfig};
 use ava_consensus::{TobConfig, TotalOrderBroadcast, WireSize};
 use ava_crypto::{KeyRegistry, Keypair};
 use ava_simnet::{client_node_id, CostModel, LatencyModel, SimMessage, Simulation};
-use ava_types::{
-    ClientId, ClusterId, Duration, Output, Region, ReplicaId, SystemConfig, Time,
-};
+use ava_types::{ClientId, ClusterId, Duration, Output, Region, ReplicaId, SystemConfig, Time};
 use ava_workload::{ClientWorkload, WorkloadSpec};
 
 /// Options controlling a simulated deployment.
@@ -119,12 +117,7 @@ where
     ) -> ClientId {
         let id = ClientId(self.next_client_id);
         self.next_client_id += 1;
-        let spec = self
-            .config
-            .clusters
-            .iter()
-            .find(|c| c.id == cluster)
-            .expect("unknown cluster");
+        let spec = self.config.clusters.iter().find(|c| c.id == cluster).expect("unknown cluster");
         let targets: Vec<ReplicaId> = spec.replicas.iter().map(|(r, _)| *r).collect();
         let region = spec.replicas.first().map(|(_, reg)| *reg).unwrap_or_default();
         let mut ccfg = ClientConfig::new(id, cluster, targets);
@@ -147,8 +140,7 @@ where
         tob_cfg.max_block_size = self.config.params.batch_size;
         tob_cfg.timeout = self.config.params.local_timeout;
         let tob = (self.factory)(tob_cfg, keypair.clone(), self.registry.clone(), leader);
-        let mut rcfg =
-            ReplicaConfig::new(id, region, cluster, self.config.params, membership);
+        let mut rcfg = ReplicaConfig::new(id, region, cluster, self.config.params, membership);
         rcfg.joining = true;
         let replica = Replica::new(rcfg, keypair, self.registry.clone(), tob);
         self.sim.add_node(id, region, cluster.0, Box::new(replica));
@@ -164,16 +156,19 @@ where
     /// Turn `replica` Byzantine in the E4.3 sense (withholds inter-cluster messages).
     pub fn mute_inter_cluster(&mut self, replica: ReplicaId) {
         let at = self.sim.now();
-        self.sim
-            .external_send(replica, replica, AvaMsg::Control(ControlCmd::MuteInterCluster), at);
+        self.sim.external_send(replica, replica, AvaMsg::Control(ControlCmd::MuteInterCluster), at);
     }
 
     /// Make `replica` stop proposing when it is the local leader (E4.2-style leader
     /// failure confined to the protocol).
     pub fn silence_local_leader(&mut self, replica: ReplicaId) {
         let at = self.sim.now();
-        self.sim
-            .external_send(replica, replica, AvaMsg::Control(ControlCmd::SilentLocalLeader), at);
+        self.sim.external_send(
+            replica,
+            replica,
+            AvaMsg::Control(ControlCmd::SilentLocalLeader),
+            at,
+        );
     }
 
     /// Crash `replica` at `at`.

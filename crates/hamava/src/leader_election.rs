@@ -125,10 +125,7 @@ impl LeaderElection {
         self.complained = true;
         self.complainers.insert(self.me);
         let msg = ElectionMsg::Complaint { ts: self.ts };
-        self.members
-            .iter()
-            .map(|&to| ElectionAction::Send { to, msg: msg.clone() })
-            .collect()
+        self.members.iter().map(|&to| ElectionAction::Send { to, msg: msg.clone() }).collect()
     }
 
     fn change(&mut self) -> Vec<ElectionAction> {

@@ -12,7 +12,7 @@
 //! | Alg. 3 — reconfiguration collection | [`replica`] (requester + member sides) |
 //! | Alg. 4–6 — Byzantine Reliable Dissemination | [`brd`] |
 //! | Alg. 7 — local ordering | [`replica`] + any [`ava_consensus::TotalOrderBroadcast`] |
-//! | Alg. 8 — leader change | [`replica::Replica::install_leader`] wiring |
+//! | Alg. 8 — leader change | [`replica`] (`install_leader` wiring) |
 //! | Alg. 9 — leader election | [`leader_election`] |
 //! | Alg. 10 — execution & reconfiguration application | [`replica`] (`execute`) |
 //!

@@ -208,7 +208,10 @@ mod tests {
         let pkg = RoundPackage {
             cluster: ClusterId(0),
             round: Round(1),
-            blocks: vec![CommittedBlock { block, cert: QuorumCert::new(ClusterId(0), digest, sigs) }],
+            blocks: vec![CommittedBlock {
+                block,
+                cert: QuorumCert::new(ClusterId(0), digest, sigs),
+            }],
             recs: vec![Reconfig::Leave { replica: ReplicaId(3) }],
             recs_cert: None,
         };

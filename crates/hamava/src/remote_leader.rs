@@ -521,7 +521,8 @@ mod tests {
         // Deliver the same remote complaint to p0 twice (a Byzantine replica replays
         // it); the local Complaint is re-broadcast, but each replica accepts it once.
         let p0 = ReplicaId(0);
-        let actions1 = net.nodes.get_mut(&p0).unwrap().on_message(ReplicaId(14), msg.clone(), Time::ZERO);
+        let actions1 =
+            net.nodes.get_mut(&p0).unwrap().on_message(ReplicaId(14), msg.clone(), Time::ZERO);
         net.apply(p0, actions1);
         let actions2 = net.nodes.get_mut(&p0).unwrap().on_message(ReplicaId(14), msg, Time::ZERO);
         net.apply(p0, actions2);
@@ -566,12 +567,8 @@ mod tests {
             let kp = registry.register(ReplicaId(i));
             sigs.insert(kp.sign(&lcomplaint_digest(ClusterId(0), 0, Round(1))));
         }
-        let msg = RemoteLeaderMsg::Complaint {
-            from_cluster: ClusterId(1),
-            cn: 0,
-            round: Round(1),
-            sigs,
-        };
+        let msg =
+            RemoteLeaderMsg::Complaint { from_cluster: ClusterId(1), cn: 0, round: Round(1), sigs };
         let actions =
             net.nodes.get_mut(&p0).unwrap().on_message(ReplicaId(1), msg, Time::from_millis(200));
         assert!(

@@ -251,7 +251,11 @@ impl<T: TotalOrderBroadcast> Replica<T> {
         }
     }
 
-    fn apply_brd_actions(&mut self, actions: Vec<BrdAction>, ctx: &mut Context<'_, AvaMsg<T::Msg>>) {
+    fn apply_brd_actions(
+        &mut self,
+        actions: Vec<BrdAction>,
+        ctx: &mut Context<'_, AvaMsg<T::Msg>>,
+    ) {
         for action in actions {
             match action {
                 BrdAction::Send { to, msg } => ctx.send(to, AvaMsg::Brd(msg)),
@@ -472,9 +476,9 @@ impl<T: TotalOrderBroadcast> Replica<T> {
             return;
         }
         ctx.consume(
-            ctx.costs()
-                .per_sig_verify
-                .saturating_mul(package.blocks.iter().map(|b| b.cert.signature_count() as u64).sum()),
+            ctx.costs().per_sig_verify.saturating_mul(
+                package.blocks.iter().map(|b| b.cert.signature_count() as u64).sum(),
+            ),
         );
         if !package.verify(&self.registry, &self.membership) {
             return;
@@ -493,15 +497,13 @@ impl<T: TotalOrderBroadcast> Replica<T> {
             self.future_packages.push(package);
             return;
         }
-        if package.round < self.round
-            || self.round_state.packages.contains_key(&package.cluster)
-        {
+        if package.round < self.round || self.round_state.packages.contains_key(&package.cluster) {
             return;
         }
         ctx.consume(
-            ctx.costs()
-                .per_sig_verify
-                .saturating_mul(package.blocks.iter().map(|b| b.cert.signature_count() as u64).sum()),
+            ctx.costs().per_sig_verify.saturating_mul(
+                package.blocks.iter().map(|b| b.cert.signature_count() as u64).sum(),
+            ),
         );
         if !package.verify(&self.registry, &self.membership) {
             return;
@@ -640,7 +642,10 @@ impl<T: TotalOrderBroadcast> Replica<T> {
             *self.kv.entry(key).or_insert(0) += 1;
         }
         if let Some((client_node, _client)) = self.pending_clients.remove(&tx.id) {
-            ctx.send(client_node, AvaMsg::ClientResponse { tx: tx.id, is_write: tx.kind.is_write() });
+            ctx.send(
+                client_node,
+                AvaMsg::ClientResponse { tx: tx.id, is_write: tx.kind.is_write() },
+            );
         }
     }
 
@@ -680,18 +685,12 @@ impl<T: TotalOrderBroadcast> Replica<T> {
     ) {
         self.join_regions.insert(replica, region);
         self.collected_recs.insert(Reconfig::Join { replica, region });
-        ctx.send(
-            replica,
-            AvaMsg::Ack { members: self.my_members(), round: self.round },
-        );
+        ctx.send(replica, AvaMsg::Ack { members: self.my_members(), round: self.round });
     }
 
     fn on_request_leave(&mut self, replica: ReplicaId, ctx: &mut Context<'_, AvaMsg<T::Msg>>) {
         self.collected_recs.insert(Reconfig::Leave { replica });
-        ctx.send(
-            replica,
-            AvaMsg::Ack { members: self.my_members(), round: self.round },
-        );
+        ctx.send(replica, AvaMsg::Ack { members: self.my_members(), round: self.round });
     }
 
     // ---- joining-replica side ----------------------------------------------------
@@ -821,7 +820,12 @@ where
         }
     }
 
-    fn on_message(&mut self, from: ReplicaId, msg: AvaMsg<T::Msg>, ctx: &mut Context<'_, AvaMsg<T::Msg>>) {
+    fn on_message(
+        &mut self,
+        from: ReplicaId,
+        msg: AvaMsg<T::Msg>,
+        ctx: &mut Context<'_, AvaMsg<T::Msg>>,
+    ) {
         if self.status == ReplicaStatus::Left {
             return;
         }
@@ -858,7 +862,9 @@ where
             }
             AvaMsg::Inter(package) => self.on_inter(package, ctx),
             AvaMsg::LocalShare(package) => self.on_local_share(package, ctx),
-            AvaMsg::RequestJoin { replica, region, .. } => self.on_request_join(replica, region, ctx),
+            AvaMsg::RequestJoin { replica, region, .. } => {
+                self.on_request_join(replica, region, ctx)
+            }
             AvaMsg::RequestLeave { replica, .. } => self.on_request_leave(replica, ctx),
             AvaMsg::Ack { .. } => {}
             AvaMsg::CurrState { .. } => {}

@@ -188,8 +188,12 @@ impl HotStuff {
         };
         let digest = block.digest();
         out.push(TobAction::Consume(self.cfg.sign_cost));
-        self.in_flight =
-            Some(InFlight { block: block.clone(), digest, phase: Phase::Prepare, votes: SigSet::new() });
+        self.in_flight = Some(InFlight {
+            block: block.clone(),
+            digest,
+            phase: Phase::Prepare,
+            votes: SigSet::new(),
+        });
         self.broadcast_to_members(HotStuffMsg::Proposal { block, ts: self.ts }, out);
     }
 
@@ -309,7 +313,10 @@ impl TotalOrderBroadcast for HotStuff {
                 let Some(inflight) = self.in_flight.as_mut() else {
                     return out;
                 };
-                if inflight.phase != phase || inflight.digest != digest || inflight.block.height != height {
+                if inflight.phase != phase
+                    || inflight.digest != digest
+                    || inflight.block.height != height
+                {
                     return out;
                 }
                 out.push(TobAction::Consume(self.cfg.verify_cost));

@@ -50,7 +50,12 @@ pub(crate) struct Effects<M> {
 
 impl<M> Default for Effects<M> {
     fn default() -> Self {
-        Effects { sends: Vec::new(), timers: Vec::new(), consumed: Duration::ZERO, outputs: Vec::new() }
+        Effects {
+            sends: Vec::new(),
+            timers: Vec::new(),
+            consumed: Duration::ZERO,
+            outputs: Vec::new(),
+        }
     }
 }
 

@@ -110,11 +110,8 @@ impl LatencyModel {
             return Duration::from_micros(self.loopback_us);
         }
         let base_ms = self.rtt_ms(from, to) / 2.0;
-        let factor = if self.jitter > 0.0 {
-            1.0 + rng.gen_range(-self.jitter..self.jitter)
-        } else {
-            1.0
-        };
+        let factor =
+            if self.jitter > 0.0 { 1.0 + rng.gen_range(-self.jitter..self.jitter) } else { 1.0 };
         Duration::from_millis_f64(base_ms * factor)
     }
 }

@@ -109,7 +109,8 @@ impl<M: SimMessage> Simulation<M> {
         actor: Box<dyn Actor<M>>,
     ) {
         assert!(!self.nodes.contains_key(&id), "node {id} already exists");
-        self.nodes.insert(id, NodeSlot { actor, region, group, busy_until: self.now, crashed: false });
+        self.nodes
+            .insert(id, NodeSlot { actor, region, group, busy_until: self.now, crashed: false });
         self.push_event(self.now, id, EventKind::Start);
     }
 
@@ -370,11 +371,8 @@ mod tests {
     }
 
     fn two_node_sim(regions: (Region, Region)) -> Simulation<PingMsg> {
-        let mut sim = Simulation::new(
-            7,
-            LatencyModel::paper_table2().with_jitter(0.0),
-            CostModel::zero(),
-        );
+        let mut sim =
+            Simulation::new(7, LatencyModel::paper_table2().with_jitter(0.0), CostModel::zero());
         sim.add_node(
             ReplicaId(0),
             regions.0,
@@ -410,7 +408,8 @@ mod tests {
     #[test]
     fn same_seed_gives_identical_runs() {
         let run = |seed| {
-            let mut sim = Simulation::new(seed, LatencyModel::paper_table2(), CostModel::cloud_vm());
+            let mut sim =
+                Simulation::new(seed, LatencyModel::paper_table2(), CostModel::cloud_vm());
             sim.add_node(
                 ReplicaId(0),
                 Region::UsWest,
@@ -463,8 +462,7 @@ mod tests {
         // With a large per-event cost the ping-pong completes later than with zero
         // cost, demonstrating the busy-server model.
         let run = |costs: CostModel| {
-            let mut sim =
-                Simulation::new(1, LatencyModel::paper_table2().with_jitter(0.0), costs);
+            let mut sim = Simulation::new(1, LatencyModel::paper_table2().with_jitter(0.0), costs);
             sim.add_node(
                 ReplicaId(0),
                 Region::UsWest,

@@ -158,11 +158,7 @@ impl SystemConfig {
     /// The largest replica id used by the initial configuration (new ids for joining
     /// replicas should start above this).
     pub fn max_replica_id(&self) -> u32 {
-        self.clusters
-            .iter()
-            .flat_map(|c| c.replicas.iter().map(|(id, _)| id.0))
-            .max()
-            .unwrap_or(0)
+        self.clusters.iter().flat_map(|c| c.replicas.iter().map(|(id, _)| id.0)).max().unwrap_or(0)
     }
 }
 
@@ -202,10 +198,8 @@ mod tests {
     #[test]
     fn heterogeneous_setup_2_from_e3() {
         // Setup 2, scale 1: C1 = 9 Asia nodes, C2 = 5 EU nodes.
-        let cfg = SystemConfig::heterogeneous(&[
-            vec![Region::AsiaSouth; 9],
-            vec![Region::Europe; 5],
-        ]);
+        let cfg =
+            SystemConfig::heterogeneous(&[vec![Region::AsiaSouth; 9], vec![Region::Europe; 5]]);
         let m = cfg.membership();
         assert_eq!(m.size(ClusterId(0)), 9);
         assert_eq!(m.size(ClusterId(1)), 5);

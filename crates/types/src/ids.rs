@@ -68,13 +68,8 @@ impl Default for Region {
 
 impl Region {
     /// All regions known to the latency model, in a stable order.
-    pub const ALL: [Region; 5] = [
-        Region::UsWest,
-        Region::Europe,
-        Region::AsiaSouth,
-        Region::UsEast,
-        Region::AsiaNortheast,
-    ];
+    pub const ALL: [Region; 5] =
+        [Region::UsWest, Region::Europe, Region::AsiaSouth, Region::UsEast, Region::AsiaNortheast];
 
     /// Stable index of the region, usable to address latency matrices.
     pub fn index(self) -> usize {

@@ -87,10 +87,7 @@ impl Membership {
 
     /// The cluster `replica` currently belongs to, if any.
     pub fn cluster_of(&self, replica: ReplicaId) -> Option<ClusterId> {
-        self.clusters
-            .iter()
-            .find(|(_, ms)| ms.iter().any(|m| m.id == replica))
-            .map(|(c, _)| *c)
+        self.clusters.iter().find(|(_, ms)| ms.iter().any(|m| m.id == replica)).map(|(c, _)| *c)
     }
 
     /// Failure threshold of `cluster`: `f_j = ⌊(|C_j|−1)/3⌋` (Alg. 10, line 28).
@@ -136,7 +133,9 @@ impl Membership {
     /// it is always derived from the current size.
     pub fn apply(&mut self, cluster: ClusterId, rc: &Reconfig) {
         match *rc {
-            Reconfig::Join { replica, region } => self.add(cluster, ReplicaInfo { id: replica, region }),
+            Reconfig::Join { replica, region } => {
+                self.add(cluster, ReplicaInfo { id: replica, region })
+            }
             Reconfig::Leave { replica } => {
                 self.remove(cluster, replica);
             }

@@ -105,9 +105,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         let total = 10_000;
         let reads = (0..total)
-            .filter(|&i| {
-                !spec.next_transaction(ClientId(0), i, &sampler, &mut rng).kind.is_write()
-            })
+            .filter(|&i| !spec.next_transaction(ClientId(0), i, &sampler, &mut rng).kind.is_write())
             .count();
         let ratio = reads as f64 / total as f64;
         assert!((ratio - 0.85).abs() < 0.03, "observed read ratio {ratio}");

@@ -10,10 +10,7 @@ use hamava_repro::hamava::harness::{bftsmart_deployment, DeploymentOptions};
 use hamava_repro::types::{ClusterId, Duration, Output, Region, SystemConfig};
 
 fn main() {
-    let mut config = SystemConfig::homogeneous_regions(&[
-        (7, Region::UsWest),
-        (7, Region::Europe),
-    ]);
+    let mut config = SystemConfig::homogeneous_regions(&[(7, Region::UsWest), (7, Region::Europe)]);
     config.params.batch_size = 40;
     // Shorter timeout than the paper's 20 s so the example finishes quickly.
     config.params.remote_leader_timeout = Duration::from_secs(5);
@@ -22,7 +19,8 @@ fn main() {
 
     println!("steady state (8 s) with leader {byzantine_leader} in cluster 0...");
     deployment.run_for(Duration::from_secs(8));
-    let before = deployment.outputs().iter().filter(|o| matches!(o, Output::TxCompleted { .. })).count();
+    let before =
+        deployment.outputs().iter().filter(|o| matches!(o, Output::TxCompleted { .. })).count();
 
     println!("{byzantine_leader} turns Byzantine: it stops sending inter-cluster messages.");
     deployment.mute_inter_cluster(byzantine_leader);
@@ -38,7 +36,8 @@ fn main() {
             _ => None,
         })
         .collect();
-    let after = deployment.outputs().iter().filter(|o| matches!(o, Output::TxCompleted { .. })).count();
+    let after =
+        deployment.outputs().iter().filter(|o| matches!(o, Output::TxCompleted { .. })).count();
 
     println!("transactions before the fault: {before}");
     println!("transactions by the end of the run: {after}");

@@ -18,11 +18,8 @@ fn main() {
         config.params.batch_size = 40;
         let mut deployment = hotstuff_deployment(config, DeploymentOptions::default());
         deployment.run_for(run);
-        let completed = deployment
-            .outputs()
-            .iter()
-            .filter(|o| matches!(o, Output::TxCompleted { .. }))
-            .count();
+        let completed =
+            deployment.outputs().iter().filter(|o| matches!(o, Output::TxCompleted { .. })).count();
         let tput = completed as f64 / run.as_secs_f64();
         let label = match setup {
             1 => "setup 1: equal clusters, regions mixed   ",

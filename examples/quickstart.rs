@@ -8,10 +8,8 @@ use hamava_repro::types::{Duration, Output, Region, SystemConfig, Time};
 
 fn main() {
     // The paper's running example: heterogeneous clusters of 4 and 7 replicas.
-    let mut config = SystemConfig::heterogeneous(&[
-        vec![Region::UsWest; 4],
-        vec![Region::Europe; 7],
-    ]);
+    let mut config =
+        SystemConfig::heterogeneous(&[vec![Region::UsWest; 4], vec![Region::Europe; 7]]);
     config.params.batch_size = 50;
 
     let mut deployment = hotstuff_deployment(config, DeploymentOptions::default());
@@ -29,10 +27,7 @@ fn main() {
             _ => None,
         })
         .collect();
-    let rounds = outputs
-        .iter()
-        .filter(|o| matches!(o, Output::RoundExecuted { .. }))
-        .count();
+    let rounds = outputs.iter().filter(|o| matches!(o, Output::RoundExecuted { .. })).count();
     let writes = completed.iter().filter(|(_, w)| *w).count();
     let avg_ms = completed.iter().map(|(l, _)| l).sum::<f64>() / completed.len().max(1) as f64;
 

@@ -7,10 +7,7 @@ use hamava_repro::hamava::harness::{hotstuff_deployment, DeploymentOptions};
 use hamava_repro::types::{ClusterId, Duration, Output, Region, SystemConfig};
 
 fn main() {
-    let mut config = SystemConfig::homogeneous_regions(&[
-        (7, Region::UsWest),
-        (7, Region::Europe),
-    ]);
+    let mut config = SystemConfig::homogeneous_regions(&[(7, Region::UsWest), (7, Region::Europe)]);
     config.params.batch_size = 50;
     let mut deployment = hotstuff_deployment(config, DeploymentOptions::default());
 
@@ -34,15 +31,15 @@ fn main() {
                 leaves += 1;
             }
             if [*replica].contains(&new_us) || [*replica].contains(&new_eu) || replica == &leaver {
-                println!("  reconfiguration applied in {round}: {replica} {}", if *joined { "joined" } else { "left" });
+                println!(
+                    "  reconfiguration applied in {round}: {replica} {}",
+                    if *joined { "joined" } else { "left" }
+                );
             }
         }
     }
-    let completed = deployment
-        .outputs()
-        .iter()
-        .filter(|o| matches!(o, Output::TxCompleted { .. }))
-        .count();
+    let completed =
+        deployment.outputs().iter().filter(|o| matches!(o, Output::TxCompleted { .. })).count();
     println!("join events applied (across replicas): {joins}");
     println!("leave events applied (across replicas): {leaves}");
     println!("transactions completed while reconfiguring: {completed}");

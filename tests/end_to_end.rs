@@ -2,9 +2,7 @@
 //! AVA-BFTSMART processing transactions across heterogeneous geo-distributed
 //! clusters.
 
-use hamava_repro::hamava::harness::{
-    bftsmart_deployment, hotstuff_deployment, DeploymentOptions,
-};
+use hamava_repro::hamava::harness::{bftsmart_deployment, hotstuff_deployment, DeploymentOptions};
 use hamava_repro::simnet::{CostModel, LatencyModel};
 use hamava_repro::types::{ClusterId, Duration, Output, Region, StageKind, SystemConfig};
 use hamava_repro::workload::WorkloadSpec;
@@ -21,10 +19,7 @@ fn quick_opts(seed: u64) -> DeploymentOptions {
 }
 
 fn completed_writes(outputs: &[Output]) -> usize {
-    outputs
-        .iter()
-        .filter(|o| matches!(o, Output::TxCompleted { is_write: true, .. }))
-        .count()
+    outputs.iter().filter(|o| matches!(o, Output::TxCompleted { is_write: true, .. })).count()
 }
 
 #[test]
@@ -72,16 +67,15 @@ fn bftsmart_deployment_also_processes_transactions() {
 
 #[test]
 fn all_three_stages_are_reported_per_round() {
-    let mut config =
-        SystemConfig::homogeneous_regions(&[(4, Region::UsWest), (4, Region::Europe)]);
+    let mut config = SystemConfig::homogeneous_regions(&[(4, Region::UsWest), (4, Region::Europe)]);
     config.params.batch_size = 20;
     let mut dep = hotstuff_deployment(config, quick_opts(3));
     dep.run_for(Duration::from_secs(12));
     for stage in StageKind::ALL {
         assert!(
-            dep.outputs().iter().any(
-                |o| matches!(o, Output::StageCompleted { stage: s, .. } if *s == stage)
-            ),
+            dep.outputs()
+                .iter()
+                .any(|o| matches!(o, Output::StageCompleted { stage: s, .. } if *s == stage)),
             "missing stage report for {stage:?}"
         );
     }
@@ -125,8 +119,7 @@ fn same_seed_is_deterministic_and_different_seeds_differ() {
 
 #[test]
 fn non_leader_crashes_within_f_are_tolerated() {
-    let mut config =
-        SystemConfig::homogeneous_regions(&[(7, Region::UsWest), (7, Region::Europe)]);
+    let mut config = SystemConfig::homogeneous_regions(&[(7, Region::UsWest), (7, Region::Europe)]);
     config.params.batch_size = 20;
     let mut dep = hotstuff_deployment(config.clone(), quick_opts(5));
     // Crash f = 2 non-leader replicas in cluster 0 five seconds in.
@@ -137,14 +130,18 @@ fn non_leader_crashes_within_f_are_tolerated() {
     let before = dep
         .outputs()
         .iter()
-        .filter(|o| matches!(o, Output::TxCompleted { completed_at, is_write: true, .. }
-            if completed_at.as_secs_f64() < 5.0))
+        .filter(|o| {
+            matches!(o, Output::TxCompleted { completed_at, is_write: true, .. }
+            if completed_at.as_secs_f64() < 5.0)
+        })
         .count();
     let after = dep
         .outputs()
         .iter()
-        .filter(|o| matches!(o, Output::TxCompleted { completed_at, is_write: true, .. }
-            if completed_at.as_secs_f64() > 8.0))
+        .filter(|o| {
+            matches!(o, Output::TxCompleted { completed_at, is_write: true, .. }
+            if completed_at.as_secs_f64() > 8.0)
+        })
         .count();
     assert!(before > 0, "no progress before the crashes");
     assert!(after > 0, "progress must continue with f crashed replicas");
@@ -164,8 +161,7 @@ fn geobft_baseline_and_hotstuff_both_commit_under_identical_workload() {
 
 #[test]
 fn membership_is_heterogeneous_and_thresholds_follow_cluster_sizes() {
-    let config =
-        SystemConfig::heterogeneous(&[vec![Region::UsWest; 4], vec![Region::Europe; 10]]);
+    let config = SystemConfig::heterogeneous(&[vec![Region::UsWest; 4], vec![Region::Europe; 10]]);
     let m = config.membership();
     assert_eq!(m.f(ClusterId(0)), 1);
     assert_eq!(m.f(ClusterId(1)), 3);

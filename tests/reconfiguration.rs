@@ -1,9 +1,7 @@
 //! Integration tests of the reconfiguration path: joins, leaves, and the Byzantine
 //! remote-leader-change scenario, exercised end to end through the simulator.
 
-use hamava_repro::hamava::harness::{
-    bftsmart_deployment, hotstuff_deployment, DeploymentOptions,
-};
+use hamava_repro::hamava::harness::{bftsmart_deployment, hotstuff_deployment, DeploymentOptions};
 use hamava_repro::simnet::{CostModel, LatencyModel};
 use hamava_repro::types::{ClusterId, Duration, Output, Region, SystemConfig, Time};
 use hamava_repro::workload::WorkloadSpec;
@@ -21,8 +19,7 @@ fn quick_opts(seed: u64) -> DeploymentOptions {
 
 #[test]
 fn a_replica_can_join_a_running_cluster() {
-    let mut config =
-        SystemConfig::homogeneous_regions(&[(4, Region::UsWest), (4, Region::Europe)]);
+    let mut config = SystemConfig::homogeneous_regions(&[(4, Region::UsWest), (4, Region::Europe)]);
     config.params.batch_size = 20;
     let mut dep = hotstuff_deployment(config, quick_opts(11));
     dep.run_for(Duration::from_secs(5));
@@ -37,16 +34,17 @@ fn a_replica_can_join_a_running_cluster() {
     let late_commits = dep
         .outputs()
         .iter()
-        .filter(|o| matches!(o, Output::TxCompleted { completed_at, .. }
-            if completed_at.as_secs_f64() > 15.0))
+        .filter(|o| {
+            matches!(o, Output::TxCompleted { completed_at, .. }
+            if completed_at.as_secs_f64() > 15.0)
+        })
         .count();
     assert!(late_commits > 0, "transaction processing stalled after the join");
 }
 
 #[test]
 fn a_replica_can_leave_a_running_cluster() {
-    let mut config =
-        SystemConfig::homogeneous_regions(&[(5, Region::UsWest), (5, Region::Europe)]);
+    let mut config = SystemConfig::homogeneous_regions(&[(5, Region::UsWest), (5, Region::Europe)]);
     config.params.batch_size = 20;
     let mut dep = bftsmart_deployment(config.clone(), quick_opts(12));
     dep.run_for(Duration::from_secs(5));
@@ -60,16 +58,17 @@ fn a_replica_can_leave_a_running_cluster() {
     let late_commits = dep
         .outputs()
         .iter()
-        .filter(|o| matches!(o, Output::TxCompleted { completed_at, .. }
-            if completed_at.as_secs_f64() > 15.0))
+        .filter(|o| {
+            matches!(o, Output::TxCompleted { completed_at, .. }
+            if completed_at.as_secs_f64() > 15.0)
+        })
         .count();
     assert!(late_commits > 0, "transaction processing stalled after the leave");
 }
 
 #[test]
 fn byzantine_leader_withholding_inter_messages_is_replaced() {
-    let mut config =
-        SystemConfig::homogeneous_regions(&[(4, Region::UsWest), (4, Region::Europe)]);
+    let mut config = SystemConfig::homogeneous_regions(&[(4, Region::UsWest), (4, Region::Europe)]);
     config.params.batch_size = 20;
     // Short timeouts keep the test fast (the paper uses 20 s in E4.3).
     config.params.remote_leader_timeout = Duration::from_secs(4);
@@ -90,16 +89,17 @@ fn byzantine_leader_withholding_inter_messages_is_replaced() {
     let recovery_commits = dep
         .outputs()
         .iter()
-        .filter(|o| matches!(o, Output::TxCompleted { completed_at, is_write: true, .. }
-            if *completed_at > Time::from_secs(20)))
+        .filter(|o| {
+            matches!(o, Output::TxCompleted { completed_at, is_write: true, .. }
+            if *completed_at > Time::from_secs(20))
+        })
         .count();
     assert!(recovery_commits > 0, "no transactions committed after the leader change");
 }
 
 #[test]
 fn crashed_local_leader_is_replaced_by_election() {
-    let mut config =
-        SystemConfig::homogeneous_regions(&[(4, Region::UsWest), (4, Region::Europe)]);
+    let mut config = SystemConfig::homogeneous_regions(&[(4, Region::UsWest), (4, Region::Europe)]);
     config.params.batch_size = 20;
     config.params.remote_leader_timeout = Duration::from_secs(4);
     config.params.brd_timeout = Duration::from_secs(4);
@@ -116,8 +116,10 @@ fn crashed_local_leader_is_replaced_by_election() {
     let recovery_commits = dep
         .outputs()
         .iter()
-        .filter(|o| matches!(o, Output::TxCompleted { completed_at, is_write: true, .. }
-            if *completed_at > Time::from_secs(25)))
+        .filter(|o| {
+            matches!(o, Output::TxCompleted { completed_at, is_write: true, .. }
+            if *completed_at > Time::from_secs(25))
+        })
         .count();
     assert!(recovery_commits > 0, "no transactions committed after the leader crash");
 }

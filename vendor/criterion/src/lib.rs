@@ -1,0 +1,246 @@
+//! Offline shim for the subset of the `criterion` API this workspace uses.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! stands in for the real `criterion` (see `DESIGN.md` §0 "Vendored shims").
+//! It supports [`Criterion::bench_function`], [`Criterion::benchmark_group`]
+//! (with `sample_size` / `measurement_time`), [`Bencher::iter`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros, so `cargo bench` runs the
+//! workspace's `[[bench]]` targets and prints per-benchmark mean wall-clock
+//! times. It is a measurement harness, not a statistics suite: no outlier
+//! analysis, no HTML reports, no baseline comparison. Swapping back to the real
+//! crate requires only re-pointing `[workspace.dependencies] criterion` at
+//! crates.io.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Timing loop handle passed to each benchmark closure.
+pub struct Bencher {
+    target: Duration,
+    /// Mean wall-clock time per iteration, set by [`Bencher::iter`].
+    mean: Duration,
+    /// Total iterations executed (warmup excluded).
+    iters: u64,
+    test_mode: bool,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly and record its mean wall-clock time.
+    ///
+    /// One warmup call sizes the measurement loop so cheap closures are timed
+    /// over many iterations while expensive ones (whole simulated deployments)
+    /// run only a handful of times.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let warmup_start = Instant::now();
+        black_box(f());
+        let once = warmup_start.elapsed().max(Duration::from_nanos(1));
+        if self.test_mode {
+            self.iters = 1;
+            self.mean = once;
+            return;
+        }
+        let n = (self.target.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+        let start = Instant::now();
+        for _ in 0..n {
+            black_box(f());
+        }
+        let total = start.elapsed();
+        self.iters = n;
+        self.mean = total / n as u32;
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    measurement_time: Duration,
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo invokes bench executables with `--bench`; `cargo test --benches`
+        // invokes them with `--test`, where each benchmark must run exactly once.
+        let mut test_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                "--bench" => {}
+                a if !a.starts_with('-') => filter = Some(a.to_string()),
+                _ => {}
+            }
+        }
+        Criterion { measurement_time: Duration::from_millis(200), test_mode, filter }
+    }
+}
+
+impl Criterion {
+    fn run_one(&mut self, id: &str, target: Duration, f: &mut dyn FnMut(&mut Bencher)) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher =
+            Bencher { target, mean: Duration::ZERO, iters: 0, test_mode: self.test_mode };
+        f(&mut bencher);
+        println!(
+            "{id:<50} time: [{}]  ({} iterations)",
+            format_duration(bencher.mean),
+            bencher.iters
+        );
+    }
+
+    /// Benchmark a single closure under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let target = self.measurement_time;
+        self.run_one(&id, target, &mut f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let measurement_time = self.measurement_time;
+        BenchmarkGroup { parent: self, name: name.into(), measurement_time }
+    }
+}
+
+/// Group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    // Group-scoped, as in real criterion: must not leak into later groups.
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; this shim sizes loops by wall-clock
+    /// target instead of sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Wall-clock budget for each benchmark's measurement loop in this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Benchmark a closure under `group_name/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into());
+        self.parent.run_one(&id, self.measurement_time, &mut f);
+        self
+    }
+
+    /// End the group (report flushing is a no-op in this shim).
+    pub fn finish(self) {}
+}
+
+/// Collect benchmark functions into a runnable group, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` for a `harness = false` bench target, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_iterations() {
+        let mut b = Bencher {
+            target: Duration::from_millis(5),
+            mean: Duration::ZERO,
+            iters: 0,
+            test_mode: false,
+        };
+        let mut count = 0u64;
+        b.iter(|| {
+            count += 1;
+            std::hint::black_box(count)
+        });
+        assert!(b.iters >= 1);
+        assert_eq!(count, b.iters + 1); // warmup + measured iterations
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut b = Bencher {
+            target: Duration::from_millis(5),
+            mean: Duration::ZERO,
+            iters: 0,
+            test_mode: true,
+        };
+        let mut count = 0u64;
+        b.iter(|| {
+            count += 1;
+        });
+        assert_eq!(count, 1);
+        assert_eq!(b.iters, 1);
+    }
+
+    #[test]
+    fn measurement_time_is_group_scoped() {
+        let mut c = Criterion {
+            measurement_time: Duration::from_millis(200),
+            test_mode: true,
+            filter: None,
+        };
+        {
+            let mut group = c.benchmark_group("g");
+            group.measurement_time(Duration::from_secs(10));
+            group.finish();
+        }
+        assert_eq!(c.measurement_time, Duration::from_millis(200));
+    }
+
+    #[test]
+    fn format_duration_units() {
+        assert_eq!(format_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(format_duration(Duration::from_micros(2)), "2.00 µs");
+        assert_eq!(format_duration(Duration::from_millis(3)), "3.00 ms");
+        assert_eq!(format_duration(Duration::from_secs(4)), "4.00 s");
+    }
+}

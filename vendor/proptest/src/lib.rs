@@ -1,0 +1,198 @@
+//! Offline shim for the subset of the `proptest` API this workspace uses.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! stands in for the real `proptest` (see `DESIGN.md` §0 "Vendored shims"). It
+//! supports the [`proptest!`] macro with integer-range strategies (`4u32..8`,
+//! `0usize..100`, inclusive ranges), [`ProptestConfig::with_cases`], and the
+//! `prop_assert*` macros. Unlike the real crate it draws cases from a **fixed
+//! deterministic seed** and does **not shrink** failing inputs — a failure
+//! report prints the sampled values instead, which is enough to reproduce
+//! because the sequence is deterministic. Swapping back to the real crate
+//! requires only re-pointing the dependency at crates.io.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// Number-of-cases knob, mirroring `proptest::test_runner::Config`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// How many random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Value sources the `x in <strategy>` binder accepts.
+pub trait Strategy {
+    /// The type of the produced values.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty strategy range");
+                // Full-width u64 range: span would overflow to 0, so draw directly.
+                let Some(span) = ((end - start) as u64).checked_add(1) else {
+                    return start + rng.next_u64() as $t;
+                };
+                start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+int_strategy!(u8, u16, u32, u64, usize);
+
+/// Seed for case `case` of the property named `name` — deterministic across
+/// runs so every reported failure is reproducible.
+pub fn case_rng(name: &str, case: u32) -> StdRng {
+    let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+    for b in name.bytes() {
+        seed = (seed ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    StdRng::seed_from_u64(seed ^ (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+/// Property-test entry point, mirroring `proptest::proptest!`.
+///
+/// Each `fn name(x in strategy, ...) { body }` becomes a `#[test]` (the
+/// attribute is written by the caller, as with real proptest) that runs the
+/// body over `config.cases` deterministically sampled inputs, printing the
+/// sampled values if a case panics.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )+
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                for case in 0..config.cases {
+                    let mut rng = $crate::case_rng(stringify!($name), case);
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)+
+                    let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| $body));
+                    if let Err(payload) = result {
+                        eprintln!(
+                            concat!(
+                                "proptest case {} of {} failed for ",
+                                stringify!($name),
+                                "(", $(stringify!($arg), " = {:?}, ",)+ ")"
+                            ),
+                            case + 1,
+                            config.cases,
+                            $($arg),+
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )+
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )+
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strat),+) $body
+            )+
+        }
+    };
+}
+
+/// `assert!` under a proptest-compatible name (this shim panics instead of
+/// returning `TestCaseError`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `assert_ne!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+pub mod prelude {
+    //! Mirrors `proptest::prelude` for `use proptest::prelude::*;`.
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{ProptestConfig, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn case_rng_is_deterministic_per_case() {
+        use rand::RngCore;
+        let a = crate::case_rng("p", 3).next_u64();
+        let b = crate::case_rng("p", 3).next_u64();
+        let c = crate::case_rng("p", 4).next_u64();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn samples_stay_in_range(n in 4u32..8, k in 1usize..25) {
+            prop_assert!((4..8).contains(&n));
+            prop_assert!((1..25).contains(&k));
+        }
+
+        #[test]
+        fn inclusive_ranges_hit_both_ends(x in 0u8..=1) {
+            prop_assert!(x <= 1);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_works(v in 0u64..10) {
+            prop_assert_ne!(v, 10);
+        }
+    }
+}

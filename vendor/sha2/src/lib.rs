@@ -1,0 +1,57 @@
+//! Offline shim for the `sha2` crate (see `DESIGN.md` §0 "Vendored shims").
+//!
+//! The build environment has no access to crates.io. No workspace crate
+//! currently depends on `sha2` — `ava-crypto` implements SHA-256 from scratch
+//! and validates it against FIPS 180-4 known-answer tests — but the workspace
+//! dependency table reserves the name so future crates can `sha2.workspace =
+//! true` without touching manifests. This shim delegates to `ava-crypto`'s
+//! implementation and exposes the common one-shot and incremental entry
+//! points. Deviation from the real crate: [`Sha256::finalize`] returns a plain
+//! `[u8; 32]` instead of a `generic_array::GenericArray`.
+
+/// Incremental SHA-256 hasher, mirroring `sha2::Sha256`.
+#[derive(Clone, Default)]
+pub struct Sha256(ava_crypto::sha256::Sha256);
+
+impl Sha256 {
+    /// New hasher with the FIPS 180-4 initial state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feed bytes into the hasher.
+    pub fn update(&mut self, data: impl AsRef<[u8]>) {
+        self.0.update(data.as_ref());
+    }
+
+    /// Finish and return the 32-byte digest.
+    pub fn finalize(self) -> [u8; 32] {
+        self.0.finalize()
+    }
+
+    /// One-shot digest of `data`, mirroring `sha2::Digest::digest`.
+    pub fn digest(data: impl AsRef<[u8]>) -> [u8; 32] {
+        ava_crypto::sha256(data.as_ref())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Sha256;
+
+    #[test]
+    fn matches_fips_vector() {
+        assert_eq!(
+            Sha256::digest(b"abc").iter().map(|b| format!("{b:02x}")).collect::<String>(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+    }
+
+    #[test]
+    fn incremental_matches_one_shot() {
+        let mut h = Sha256::new();
+        h.update(b"ab");
+        h.update(b"c");
+        assert_eq!(h.finalize(), Sha256::digest(b"abc"));
+    }
+}
