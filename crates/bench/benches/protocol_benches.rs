@@ -38,15 +38,20 @@ fn bench_workload(c: &mut Criterion) {
 }
 
 fn bench_block_digest(c: &mut Criterion) {
-    let block = ava_consensus::Block {
-        cluster: ClusterId(0),
-        height: 7,
-        proposer: ReplicaId(1),
-        ops: (0..100)
+    let ops = || {
+        (0..100)
             .map(|i| Operation::Trans(Transaction::write(ClientId(0), i, i % 64, 1024)))
-            .collect(),
+            .collect()
     };
-    c.bench_function("block_digest_100tx", |b| b.iter(|| black_box(block.digest())));
+    let block = ava_consensus::Block::new(ClusterId(0), 7, ReplicaId(1), ops());
+    // `digest()` memoises, so benchmark the cached path and the fresh path apart.
+    c.bench_function("block_digest_100tx_cached", |b| b.iter(|| black_box(block.digest())));
+    c.bench_function("block_digest_100tx_fresh", |b| {
+        b.iter(|| {
+            let block = ava_consensus::Block::new(ClusterId(0), 7, ReplicaId(1), ops());
+            black_box(block.digest())
+        })
+    });
 }
 
 fn tob_decision<T, F>(n: u32, ops: usize, factory: F)

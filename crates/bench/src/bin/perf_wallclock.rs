@@ -1,0 +1,95 @@
+//! Wall-clock perf harness CLI — times the end-to-end `figure_benches` shapes
+//! (E0/E1/E3 pipelines + GeoBFT baseline) and emits `BENCH_PR2.json`.
+//!
+//! ```text
+//! perf_wallclock [--quick|--full] [--iters N] [--out FILE] \
+//!                [--baseline FILE.tsv] [--emit-tsv FILE.tsv]
+//! ```
+//!
+//! * `--quick` (default): 5 s-virtual-time shapes; finishes in seconds.
+//! * `--full`: additionally runs the paper-scale E0 sweep (`AVA_FULL=1`
+//!   equivalent: 96 nodes, 180 s windows) and records its wall-clock.
+//! * `--baseline`: a `name\twall_ms` TSV from a previous run (typically the parent
+//!   commit); per-shape speedups are recorded in the JSON.
+//! * `--emit-tsv`: write this run's timings in the baseline format.
+
+use ava_bench::perf::{
+    parse_baseline, peak_rss_kb, render_json, render_tsv, run_full_e0, run_quick_shapes,
+};
+use std::collections::BTreeMap;
+
+fn main() {
+    let mut full = false;
+    let mut iters = 3u32;
+    let mut out = String::from("BENCH_PR2.json");
+    let mut baseline_path: Option<String> = None;
+    let mut tsv_path: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => full = false,
+            "--full" => full = true,
+            "--iters" => iters = next_value(&mut args, "--iters").parse().expect("--iters N"),
+            "--out" => out = next_value(&mut args, "--out"),
+            "--baseline" => baseline_path = Some(next_value(&mut args, "--baseline")),
+            "--emit-tsv" => tsv_path = Some(next_value(&mut args, "--emit-tsv")),
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let baseline: BTreeMap<String, f64> = match &baseline_path {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+            parse_baseline(&text)
+        }
+        None => BTreeMap::new(),
+    };
+
+    let mode = if full { "full" } else { "quick" };
+    eprintln!("perf_wallclock: mode={mode} iters={iters}");
+    let mut records = run_quick_shapes(iters);
+    for r in &records {
+        let speedup = baseline
+            .get(&r.name)
+            .map(|b| format!("  speedup {:.2}x", b / r.wall_ms))
+            .unwrap_or_default();
+        eprintln!(
+            "  {:<42} {:>10.1} ms  {:>12.0} events/s  {:>7} txns{speedup}",
+            r.name, r.wall_ms, r.events_per_sec, r.completed_txns
+        );
+    }
+    if full {
+        eprintln!("running paper-scale E0 sweep (this takes a while)...");
+        let (record, rows) = run_full_e0();
+        eprintln!("  {:<42} {:>10.1} ms", record.name, record.wall_ms);
+        // Echo the sweep's result rows so a 20+-minute run never has to be repeated
+        // just to transcribe them into EXPERIMENTS.md (the sweep also prints its
+        // own table on stdout).
+        for row in &rows {
+            eprintln!("  e0 full row: {}", row.join(" | "));
+        }
+        records.push(record);
+    }
+
+    let json = render_json(mode, iters, &records, &baseline);
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    eprintln!("wrote {out} (peak RSS: {:?} kiB)", peak_rss_kb());
+
+    if let Some(path) = tsv_path {
+        std::fs::write(&path, render_tsv(&records))
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        eprintln!("wrote {path}");
+    }
+}
+
+fn next_value(args: &mut impl Iterator<Item = String>, flag: &str) -> String {
+    args.next().unwrap_or_else(|| {
+        eprintln!("{flag} requires a value");
+        std::process::exit(2);
+    })
+}

@@ -11,8 +11,10 @@
 
 pub mod complexity;
 pub mod experiments;
+pub mod perf;
 pub mod report;
 
 pub use complexity::{complexity_table, ComplexityRow};
 pub use experiments::{ExperimentScale, Protocol};
+pub use perf::PerfRecord;
 pub use report::{print_table, stage_breakdown, throughput_timeseries, RunMetrics};

@@ -27,16 +27,18 @@ use ava_consensus::{
 use ava_crypto::{Digest, KeyRegistry, Keypair, QuorumCert, SigSet, Signature};
 use ava_types::{Operation, ReplicaId, Time, Timestamp};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// BFT-SMaRt-style wire messages.
 #[derive(Clone, Debug)]
 pub enum BftSmartMsg {
     /// A replica forwards an operation to the leader for ordering.
     Forward(Operation),
-    /// Leader proposal starting a consensus instance (PBFT pre-prepare).
+    /// Leader proposal starting a consensus instance (PBFT pre-prepare). The block
+    /// is `Arc`-shared: the broadcast clones a pointer per member, not the batch.
     PrePrepare {
         /// The proposed block.
-        block: Block,
+        block: Arc<Block>,
         /// Leader regency (timestamp) the proposal belongs to.
         regency: u64,
     },
@@ -80,7 +82,7 @@ impl WireSize for BftSmartMsg {
 /// Per-instance voting state.
 #[derive(Debug, Default)]
 struct Instance {
-    block: Option<Block>,
+    block: Option<Arc<Block>>,
     digest: Option<Digest>,
     prepares: SigSet,
     commits: SigSet,
@@ -144,12 +146,8 @@ impl BftSmart {
             return;
         }
         let ops = self.pool.take_batch(self.cfg.max_block_size);
-        let block = Block {
-            cluster: self.cfg.cluster,
-            height: self.next_propose_height,
-            proposer: self.cfg.me,
-            ops,
-        };
+        let block =
+            Arc::new(Block::new(self.cfg.cluster, self.next_propose_height, self.cfg.me, ops));
         self.next_propose_height += 1;
         self.proposal_outstanding = true;
         out.push(TobAction::Consume(self.cfg.sign_cost));
@@ -159,7 +157,7 @@ impl BftSmart {
     fn handle_pre_prepare(
         &mut self,
         from: ReplicaId,
-        block: Block,
+        block: Arc<Block>,
         regency: u64,
         out: &mut Vec<TobAction<BftSmartMsg>>,
     ) {

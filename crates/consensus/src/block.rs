@@ -4,12 +4,22 @@
 //! Once a quorum of the cluster signs it, the block plus its [`QuorumCert`] forms a
 //! [`CommittedBlock`], which is exactly what Stage 2 ships to other clusters ("each
 //! operation is paired with a certificate of consensus", §II-A).
+//!
+//! Blocks are immutable once built (construct via [`Block::new`]) and memoise their
+//! digest and wire size: proposals travel as `Arc<Block>`, so every replica that
+//! receives a clone of the same proposal shares one digest computation instead of
+//! re-hashing the full batch (see `DESIGN.md` §4).
 
 use ava_crypto::{Digest, QuorumCert};
-use ava_types::{ClusterId, Encode, Operation, ReplicaId};
+use ava_types::{ClusterId, Encode, EncodeSink, Operation, ReplicaId};
+use std::sync::{Arc, OnceLock};
 
 /// A proposed batch of operations.
-#[derive(Clone, PartialEq, Eq, Debug)]
+///
+/// The payload fields are public for reading; treat a constructed block as
+/// immutable — `digest()` and `wire_size()` memoise their first result, so mutating
+/// `ops` after construction would make the caches stale.
+#[derive(Clone)]
 pub struct Block {
     /// The cluster in which the block was proposed.
     pub cluster: ClusterId,
@@ -19,12 +29,29 @@ pub struct Block {
     pub proposer: ReplicaId,
     /// The operations, in the proposed order.
     pub ops: Vec<Operation>,
+    /// Memoised canonical digest (shared by all clones made after first use).
+    digest_cache: OnceLock<Digest>,
+    /// Memoised approximate wire size.
+    wire_size_cache: OnceLock<usize>,
 }
 
 impl Block {
+    /// Build a block from its parts.
+    pub fn new(cluster: ClusterId, height: u64, proposer: ReplicaId, ops: Vec<Operation>) -> Self {
+        Block {
+            cluster,
+            height,
+            proposer,
+            ops,
+            digest_cache: OnceLock::new(),
+            wire_size_cache: OnceLock::new(),
+        }
+    }
+
     /// Canonical digest of the block (what votes and certificates sign).
+    /// Computed once and memoised.
     pub fn digest(&self) -> Digest {
-        Digest::of(self)
+        *self.digest_cache.get_or_init(|| Digest::of(self))
     }
 
     /// Number of transactions (non-reconfiguration operations) in the block.
@@ -32,21 +59,45 @@ impl Block {
         self.ops.iter().filter(|o| !o.is_reconfig()).count()
     }
 
-    /// Approximate wire size of the block in bytes.
+    /// Approximate wire size of the block in bytes. Computed once and memoised.
     pub fn wire_size(&self) -> usize {
-        64 + self
-            .ops
-            .iter()
-            .map(|o| match o {
-                Operation::Trans(t) => t.payload_size as usize + 32,
-                Operation::ReconfigSet(rc) => rc.len() * 64 + 32,
-            })
-            .sum::<usize>()
+        *self.wire_size_cache.get_or_init(|| {
+            64 + self
+                .ops
+                .iter()
+                .map(|o| match o {
+                    Operation::Trans(t) => t.payload_size as usize + 32,
+                    Operation::ReconfigSet(rc) => rc.len() * 64 + 32,
+                })
+                .sum::<usize>()
+        })
+    }
+}
+
+impl PartialEq for Block {
+    fn eq(&self, other: &Self) -> bool {
+        self.cluster == other.cluster
+            && self.height == other.height
+            && self.proposer == other.proposer
+            && self.ops == other.ops
+    }
+}
+
+impl Eq for Block {}
+
+impl std::fmt::Debug for Block {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Block")
+            .field("cluster", &self.cluster)
+            .field("height", &self.height)
+            .field("proposer", &self.proposer)
+            .field("ops", &self.ops)
+            .finish()
     }
 }
 
 impl Encode for Block {
-    fn encode(&self, out: &mut Vec<u8>) {
+    fn encode(&self, out: &mut dyn EncodeSink) {
         self.cluster.encode(out);
         self.height.encode(out);
         self.proposer.encode(out);
@@ -55,10 +106,14 @@ impl Encode for Block {
 }
 
 /// A block together with the quorum certificate that committed it.
+///
+/// The block is `Arc`-shared: a committed block flows from the local TOB into the
+/// round package and from there to every remote replica, and none of those hops
+/// needs its own copy of the operation batch.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct CommittedBlock {
     /// The committed block.
-    pub block: Block,
+    pub block: Arc<Block>,
     /// Quorum certificate over the block digest, signed by the block's cluster.
     pub cert: QuorumCert,
 }
@@ -91,23 +146,52 @@ mod tests {
     use ava_crypto::{KeyRegistry, SigSet};
     use ava_types::{ClientId, Transaction};
 
+    /// The `Arc`-shared payloads must stay thread-safe (`OnceLock`/`Mutex` memos,
+    /// not `Cell`/`RefCell`) so future parallel drivers can move deployments and
+    /// messages across threads.
+    #[test]
+    fn shared_payloads_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Block>();
+        assert_send_sync::<CommittedBlock>();
+        assert_send_sync::<QuorumCert>();
+    }
+
     fn block(n_tx: usize) -> Block {
-        Block {
-            cluster: ClusterId(0),
-            height: 3,
-            proposer: ReplicaId(1),
-            ops: (0..n_tx)
+        Block::new(
+            ClusterId(0),
+            3,
+            ReplicaId(1),
+            (0..n_tx)
                 .map(|i| {
                     Operation::Trans(Transaction::write(ClientId(0), i as u64, i as u64, 1024))
                 })
                 .collect(),
-        }
+        )
     }
 
     #[test]
     fn digest_changes_with_content() {
         assert_ne!(block(2).digest(), block(3).digest());
         assert_eq!(block(2).digest(), block(2).digest());
+    }
+
+    #[test]
+    fn cached_digest_matches_fresh_computation() {
+        let b = block(5);
+        let first = b.digest();
+        // Second call hits the memo; an identical uncached block must agree.
+        assert_eq!(first, b.digest());
+        assert_eq!(first, block(5).digest());
+        assert_eq!(first, Digest::of(&b));
+    }
+
+    #[test]
+    fn clones_share_the_memoised_digest() {
+        let b = block(4);
+        let d = b.digest();
+        let c = b.clone();
+        assert_eq!(c.digest(), d);
     }
 
     #[test]
@@ -124,7 +208,10 @@ mod tests {
         let b = block(2);
         let digest = b.digest();
         let sigs: SigSet = kps[..3].iter().map(|kp| kp.sign(&digest)).collect();
-        let cb = CommittedBlock { block: b, cert: QuorumCert::new(ClusterId(0), digest, sigs) };
+        let cb = CommittedBlock {
+            block: Arc::new(b),
+            cert: QuorumCert::new(ClusterId(0), digest, sigs),
+        };
         assert!(cb.verify(&reg, &members, 3));
         // With a grown cluster (quorum 5) the same certificate no longer validates.
         let grown: Vec<ReplicaId> = (0..7).map(ReplicaId).collect();
@@ -138,7 +225,10 @@ mod tests {
         let b = block(1);
         let digest = b.digest();
         let sigs: SigSet = [kp.sign(&digest)].into_iter().collect();
-        let cb = CommittedBlock { block: b, cert: QuorumCert::new(ClusterId(9), digest, sigs) };
+        let cb = CommittedBlock {
+            block: Arc::new(b),
+            cert: QuorumCert::new(ClusterId(9), digest, sigs),
+        };
         assert!(!cb.verify(&reg, &[ReplicaId(0)], 1));
     }
 }

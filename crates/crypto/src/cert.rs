@@ -9,8 +9,9 @@
 
 use crate::keys::{KeyRegistry, Signature};
 use crate::sha256::Digest;
-use ava_types::{ClusterId, Encode, ReplicaId};
+use ava_types::{ClusterId, Encode, EncodeSink, ReplicaId};
 use std::collections::BTreeMap;
+use std::sync::Mutex;
 
 /// A set of signatures over a single digest, at most one per signer.
 #[derive(Clone, PartialEq, Eq, Debug, Default)]
@@ -77,7 +78,7 @@ impl SigSet {
 }
 
 impl Encode for SigSet {
-    fn encode(&self, out: &mut Vec<u8>) {
+    fn encode(&self, out: &mut dyn EncodeSink) {
         (self.sigs.len() as u64).encode(out);
         for sig in self.sigs.values() {
             sig.encode(out);
@@ -99,7 +100,14 @@ impl FromIterator<Signature> for SigSet {
 ///
 /// This is the unit attached to operations in inter-cluster messages (Alg. 1: "a
 /// certificate for an operation contains at least `2·f_i + 1` signatures").
-#[derive(Clone, PartialEq, Eq, Debug)]
+///
+/// Verification carries a single-entry memo: when the same certificate value is
+/// shared by reference across many verifiers (the `Arc`-shared round packages of the
+/// Stage 2 fan-out), only the first verifier pays the per-signature HMAC cost for a
+/// given `(registry, digest, members, threshold)` context; the rest hit the memo.
+/// The memo is interior state only — it does not participate in equality, hashing or
+/// encoding; the `Mutex` keeps the certificate `Sync` (it is uncontended in the
+/// single-threaded simulator).
 pub struct QuorumCert {
     /// The cluster whose quorum signed.
     pub cluster: ClusterId,
@@ -107,12 +115,45 @@ pub struct QuorumCert {
     pub digest: Digest,
     /// The signatures.
     pub sigs: SigSet,
+    /// `(context key, verdict)` of the most recent `is_valid` evaluation.
+    valid_memo: Mutex<Option<(u64, bool)>>,
+}
+
+impl Clone for QuorumCert {
+    fn clone(&self) -> Self {
+        QuorumCert {
+            cluster: self.cluster,
+            digest: self.digest,
+            sigs: self.sigs.clone(),
+            valid_memo: Mutex::new(*self.valid_memo.lock().expect("memo lock poisoned")),
+        }
+    }
+}
+
+/// FNV-1a over the full verification context, so a memo hit can only replay a
+/// verdict computed for the identical question.
+fn memo_key(registry: &KeyRegistry, expected: &Digest, members: &[ReplicaId], t: usize) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    mix(&registry.instance_id().to_le_bytes());
+    mix(&expected.0);
+    mix(&(t as u64).to_le_bytes());
+    mix(&(members.len() as u64).to_le_bytes());
+    for m in members {
+        mix(&m.0.to_le_bytes());
+    }
+    h
 }
 
 impl QuorumCert {
     /// Build a certificate from parts.
     pub fn new(cluster: ClusterId, digest: Digest, sigs: SigSet) -> Self {
-        QuorumCert { cluster, digest, sigs }
+        QuorumCert { cluster, digest, sigs, valid_memo: Mutex::new(None) }
     }
 
     /// Verify that the certificate carries at least `threshold` valid signatures from
@@ -128,7 +169,15 @@ impl QuorumCert {
         if self.digest != *expected {
             return false;
         }
-        self.sigs.count_valid(registry, expected, members) >= threshold
+        let key = memo_key(registry, expected, members, threshold);
+        if let Some((cached_key, verdict)) = *self.valid_memo.lock().expect("memo lock poisoned") {
+            if cached_key == key {
+                return verdict;
+            }
+        }
+        let verdict = self.sigs.count_valid(registry, expected, members) >= threshold;
+        *self.valid_memo.lock().expect("memo lock poisoned") = Some((key, verdict));
+        verdict
     }
 
     /// Number of signatures carried (valid or not).
@@ -137,8 +186,26 @@ impl QuorumCert {
     }
 }
 
+impl PartialEq for QuorumCert {
+    fn eq(&self, other: &Self) -> bool {
+        self.cluster == other.cluster && self.digest == other.digest && self.sigs == other.sigs
+    }
+}
+
+impl Eq for QuorumCert {}
+
+impl std::fmt::Debug for QuorumCert {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QuorumCert")
+            .field("cluster", &self.cluster)
+            .field("digest", &self.digest)
+            .field("sigs", &self.sigs)
+            .finish()
+    }
+}
+
 impl Encode for QuorumCert {
-    fn encode(&self, out: &mut Vec<u8>) {
+    fn encode(&self, out: &mut dyn EncodeSink) {
         self.cluster.encode(out);
         self.digest.encode(out);
         self.sigs.encode(out);

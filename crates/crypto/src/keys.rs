@@ -8,7 +8,7 @@
 
 use crate::hmac::hmac_sha256;
 use crate::sha256::Digest;
-use ava_types::{Encode, ReplicaId};
+use ava_types::{Encode, EncodeSink, ReplicaId};
 use std::collections::HashMap;
 use std::sync::{Arc, RwLock};
 
@@ -22,16 +22,43 @@ pub struct Signature {
 }
 
 impl Encode for Signature {
-    fn encode(&self, out: &mut Vec<u8>) {
+    fn encode(&self, out: &mut dyn EncodeSink) {
         self.signer.encode(out);
-        out.extend_from_slice(&self.tag);
+        out.write(&self.tag);
     }
 }
 
-#[derive(Default)]
 struct RegistryInner {
+    /// Identifier unique to this registry instance for the whole process lifetime
+    /// (monotonic counter, never reused — unlike a heap address).
+    id: u64,
     secrets: HashMap<ReplicaId, [u8; 32]>,
+    /// Memo of *expected* HMAC tags by `(signer, digest)`.
+    ///
+    /// In a simulated deployment the same signature is verified by every receiver of
+    /// a broadcast; the expected tag depends only on the signer's secret and the
+    /// digest, so the first verification pays the HMAC and the rest are a map
+    /// lookup. Only registry-derived tags are cached (never attacker-supplied ones),
+    /// so a forged signature can not poison the memo. Bounded by
+    /// [`TAG_MEMO_CAPACITY`]; cleared wholesale when full (tags are recomputable).
+    tags: HashMap<(ReplicaId, [u8; 32]), [u8; 32]>,
 }
+
+impl Default for RegistryInner {
+    fn default() -> Self {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static NEXT_ID: AtomicU64 = AtomicU64::new(0);
+        RegistryInner {
+            id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+            secrets: HashMap::new(),
+            tags: HashMap::new(),
+        }
+    }
+}
+
+/// Upper bound on memoised `(signer, digest)` tags (~72 bytes each, so ≈ 75 MiB
+/// worst case) before the memo is reset.
+const TAG_MEMO_CAPACITY: usize = 1 << 20;
 
 /// Registry mapping replica ids to their secrets.
 ///
@@ -67,13 +94,42 @@ impl KeyRegistry {
         self.inner.read().expect("registry lock poisoned").secrets.contains_key(&replica)
     }
 
+    /// An identifier unique to this registry instance (and its clones) for the
+    /// whole process lifetime, used to key per-certificate verification memos so
+    /// results from one registry are never replayed against another (a monotonic
+    /// id, so a dropped registry's identity is never reused the way a heap address
+    /// can be).
+    pub fn instance_id(&self) -> u64 {
+        self.inner.read().expect("registry lock poisoned").id
+    }
+
     /// Verify `sig` over `digest`.
+    ///
+    /// The expected tag for `(signer, digest)` is memoised, so when every member of
+    /// a cluster verifies the same broadcast signature only the first check pays the
+    /// HMAC cost. The common memo-hit path takes only the read lock; the write lock
+    /// is taken just to install a freshly computed tag. (Replicas still *charge
+    /// themselves* the modelled `per_sig_verify` CPU time — the memo changes
+    /// wall-clock, not virtual time.)
     pub fn verify(&self, digest: &Digest, sig: &Signature) -> bool {
-        let inner = self.inner.read().expect("registry lock poisoned");
-        match inner.secrets.get(&sig.signer) {
-            Some(secret) => hmac_sha256(secret, &digest.0) == sig.tag,
-            None => false,
+        let key = (sig.signer, digest.0);
+        let secret = {
+            let inner = self.inner.read().expect("registry lock poisoned");
+            if let Some(expected) = inner.tags.get(&key) {
+                return *expected == sig.tag;
+            }
+            match inner.secrets.get(&sig.signer) {
+                Some(secret) => *secret,
+                None => return false,
+            }
+        };
+        let expected = hmac_sha256(&secret, &digest.0);
+        let mut inner = self.inner.write().expect("registry lock poisoned");
+        if inner.tags.len() >= TAG_MEMO_CAPACITY {
+            inner.tags.clear();
         }
+        inner.tags.insert(key, expected);
+        expected == sig.tag
     }
 
     /// Number of registered keys.
@@ -149,6 +205,20 @@ mod tests {
         let digest = Digest::of(&3u64);
         assert!(!reg.verify(&digest, &rogue.sign(&digest)));
         assert!(!reg.is_registered(ReplicaId(9)));
+    }
+
+    #[test]
+    fn tag_memo_never_validates_forged_tags() {
+        let reg = KeyRegistry::new();
+        let kp = reg.register(ReplicaId(1));
+        let digest = Digest::of(&5u64);
+        let good = kp.sign(&digest);
+        // Prime the memo with the genuine verification, then check a forged tag for
+        // the same (signer, digest) key is still rejected on the memo-hit path.
+        assert!(reg.verify(&digest, &good));
+        let forged = Signature { signer: ReplicaId(1), tag: [0u8; 32] };
+        assert!(!reg.verify(&digest, &forged));
+        assert!(reg.verify(&digest, &good));
     }
 
     #[test]

@@ -1,16 +1,35 @@
 //! SHA-256, implemented from scratch (FIPS 180-4), plus a [`Digest`] newtype.
+//!
+//! The hasher doubles as an [`EncodeSink`], so [`Digest::of`] streams a value's
+//! canonical encoding straight into the compression function without materialising
+//! an intermediate buffer (the hot-path invariant of `DESIGN.md` §4).
 
-use ava_types::Encode;
+use ava_types::{Encode, EncodeSink};
 use std::fmt;
+
+const HEX: &[u8; 16] = b"0123456789abcdef";
+
+/// Hex-encode `bytes` into a single preallocated string.
+fn hex_encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        out.push(HEX[(b >> 4) as usize] as char);
+        out.push(HEX[(b & 0xf) as usize] as char);
+    }
+    out
+}
 
 /// A 32-byte SHA-256 digest.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Digest(pub [u8; 32]);
 
 impl Digest {
-    /// Digest of the canonical encoding of `value`.
+    /// Digest of the canonical encoding of `value`, streamed directly into the
+    /// hasher (no intermediate allocation).
     pub fn of<T: Encode + ?Sized>(value: &T) -> Digest {
-        Digest(sha256(&value.encoded()))
+        let mut h = Sha256::new();
+        value.encode(&mut h);
+        Digest(h.finalize())
     }
 
     /// Digest of raw bytes.
@@ -20,7 +39,12 @@ impl Digest {
 
     /// First eight bytes as a hex string (for logs and debugging).
     pub fn short_hex(&self) -> String {
-        self.0[..8].iter().map(|b| format!("{b:02x}")).collect()
+        hex_encode(&self.0[..8])
+    }
+
+    /// All 32 bytes as a hex string.
+    pub fn hex(&self) -> String {
+        hex_encode(&self.0)
     }
 }
 
@@ -31,8 +55,14 @@ impl fmt::Debug for Digest {
 }
 
 impl Encode for Digest {
-    fn encode(&self, out: &mut Vec<u8>) {
-        out.extend_from_slice(&self.0);
+    fn encode(&self, out: &mut dyn EncodeSink) {
+        out.write(&self.0);
+    }
+}
+
+impl EncodeSink for Sha256 {
+    fn write(&mut self, bytes: &[u8]) {
+        self.update(bytes);
     }
 }
 
@@ -222,5 +252,21 @@ mod tests {
         assert_eq!(d1, d2);
         assert_ne!(d1, d3);
         assert_eq!(d1.short_hex().len(), 16);
+    }
+
+    #[test]
+    fn streaming_digest_matches_buffered_encoding() {
+        // Digest::of streams into the hasher; it must equal hashing the buffered
+        // canonical encoding.
+        let value = (7u64, vec!["abc".to_string(), "defg".to_string()]);
+        assert_eq!(Digest::of(&value), Digest::of_bytes(&value.encoded()));
+    }
+
+    #[test]
+    fn hex_helpers_agree_with_format() {
+        let d = Digest::of(&1u64);
+        let expect: String = d.0.iter().map(|b| format!("{b:02x}")).collect();
+        assert_eq!(d.hex(), expect);
+        assert_eq!(d.short_hex(), expect[..16]);
     }
 }

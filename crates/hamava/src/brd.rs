@@ -11,8 +11,9 @@
 //! Hamava replica, exactly as the paper presents it ("a general reusable module, that
 //! is of independent interest").
 
+use ava_crypto::sha256::Sha256;
 use ava_crypto::{Digest, KeyRegistry, Keypair, SigSet, Signature};
-use ava_types::{Duration, Encode, Reconfig, ReplicaId, Round, Time, Timestamp};
+use ava_types::{Duration, Encode, EncodeSink, Reconfig, ReplicaId, Round, Time, Timestamp};
 use std::collections::BTreeMap;
 
 /// One replica's signed contribution of collected reconfiguration requests.
@@ -29,13 +30,15 @@ pub struct RecsContribution {
 }
 
 impl RecsContribution {
-    /// The digest this contribution's signature covers.
+    /// The digest this contribution's signature covers. Streamed straight into the
+    /// hasher (no intermediate buffer).
     pub fn signing_digest(round: Round, from: ReplicaId, recs: &[Reconfig]) -> Digest {
-        let mut bytes = b"brd-contrib".to_vec();
-        round.encode(&mut bytes);
-        from.encode(&mut bytes);
-        recs.encode(&mut bytes);
-        Digest::of_bytes(&bytes)
+        let mut h = Sha256::new();
+        h.write(b"brd-contrib");
+        round.encode(&mut h);
+        from.encode(&mut h);
+        recs.encode(&mut h);
+        Digest(h.finalize())
     }
 
     /// Verify the contribution's signature.
@@ -58,19 +61,22 @@ pub enum AggJustify {
     Readies(SigSet),
 }
 
-/// Domain-separated digests for the Echo and Ready votes over a set of requests.
+/// Domain-separated digests for the Echo and Ready votes over a set of requests,
+/// streamed straight into the hasher.
+fn domain_digest(domain: &[u8], round: Round, recs: &[Reconfig]) -> Digest {
+    let mut h = Sha256::new();
+    h.write(domain);
+    round.encode(&mut h);
+    recs.encode(&mut h);
+    Digest(h.finalize())
+}
+
 fn echo_digest(round: Round, recs: &[Reconfig]) -> Digest {
-    let mut bytes = b"brd-echo".to_vec();
-    round.encode(&mut bytes);
-    recs.encode(&mut bytes);
-    Digest::of_bytes(&bytes)
+    domain_digest(b"brd-echo", round, recs)
 }
 
 fn ready_digest(round: Round, recs: &[Reconfig]) -> Digest {
-    let mut bytes = b"brd-ready".to_vec();
-    round.encode(&mut bytes);
-    recs.encode(&mut bytes);
-    Digest::of_bytes(&bytes)
+    domain_digest(b"brd-ready", round, recs)
 }
 
 /// The certificate delivered alongside a reconfiguration set: `Σ` attests quorum

@@ -16,12 +16,18 @@ use ava_types::{
     ClientId, ClusterId, Membership, Reconfig, Region, ReplicaId, Round, Transaction, TxId,
 };
 use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock};
 
 /// Everything a cluster ships to other clusters for one round: its committed blocks
 /// (with consensus certificates) and its agreed reconfiguration set (with the BRD
 /// delivery certificate). This is the payload of the paper's `Inter` and `Local`
 /// messages (Alg. 1).
-#[derive(Clone, Debug)]
+///
+/// Packages travel inside [`AvaMsg::Inter`]/[`AvaMsg::LocalShare`] behind an `Arc`,
+/// so an n-recipient fan-out clones a pointer, not the blocks. Construct via
+/// [`RoundPackage::new`] and treat the built package as immutable: `wire_size()`
+/// memoises its first result (see `DESIGN.md` §4).
+#[derive(Clone)]
 pub struct RoundPackage {
     /// The originating cluster.
     pub cluster: ClusterId,
@@ -34,9 +40,34 @@ pub struct RoundPackage {
     /// BRD certificate for `recs` (absent when the parallel reconfiguration workflow
     /// is disabled and reconfigurations travel inside the blocks instead).
     pub recs_cert: Option<BrdCert>,
+    /// Memoised approximate wire size.
+    wire_size_cache: OnceLock<usize>,
+}
+
+impl std::fmt::Debug for RoundPackage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RoundPackage")
+            .field("cluster", &self.cluster)
+            .field("round", &self.round)
+            .field("blocks", &self.blocks)
+            .field("recs", &self.recs)
+            .field("recs_cert", &self.recs_cert)
+            .finish()
+    }
 }
 
 impl RoundPackage {
+    /// Build a package from its parts.
+    pub fn new(
+        cluster: ClusterId,
+        round: Round,
+        blocks: Vec<CommittedBlock>,
+        recs: Vec<Reconfig>,
+        recs_cert: Option<BrdCert>,
+    ) -> Self {
+        RoundPackage { cluster, round, blocks, recs, recs_cert, wire_size_cache: OnceLock::new() }
+    }
+
     /// Verify every certificate in the package against the verifier's current
     /// membership view (`membership`) of the originating cluster.
     pub fn verify(&self, registry: &KeyRegistry, membership: &Membership) -> bool {
@@ -58,12 +89,15 @@ impl RoundPackage {
         self.blocks.iter().map(|b| b.block.tx_count()).sum()
     }
 
-    /// Approximate wire size in bytes.
+    /// Approximate wire size in bytes. Computed once and memoised, so sizing the
+    /// same shared package for every recipient of a fan-out is O(1).
     pub fn wire_size(&self) -> usize {
-        self.blocks.iter().map(|b| b.wire_size()).sum::<usize>()
-            + self.recs.len() * 64
-            + self.recs_cert.as_ref().map(|c| c.wire_size()).unwrap_or(0)
-            + 64
+        *self.wire_size_cache.get_or_init(|| {
+            self.blocks.iter().map(|b| b.wire_size()).sum::<usize>()
+                + self.recs.len() * 64
+                + self.recs_cert.as_ref().map(|c| c.wire_size()).unwrap_or(0)
+                + 64
+        })
     }
 }
 
@@ -92,10 +126,11 @@ pub enum AvaMsg<TM> {
     Election(ElectionMsg),
     /// Remote leader change traffic.
     RemoteLeader(RemoteLeaderMsg),
-    /// Stage 2: leader-to-remote-cluster package (the paper's `Inter`).
-    Inter(RoundPackage),
+    /// Stage 2: leader-to-remote-cluster package (the paper's `Inter`). Arc-shared:
+    /// the per-recipient clone of the fan-out is a pointer bump.
+    Inter(Arc<RoundPackage>),
     /// Stage 2: local re-broadcast of a remote package (the paper's `Local`).
-    LocalShare(RoundPackage),
+    LocalShare(Arc<RoundPackage>),
     /// Reconfiguration collection: a replica asks to join (Alg. 3).
     RequestJoin {
         /// The joining replica.
@@ -182,13 +217,7 @@ mod tests {
     #[test]
     fn round_package_verification_requires_known_cluster() {
         let registry = KeyRegistry::new();
-        let pkg = RoundPackage {
-            cluster: ClusterId(5),
-            round: Round(1),
-            blocks: vec![],
-            recs: vec![],
-            recs_cert: None,
-        };
+        let pkg = RoundPackage::new(ClusterId(5), Round(1), vec![], vec![], None);
         // Unknown cluster => empty member list => rejected.
         assert!(!pkg.verify(&registry, &Membership::new()));
     }
@@ -197,26 +226,28 @@ mod tests {
     fn round_package_counts_and_sizes() {
         let registry = KeyRegistry::new();
         let kp = registry.register(ReplicaId(0));
-        let block = Block {
-            cluster: ClusterId(0),
-            height: 0,
-            proposer: ReplicaId(0),
-            ops: vec![Operation::Trans(Transaction::write(ClientId(0), 0, 1, 1024))],
-        };
+        let block = Block::new(
+            ClusterId(0),
+            0,
+            ReplicaId(0),
+            vec![Operation::Trans(Transaction::write(ClientId(0), 0, 1, 1024))],
+        );
         let digest = block.digest();
         let sigs: SigSet = [kp.sign(&digest)].into_iter().collect();
-        let pkg = RoundPackage {
-            cluster: ClusterId(0),
-            round: Round(1),
-            blocks: vec![CommittedBlock {
-                block,
+        let pkg = RoundPackage::new(
+            ClusterId(0),
+            Round(1),
+            vec![CommittedBlock {
+                block: std::sync::Arc::new(block),
                 cert: QuorumCert::new(ClusterId(0), digest, sigs),
             }],
-            recs: vec![Reconfig::Leave { replica: ReplicaId(3) }],
-            recs_cert: None,
-        };
+            vec![Reconfig::Leave { replica: ReplicaId(3) }],
+            None,
+        );
         assert_eq!(pkg.tx_count(), 1);
         assert!(pkg.wire_size() > 1024);
+        // The memoised size is stable across calls and across clones.
+        assert_eq!(pkg.wire_size(), pkg.clone().wire_size());
     }
 
     #[test]

@@ -13,6 +13,7 @@ use ava_types::{
     ReplicaId, Round, StageKind, Time, Timestamp, Transaction, TxId, TxKind,
 };
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
 
 /// Timer kind used for the replica's periodic tick.
 const TICK: u64 = 1;
@@ -50,8 +51,9 @@ struct RoundState {
     stage1_done: bool,
     /// Whether this replica (as leader) already ran the inter-cluster broadcast.
     inter_broadcast_done: bool,
-    /// Packages received per cluster (the paper's `operations_j`).
-    packages: BTreeMap<ClusterId, RoundPackage>,
+    /// Packages received per cluster (the paper's `operations_j`), Arc-shared with
+    /// the messages they arrived in.
+    packages: BTreeMap<ClusterId, Arc<RoundPackage>>,
     /// When the round started.
     started_at: Time,
     /// When Stage 1 finished.
@@ -126,10 +128,10 @@ pub struct Replica<T: TotalOrderBroadcast> {
     /// The replicated key-value state (key → write counter).
     kv: BTreeMap<u64, u64>,
     /// Package of the previous round (re-sent by a new leader, Alg. 8 line 17).
-    prev_package: Option<RoundPackage>,
+    prev_package: Option<Arc<RoundPackage>>,
     /// Packages that arrived for future rounds (a remote cluster can be one round
     /// ahead).
-    future_packages: Vec<RoundPackage>,
+    future_packages: Vec<Arc<RoundPackage>>,
     /// E4.3-style Byzantine behaviour: withhold inter-cluster messages.
     mute_inter: bool,
     /// Whether this replica asked to leave.
@@ -420,13 +422,13 @@ impl<T: TotalOrderBroadcast> Replica<T> {
             completed_at: now,
         });
         // `operations_i`: every replica records its own cluster's package locally.
-        let own = RoundPackage {
-            cluster: self.cfg.cluster,
-            round: self.round,
-            blocks: self.round_state.blocks.clone(),
+        let own = Arc::new(RoundPackage::new(
+            self.cfg.cluster,
+            self.round,
+            self.round_state.blocks.clone(),
             recs,
-            recs_cert: cert,
-        };
+            cert,
+        ));
         self.round_state.packages.insert(self.cfg.cluster, own);
         // Alg. 7 line 23: the leader starts the inter-cluster broadcast.
         if self.is_leader() {
@@ -445,13 +447,13 @@ impl<T: TotalOrderBroadcast> Replica<T> {
         let Some(own) = self.round_state.packages.get(&self.cfg.cluster).cloned() else {
             return;
         };
-        self.prev_package = Some(own.clone());
+        self.prev_package = Some(Arc::clone(&own));
         self.send_package_to_remotes(&own, ctx);
     }
 
     fn send_package_to_remotes(
         &mut self,
-        package: &RoundPackage,
+        package: &Arc<RoundPackage>,
         ctx: &mut Context<'_, AvaMsg<T::Msg>>,
     ) {
         if self.mute_inter {
@@ -463,15 +465,14 @@ impl<T: TotalOrderBroadcast> Replica<T> {
                 continue;
             }
             // Alg. 1 line 13: send to f_j + 1 distinct replicas of the remote cluster
-            // so that at least one correct replica receives the package.
+            // so that at least one correct replica receives the package. The payload
+            // is shared: each recipient costs an `Arc` bump, not a package copy.
             let targets = self.membership.first_k(cluster, self.membership.one_correct(cluster));
-            for to in targets {
-                ctx.send(to, AvaMsg::Inter(package.clone()));
-            }
+            ctx.broadcast(targets, AvaMsg::Inter(Arc::clone(package)));
         }
     }
 
-    fn on_inter(&mut self, package: RoundPackage, ctx: &mut Context<'_, AvaMsg<T::Msg>>) {
+    fn on_inter(&mut self, package: Arc<RoundPackage>, ctx: &mut Context<'_, AvaMsg<T::Msg>>) {
         if package.round < self.round || package.cluster == self.cfg.cluster {
             return;
         }
@@ -483,13 +484,17 @@ impl<T: TotalOrderBroadcast> Replica<T> {
         if !package.verify(&self.registry, &self.membership) {
             return;
         }
-        // Alg. 1 line 16: re-broadcast as a Local message within the local cluster.
-        for member in self.my_members() {
-            ctx.send(member, AvaMsg::LocalShare(package.clone()));
-        }
+        // Alg. 1 line 16: re-broadcast as a Local message within the local cluster,
+        // sharing the verified package.
+        let members = self.my_members();
+        ctx.broadcast(members, AvaMsg::LocalShare(package));
     }
 
-    fn on_local_share(&mut self, package: RoundPackage, ctx: &mut Context<'_, AvaMsg<T::Msg>>) {
+    fn on_local_share(
+        &mut self,
+        package: Arc<RoundPackage>,
+        ctx: &mut Context<'_, AvaMsg<T::Msg>>,
+    ) {
         if package.cluster == self.cfg.cluster {
             return;
         }
@@ -622,7 +627,7 @@ impl<T: TotalOrderBroadcast> Replica<T> {
 
         // Remember own package for Alg. 8's previous-round re-broadcast.
         if let Some(own) = packages.get(&self.cfg.cluster) {
-            self.prev_package = Some(own.clone());
+            self.prev_package = Some(Arc::clone(own));
         }
         self.executed_rounds += 1;
 
@@ -704,9 +709,8 @@ impl<T: TotalOrderBroadcast> Replica<T> {
             region: self.cfg.region,
             round: self.round,
         };
-        for member in self.membership.member_ids(*target) {
-            ctx.send(member, msg.clone());
-        }
+        let members = self.membership.member_ids(*target);
+        ctx.broadcast(members, msg);
     }
 
     fn on_curr_state(
@@ -789,9 +793,8 @@ impl<T: TotalOrderBroadcast> Replica<T> {
                 if !self.leave_requested {
                     self.leave_requested = true;
                     let msg = AvaMsg::RequestLeave { replica: self.cfg.me, round: self.round };
-                    for member in self.my_members() {
-                        ctx.send(member, msg.clone());
-                    }
+                    let members = self.my_members();
+                    ctx.broadcast(members, msg);
                 }
             }
             ControlCmd::MuteInterCluster => {

@@ -30,6 +30,7 @@ use ava_consensus::{
 use ava_crypto::{Digest, KeyRegistry, Keypair, QuorumCert, SigSet, Signature};
 use ava_types::{Operation, ReplicaId, Time, Timestamp};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// The HotStuff phases.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -60,10 +61,11 @@ impl Phase {
 pub enum HotStuffMsg {
     /// A replica forwards an operation to the leader for ordering.
     Forward(Operation),
-    /// Leader proposal for the `Prepare` phase.
+    /// Leader proposal for the `Prepare` phase. The block is `Arc`-shared: the
+    /// leader's broadcast clones a pointer per member, not the operation batch.
     Proposal {
         /// The proposed block.
-        block: Block,
+        block: Arc<Block>,
         /// Leader timestamp the proposal belongs to.
         ts: u64,
     },
@@ -112,7 +114,7 @@ impl WireSize for HotStuffMsg {
 /// State the leader keeps for the block currently being decided.
 #[derive(Debug)]
 struct InFlight {
-    block: Block,
+    block: Arc<Block>,
     digest: Digest,
     phase: Phase,
     votes: SigSet,
@@ -131,7 +133,7 @@ pub struct HotStuff {
     in_flight: Option<InFlight>,
     /// Replica-side: blocks received in `Prepare`, keyed by digest, so that the
     /// `Decide` phase can deliver the full block contents.
-    known_blocks: HashMap<Digest, Block>,
+    known_blocks: HashMap<Digest, Arc<Block>>,
     /// Next height to propose / accept.
     next_height: u64,
     /// Height of the last delivered block.
@@ -180,16 +182,11 @@ impl HotStuff {
             return;
         }
         let ops = self.pool.take_batch(self.cfg.max_block_size);
-        let block = Block {
-            cluster: self.cfg.cluster,
-            height: self.next_height,
-            proposer: self.cfg.me,
-            ops,
-        };
+        let block = Arc::new(Block::new(self.cfg.cluster, self.next_height, self.cfg.me, ops));
         let digest = block.digest();
         out.push(TobAction::Consume(self.cfg.sign_cost));
         self.in_flight = Some(InFlight {
-            block: block.clone(),
+            block: Arc::clone(&block),
             digest,
             phase: Phase::Prepare,
             votes: SigSet::new(),
@@ -220,7 +217,7 @@ impl HotStuff {
     /// Deliver a block once the decide certificate is known.
     fn deliver(
         &mut self,
-        block: Block,
+        block: Arc<Block>,
         cert: QuorumCert,
         now: Time,
         out: &mut Vec<TobAction<HotStuffMsg>>,
@@ -375,7 +372,7 @@ impl TotalOrderBroadcast for HotStuff {
         // become the leader, and every replica re-forwards its own undelivered
         // operations to the new leader so nothing is lost.
         if let Some(inflight) = self.in_flight.take() {
-            self.pool.requeue_front(inflight.block.ops);
+            self.pool.requeue_front(inflight.block.ops.clone());
         }
         self.leader = leader;
         self.ts = ts.0;

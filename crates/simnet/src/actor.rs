@@ -39,10 +39,21 @@ pub trait Actor<M: SimMessage> {
     }
 }
 
+/// One buffered send request: either a point-to-point message or a fan-out sharing
+/// a single payload. Keeping both in one ordered list preserves the exact event
+/// scheduling order a sequence of plain `send` calls would produce.
+pub(crate) enum SendOp<M> {
+    /// Send `msg` to one replica.
+    One(ReplicaId, M),
+    /// Send clones of one shared `msg` to each target, in order. The simulator
+    /// computes the payload size once for the whole fan-out.
+    Many(Vec<ReplicaId>, M),
+}
+
 /// Buffered side effects of one handler invocation, applied by the simulator after
 /// the handler returns.
 pub(crate) struct Effects<M> {
-    pub sends: Vec<(ReplicaId, M)>,
+    pub sends: Vec<SendOp<M>>,
     pub timers: Vec<(Duration, u64)>,
     pub consumed: Duration,
     pub outputs: Vec<Output>,
@@ -88,17 +99,26 @@ impl<'a, M> Context<'a, M> {
     /// Send `msg` to `to`. Delivery is scheduled after this handler's processing time
     /// plus the network latency between the two nodes' regions.
     pub fn send(&mut self, to: ReplicaId, msg: M) {
-        self.effects.sends.push((to, msg));
+        self.effects.sends.push(SendOp::One(to, msg));
     }
 
-    /// Send `msg` to every node in `targets`.
+    /// Send `msg` to every node in `targets`, sharing one payload: the message's
+    /// wire size is computed once for the whole fan-out and each recipient gets a
+    /// clone (a pointer bump for `Arc`-backed payloads). Delivery order and latency
+    /// are identical to calling [`Context::send`] once per target.
     pub fn send_many<I: IntoIterator<Item = ReplicaId>>(&mut self, targets: I, msg: M)
     where
         M: Clone,
     {
-        for to in targets {
-            self.send(to, msg.clone());
+        self.broadcast(targets.into_iter().collect(), msg);
+    }
+
+    /// Like [`Context::send_many`], taking the target list by value.
+    pub fn broadcast(&mut self, targets: Vec<ReplicaId>, msg: M) {
+        if targets.is_empty() {
+            return;
         }
+        self.effects.sends.push(SendOp::Many(targets, msg));
     }
 
     /// Arrange for [`Actor::on_timer`] to be called with `kind` after `delay`.
@@ -140,11 +160,16 @@ mod tests {
         };
         ctx.send(ReplicaId(1), ());
         ctx.send_many([ReplicaId(2), ReplicaId(4)], ());
+        ctx.send_many([], ()); // empty fan-outs are dropped
         ctx.set_timer(Duration::from_millis(10), 7);
         ctx.consume(Duration::from_micros(30));
         ctx.emit(Output::Custom { name: "x", value: 1.0, at: ctx.now() });
         assert_eq!(ctx.node(), ReplicaId(3));
-        assert_eq!(effects.sends.len(), 3);
+        assert_eq!(effects.sends.len(), 2);
+        assert!(matches!(&effects.sends[0], SendOp::One(to, ()) if *to == ReplicaId(1)));
+        assert!(
+            matches!(&effects.sends[1], SendOp::Many(ts, ()) if ts == &[ReplicaId(2), ReplicaId(4)])
+        );
         assert_eq!(effects.timers, vec![(Duration::from_millis(10), 7)]);
         assert_eq!(effects.consumed, Duration::from_micros(30));
         assert_eq!(effects.outputs.len(), 1);

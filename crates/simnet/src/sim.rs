@@ -1,6 +1,6 @@
 //! The discrete-event simulation engine.
 
-use crate::actor::{Actor, Context, Effects, SimMessage};
+use crate::actor::{Actor, Context, Effects, SendOp, SimMessage};
 use crate::cost::CostModel;
 use crate::event::{Event, EventKind};
 use crate::latency::LatencyModel;
@@ -251,12 +251,28 @@ impl<M: SimMessage> Simulation<M> {
         for (delay, kind) in effects.timers {
             self.push_event(start + delay, event.node, EventKind::Timer { kind });
         }
-        for (to, msg) in effects.sends {
-            self.route(event.node, from_region, from_group, to, msg, depart);
+        for op in effects.sends {
+            match op {
+                SendOp::One(to, msg) => {
+                    let size = msg.size_bytes();
+                    self.route(event.node, from_region, from_group, to, msg, size, depart);
+                }
+                SendOp::Many(targets, msg) => {
+                    // One shared payload: size the message once for the whole
+                    // fan-out; per-recipient work is a clone (an `Arc` bump for the
+                    // protocol payloads) plus event scheduling.
+                    let size = msg.size_bytes();
+                    for to in targets {
+                        let msg = msg.clone();
+                        self.route(event.node, from_region, from_group, to, msg, size, depart);
+                    }
+                }
+            }
         }
         true
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn route(
         &mut self,
         from: ReplicaId,
@@ -264,9 +280,9 @@ impl<M: SimMessage> Simulation<M> {
         from_group: u32,
         to: ReplicaId,
         msg: M,
+        size: usize,
         depart: Time,
     ) {
-        let size = msg.size_bytes();
         let Some(dest) = self.nodes.get(&to) else {
             // Destination not (yet) part of the simulation, e.g. a replica that left.
             self.stats.dropped_messages += 1;
@@ -275,22 +291,21 @@ impl<M: SimMessage> Simulation<M> {
         let to_region = dest.region;
         let to_group = dest.group;
         self.stats.record_send(from_group, to_group, size);
-        if self.drop_rules.iter().any(|r| r.matches(from, to, depart))
-            && self.roll(self.drop_probability(from, to, depart))
-        {
+        // Single pass over the drop rules: collect the strongest matching
+        // probability, then roll at most once (preserving the RNG draw order of the
+        // previous two-pass `any` + `max` scan).
+        let mut drop_p = f64::NEG_INFINITY;
+        for rule in &self.drop_rules {
+            if rule.matches(from, to, depart) {
+                drop_p = drop_p.max(rule.probability);
+            }
+        }
+        if drop_p > f64::NEG_INFINITY && self.roll(drop_p.max(0.0)) {
             self.stats.dropped_messages += 1;
             return;
         }
         let latency = self.latency.one_way(from_region, to_region, from == to, &mut self.rng);
         self.push_event(depart + latency, to, EventKind::Deliver { from, msg, size });
-    }
-
-    fn drop_probability(&self, from: ReplicaId, to: ReplicaId, at: Time) -> f64 {
-        self.drop_rules
-            .iter()
-            .filter(|r| r.matches(from, to, at))
-            .map(|r| r.probability)
-            .fold(0.0, f64::max)
     }
 
     fn roll(&mut self, probability: f64) -> bool {

@@ -5,11 +5,31 @@
 //! a value so that every replica computes the same digest for the same logical value.
 //! It is intentionally *not* a full serialization framework: the simulator passes
 //! messages by value, so only digest material needs encoding.
+//!
+//! Encoding streams into an [`EncodeSink`] rather than a concrete buffer, so digest
+//! computation can feed the hasher directly (`ava-crypto` implements `EncodeSink` for
+//! its SHA-256 state) without materialising an intermediate `Vec<u8>` — the zero-copy
+//! hot-path invariant documented in `DESIGN.md` §4.
+
+/// A byte sink the canonical encoding is streamed into.
+///
+/// Implemented by `Vec<u8>` (buffering, for tests and wire-size accounting) and by
+/// the incremental SHA-256 hasher in `ava-crypto` (streaming digests).
+pub trait EncodeSink {
+    /// Append `bytes` to the sink.
+    fn write(&mut self, bytes: &[u8]);
+}
+
+impl EncodeSink for Vec<u8> {
+    fn write(&mut self, bytes: &[u8]) {
+        self.extend_from_slice(bytes);
+    }
+}
 
 /// Canonical, deterministic binary encoding of a value.
 pub trait Encode {
-    /// Append the canonical encoding of `self` to `out`.
-    fn encode(&self, out: &mut Vec<u8>);
+    /// Stream the canonical encoding of `self` into `out`.
+    fn encode(&self, out: &mut dyn EncodeSink);
 
     /// Convenience: encode into a fresh buffer.
     fn encoded(&self) -> Vec<u8> {
@@ -20,54 +40,54 @@ pub trait Encode {
 }
 
 impl Encode for u8 {
-    fn encode(&self, out: &mut Vec<u8>) {
-        out.push(*self);
+    fn encode(&self, out: &mut dyn EncodeSink) {
+        out.write(&[*self]);
     }
 }
 
 impl Encode for u32 {
-    fn encode(&self, out: &mut Vec<u8>) {
-        out.extend_from_slice(&self.to_le_bytes());
+    fn encode(&self, out: &mut dyn EncodeSink) {
+        out.write(&self.to_le_bytes());
     }
 }
 
 impl Encode for u64 {
-    fn encode(&self, out: &mut Vec<u8>) {
-        out.extend_from_slice(&self.to_le_bytes());
+    fn encode(&self, out: &mut dyn EncodeSink) {
+        out.write(&self.to_le_bytes());
     }
 }
 
 impl Encode for usize {
-    fn encode(&self, out: &mut Vec<u8>) {
-        out.extend_from_slice(&(*self as u64).to_le_bytes());
+    fn encode(&self, out: &mut dyn EncodeSink) {
+        out.write(&(*self as u64).to_le_bytes());
     }
 }
 
 impl Encode for bool {
-    fn encode(&self, out: &mut Vec<u8>) {
-        out.push(u8::from(*self));
+    fn encode(&self, out: &mut dyn EncodeSink) {
+        out.write(&[u8::from(*self)]);
     }
 }
 
 impl Encode for str {
-    fn encode(&self, out: &mut Vec<u8>) {
-        out.extend_from_slice(&(self.len() as u64).to_le_bytes());
-        out.extend_from_slice(self.as_bytes());
+    fn encode(&self, out: &mut dyn EncodeSink) {
+        out.write(&(self.len() as u64).to_le_bytes());
+        out.write(self.as_bytes());
     }
 }
 
 impl Encode for String {
-    fn encode(&self, out: &mut Vec<u8>) {
+    fn encode(&self, out: &mut dyn EncodeSink) {
         self.as_str().encode(out);
     }
 }
 
 impl<T: Encode> Encode for Option<T> {
-    fn encode(&self, out: &mut Vec<u8>) {
+    fn encode(&self, out: &mut dyn EncodeSink) {
         match self {
-            None => out.push(0),
+            None => out.write(&[0]),
             Some(v) => {
-                out.push(1);
+                out.write(&[1]);
                 v.encode(out);
             }
         }
@@ -75,8 +95,8 @@ impl<T: Encode> Encode for Option<T> {
 }
 
 impl<T: Encode> Encode for [T] {
-    fn encode(&self, out: &mut Vec<u8>) {
-        out.extend_from_slice(&(self.len() as u64).to_le_bytes());
+    fn encode(&self, out: &mut dyn EncodeSink) {
+        out.write(&(self.len() as u64).to_le_bytes());
         for item in self {
             item.encode(out);
         }
@@ -84,13 +104,13 @@ impl<T: Encode> Encode for [T] {
 }
 
 impl<T: Encode> Encode for Vec<T> {
-    fn encode(&self, out: &mut Vec<u8>) {
+    fn encode(&self, out: &mut dyn EncodeSink) {
         self.as_slice().encode(out);
     }
 }
 
 impl<A: Encode, B: Encode> Encode for (A, B) {
-    fn encode(&self, out: &mut Vec<u8>) {
+    fn encode(&self, out: &mut dyn EncodeSink) {
         self.0.encode(out);
         self.1.encode(out);
     }
@@ -127,5 +147,22 @@ mod tests {
     fn different_values_have_different_encodings() {
         assert_ne!(5u64.encoded(), 6u64.encoded());
         assert_ne!("abc".encoded(), "abd".encoded());
+    }
+
+    /// A sink that only counts bytes: exercises streaming through a non-`Vec` sink.
+    struct Counter(usize);
+
+    impl EncodeSink for Counter {
+        fn write(&mut self, bytes: &[u8]) {
+            self.0 += bytes.len();
+        }
+    }
+
+    #[test]
+    fn custom_sink_sees_the_same_bytes_as_a_buffer() {
+        let value = (7u64, vec!["hello".to_string(), "world".to_string()]);
+        let mut counter = Counter(0);
+        value.encode(&mut counter);
+        assert_eq!(counter.0, value.encoded().len());
     }
 }

@@ -3,7 +3,7 @@
 //! Newtypes keep replica/cluster/round/view numbers from being mixed up and give the
 //! rest of the workspace a single place to change representations.
 
-use crate::encode::Encode;
+use crate::encode::{Encode, EncodeSink};
 use std::fmt;
 
 /// Identifier of a replica (a process participating in replication).
@@ -139,45 +139,45 @@ impl fmt::Display for Region {
 }
 
 impl Encode for ReplicaId {
-    fn encode(&self, out: &mut Vec<u8>) {
-        out.extend_from_slice(&self.0.to_le_bytes());
+    fn encode(&self, out: &mut dyn EncodeSink) {
+        out.write(&self.0.to_le_bytes());
     }
 }
 
 impl Encode for ClusterId {
-    fn encode(&self, out: &mut Vec<u8>) {
-        out.extend_from_slice(&self.0.to_le_bytes());
+    fn encode(&self, out: &mut dyn EncodeSink) {
+        out.write(&self.0.to_le_bytes());
     }
 }
 
 impl Encode for ClientId {
-    fn encode(&self, out: &mut Vec<u8>) {
-        out.extend_from_slice(&self.0.to_le_bytes());
+    fn encode(&self, out: &mut dyn EncodeSink) {
+        out.write(&self.0.to_le_bytes());
     }
 }
 
 impl Encode for TxId {
-    fn encode(&self, out: &mut Vec<u8>) {
+    fn encode(&self, out: &mut dyn EncodeSink) {
         self.client.encode(out);
-        out.extend_from_slice(&self.seq.to_le_bytes());
+        out.write(&self.seq.to_le_bytes());
     }
 }
 
 impl Encode for Round {
-    fn encode(&self, out: &mut Vec<u8>) {
-        out.extend_from_slice(&self.0.to_le_bytes());
+    fn encode(&self, out: &mut dyn EncodeSink) {
+        out.write(&self.0.to_le_bytes());
     }
 }
 
 impl Encode for Timestamp {
-    fn encode(&self, out: &mut Vec<u8>) {
-        out.extend_from_slice(&self.0.to_le_bytes());
+    fn encode(&self, out: &mut dyn EncodeSink) {
+        out.write(&self.0.to_le_bytes());
     }
 }
 
 impl Encode for Region {
-    fn encode(&self, out: &mut Vec<u8>) {
-        out.push(self.index() as u8);
+    fn encode(&self, out: &mut dyn EncodeSink) {
+        out.write(&[self.index() as u8]);
     }
 }
 

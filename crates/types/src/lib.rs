@@ -19,7 +19,7 @@ pub mod operation;
 pub mod time;
 
 pub use config::{ClusterSpec, ProtocolParams, SystemConfig};
-pub use encode::Encode;
+pub use encode::{Encode, EncodeSink};
 pub use error::AvaError;
 pub use ids::{ClientId, ClusterId, Region, ReplicaId, Round, Timestamp, TxId};
 pub use membership::{Membership, ReplicaInfo};

@@ -5,7 +5,7 @@
 //! Byzantine Reliable Dissemination). Stage 3 executes the union of all clusters'
 //! batches in a deterministic order.
 
-use crate::encode::Encode;
+use crate::encode::{Encode, EncodeSink};
 use crate::ids::{ClientId, Region, ReplicaId, Round, TxId};
 
 /// The kind of a YCSB-style key/value transaction.
@@ -142,14 +142,14 @@ impl OperationBatch {
 }
 
 impl Encode for TxKind {
-    fn encode(&self, out: &mut Vec<u8>) {
+    fn encode(&self, out: &mut dyn EncodeSink) {
         match *self {
             TxKind::Read { key } => {
-                out.push(0);
+                out.write(&[0]);
                 key.encode(out);
             }
             TxKind::Write { key, value_size } => {
-                out.push(1);
+                out.write(&[1]);
                 key.encode(out);
                 value_size.encode(out);
             }
@@ -158,7 +158,7 @@ impl Encode for TxKind {
 }
 
 impl Encode for Transaction {
-    fn encode(&self, out: &mut Vec<u8>) {
+    fn encode(&self, out: &mut dyn EncodeSink) {
         self.id.encode(out);
         self.kind.encode(out);
         self.payload_size.encode(out);
@@ -166,15 +166,15 @@ impl Encode for Transaction {
 }
 
 impl Encode for Reconfig {
-    fn encode(&self, out: &mut Vec<u8>) {
+    fn encode(&self, out: &mut dyn EncodeSink) {
         match *self {
             Reconfig::Join { replica, region } => {
-                out.push(0);
+                out.write(&[0]);
                 replica.encode(out);
                 region.encode(out);
             }
             Reconfig::Leave { replica } => {
-                out.push(1);
+                out.write(&[1]);
                 replica.encode(out);
             }
         }
@@ -182,14 +182,14 @@ impl Encode for Reconfig {
 }
 
 impl Encode for Operation {
-    fn encode(&self, out: &mut Vec<u8>) {
+    fn encode(&self, out: &mut dyn EncodeSink) {
         match self {
             Operation::Trans(t) => {
-                out.push(0);
+                out.write(&[0]);
                 t.encode(out);
             }
             Operation::ReconfigSet(rc) => {
-                out.push(1);
+                out.write(&[1]);
                 rc.encode(out);
             }
         }
@@ -197,7 +197,7 @@ impl Encode for Operation {
 }
 
 impl Encode for OperationBatch {
-    fn encode(&self, out: &mut Vec<u8>) {
+    fn encode(&self, out: &mut dyn EncodeSink) {
         self.round.encode(out);
         self.ops.encode(out);
     }

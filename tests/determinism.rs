@@ -1,0 +1,98 @@
+//! Determinism golden tests.
+//!
+//! A fixed-seed two-cluster deployment must produce a byte-identical `Output` stream
+//! and identical `NetStats` on every run — and, crucially, across hot-path refactors
+//! (`Arc` sharing, digest caching, broadcast batching must not change scheduling
+//! order). The fingerprints below were captured before the PR 2 zero-copy refactor;
+//! any change to event ordering, payload sizes, or RNG draw order fails loudly here.
+//!
+//! If a change *intentionally* alters scheduling (new message kinds, different
+//! timers), re-capture the constants by running
+//! `cargo test --test determinism -- --nocapture` and copying the printed values —
+//! and say so in the PR.
+
+use hamava_repro::crypto::sha256::Sha256;
+use hamava_repro::hamava::harness::{bftsmart_deployment, hotstuff_deployment, DeploymentOptions};
+use hamava_repro::simnet::{CostModel, LatencyModel, NetStats};
+use hamava_repro::types::{Duration, Output, Region, SystemConfig};
+use hamava_repro::workload::WorkloadSpec;
+
+/// Fingerprint of the AVA-HOTSTUFF golden run, captured at PR 2 (pre-refactor).
+const HOTSTUFF_GOLDEN: &str = "fb9cd95b06fac095ef71a4d998d67eddbe6dff062536027371dc2baead07743b";
+
+/// Fingerprint of the AVA-BFTSMART golden run, captured at PR 2 (pre-refactor).
+const BFTSMART_GOLDEN: &str = "1b70236bd5b9ce91090895a8776ab09d99660aa53a7a49f0395de96cb30d14db";
+
+fn golden_opts() -> DeploymentOptions {
+    DeploymentOptions {
+        seed: 2024,
+        latency: LatencyModel::paper_table2(),
+        costs: CostModel::cloud_vm(),
+        workload: WorkloadSpec { key_space: 1_000, ..WorkloadSpec::default() },
+        clients_per_cluster: 1,
+        client_concurrency: 32,
+    }
+}
+
+fn golden_config() -> SystemConfig {
+    let mut config = SystemConfig::even_split_single_region(8, 2, Region::UsWest);
+    config.params.batch_size = 20;
+    config
+}
+
+fn fingerprint(outputs: &[Output], stats: &NetStats) -> String {
+    let mut h = Sha256::new();
+    for o in outputs {
+        h.update(format!("{o:?}\n").as_bytes());
+    }
+    h.update(
+        format!(
+            "local={} global={} bytes={} dropped={} events={}\n",
+            stats.local_messages,
+            stats.global_messages,
+            stats.bytes_sent,
+            stats.dropped_messages,
+            stats.events_processed
+        )
+        .as_bytes(),
+    );
+    let mut pairs: Vec<_> = stats.per_group_pair.iter().collect();
+    pairs.sort();
+    for ((from, to), count) in pairs {
+        h.update(format!("{from}->{to}={count}\n").as_bytes());
+    }
+    h.finalize().iter().map(|b| format!("{b:02x}")).collect()
+}
+
+fn run_hotstuff() -> String {
+    let mut dep = hotstuff_deployment(golden_config(), golden_opts());
+    dep.run_for(Duration::from_secs(8));
+    let outputs = dep.sim.take_outputs();
+    fingerprint(&outputs, dep.sim.stats())
+}
+
+fn run_bftsmart() -> String {
+    let mut dep = bftsmart_deployment(golden_config(), golden_opts());
+    dep.run_for(Duration::from_secs(8));
+    let outputs = dep.sim.take_outputs();
+    fingerprint(&outputs, dep.sim.stats())
+}
+
+#[test]
+fn hotstuff_golden_fingerprint_is_stable() {
+    let fp = run_hotstuff();
+    println!("hotstuff fingerprint: {fp}");
+    assert_eq!(fp, HOTSTUFF_GOLDEN, "AVA-HOTSTUFF golden run diverged from PR 2 capture");
+}
+
+#[test]
+fn bftsmart_golden_fingerprint_is_stable() {
+    let fp = run_bftsmart();
+    println!("bftsmart fingerprint: {fp}");
+    assert_eq!(fp, BFTSMART_GOLDEN, "AVA-BFTSMART golden run diverged from PR 2 capture");
+}
+
+#[test]
+fn fingerprint_is_reproducible_within_a_process() {
+    assert_eq!(run_hotstuff(), run_hotstuff());
+}
