@@ -5,11 +5,13 @@
 //! It supports [`Criterion::bench_function`], [`Criterion::benchmark_group`]
 //! (with `sample_size` / `measurement_time`), [`Bencher::iter`], and the
 //! [`criterion_group!`] / [`criterion_main!`] macros, so `cargo bench` runs the
-//! workspace's `[[bench]]` targets and prints per-benchmark mean wall-clock
-//! times. It is a measurement harness, not a statistics suite: no outlier
-//! analysis, no HTML reports, no baseline comparison. Swapping back to the real
-//! crate requires only re-pointing `[workspace.dependencies] criterion` at
-//! crates.io.
+//! workspace's `[[bench]]` targets and prints per-benchmark min, median and
+//! mean wall-clock times (the measurement loop is split into up to ten timed
+//! sample batches; min/median are over the per-batch means, which damps one-off
+//! scheduler hiccups the way real criterion's sampling does). It is a
+//! measurement harness, not a statistics suite: no outlier analysis, no HTML
+//! reports, no baseline comparison. Swapping back to the real crate requires
+//! only re-pointing `[workspace.dependencies] criterion` at crates.io.
 
 use std::time::{Duration, Instant};
 
@@ -20,17 +22,22 @@ pub struct Bencher {
     target: Duration,
     /// Mean wall-clock time per iteration, set by [`Bencher::iter`].
     mean: Duration,
+    /// Fastest per-iteration time over the sample batches.
+    min: Duration,
+    /// Median per-iteration time over the sample batches.
+    median: Duration,
     /// Total iterations executed (warmup excluded).
     iters: u64,
     test_mode: bool,
 }
 
 impl Bencher {
-    /// Run `f` repeatedly and record its mean wall-clock time.
+    /// Run `f` repeatedly and record its min/median/mean wall-clock time.
     ///
     /// One warmup call sizes the measurement loop so cheap closures are timed
     /// over many iterations while expensive ones (whole simulated deployments)
-    /// run only a handful of times.
+    /// run only a handful of times. The loop is split into up to ten timed
+    /// sample batches; min and median are taken over the per-batch means.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
         let warmup_start = Instant::now();
         black_box(f());
@@ -38,16 +45,28 @@ impl Bencher {
         if self.test_mode {
             self.iters = 1;
             self.mean = once;
+            self.min = once;
+            self.median = once;
             return;
         }
         let n = (self.target.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
-        let start = Instant::now();
-        for _ in 0..n {
-            black_box(f());
+        let samples = n.min(10);
+        let per_sample = n / samples;
+        let mut batch_means: Vec<Duration> = Vec::with_capacity(samples as usize);
+        let total_start = Instant::now();
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                black_box(f());
+            }
+            batch_means.push(start.elapsed() / per_sample as u32);
         }
-        let total = start.elapsed();
-        self.iters = n;
-        self.mean = total / n as u32;
+        let total = total_start.elapsed();
+        batch_means.sort();
+        self.iters = samples * per_sample;
+        self.mean = total / self.iters as u32;
+        self.min = batch_means[0];
+        self.median = batch_means[batch_means.len() / 2];
     }
 }
 
@@ -96,11 +115,19 @@ impl Criterion {
                 return;
             }
         }
-        let mut bencher =
-            Bencher { target, mean: Duration::ZERO, iters: 0, test_mode: self.test_mode };
+        let mut bencher = Bencher {
+            target,
+            mean: Duration::ZERO,
+            min: Duration::ZERO,
+            median: Duration::ZERO,
+            iters: 0,
+            test_mode: self.test_mode,
+        };
         f(&mut bencher);
         println!(
-            "{id:<50} time: [{}]  ({} iterations)",
+            "{id:<50} time: [min {} median {} mean {}]  ({} iterations)",
+            format_duration(bencher.min),
+            format_duration(bencher.median),
             format_duration(bencher.mean),
             bencher.iters
         );
@@ -188,14 +215,20 @@ macro_rules! criterion_main {
 mod tests {
     use super::*;
 
-    #[test]
-    fn bencher_records_iterations() {
-        let mut b = Bencher {
+    fn bencher(test_mode: bool) -> Bencher {
+        Bencher {
             target: Duration::from_millis(5),
             mean: Duration::ZERO,
+            min: Duration::ZERO,
+            median: Duration::ZERO,
             iters: 0,
-            test_mode: false,
-        };
+            test_mode,
+        }
+    }
+
+    #[test]
+    fn bencher_records_iterations() {
+        let mut b = bencher(false);
         let mut count = 0u64;
         b.iter(|| {
             count += 1;
@@ -206,19 +239,25 @@ mod tests {
     }
 
     #[test]
+    fn min_median_mean_are_ordered() {
+        let mut b = bencher(false);
+        b.iter(|| std::hint::black_box((0..100u64).sum::<u64>()));
+        assert!(b.min <= b.median, "min {:?} > median {:?}", b.min, b.median);
+        assert!(b.min > Duration::ZERO);
+        assert!(b.mean > Duration::ZERO);
+    }
+
+    #[test]
     fn test_mode_runs_once() {
-        let mut b = Bencher {
-            target: Duration::from_millis(5),
-            mean: Duration::ZERO,
-            iters: 0,
-            test_mode: true,
-        };
+        let mut b = bencher(true);
         let mut count = 0u64;
         b.iter(|| {
             count += 1;
         });
         assert_eq!(count, 1);
         assert_eq!(b.iters, 1);
+        assert_eq!(b.min, b.mean);
+        assert_eq!(b.median, b.mean);
     }
 
     #[test]
