@@ -5,8 +5,8 @@
 //! these benches track the cost of the complete pipeline so regressions are caught by
 //! `cargo bench`.
 
-use ava_geobft::geobft_deployment;
-use ava_hamava::harness::{bftsmart_deployment, hotstuff_deployment, DeploymentOptions};
+use ava_hamava::harness::DeploymentOptions;
+use ava_scenario::Protocol;
 use ava_simnet::{CostModel, LatencyModel};
 use ava_types::{Duration, Output, Region, SystemConfig};
 use ava_workload::WorkloadSpec;
@@ -40,7 +40,7 @@ fn bench_e0_shape(c: &mut Criterion) {
     for clusters in [2usize, 3] {
         group.bench_function(format!("ava_hotstuff_{clusters}clusters_5s"), |b| {
             b.iter(|| {
-                let mut dep = hotstuff_deployment(small_config(clusters), opts(1));
+                let mut dep = Protocol::AvaHotStuff.deploy(small_config(clusters), opts(1));
                 dep.run_for(Duration::from_secs(5));
                 let n = completed(dep.outputs());
                 assert!(n > 0);
@@ -49,7 +49,7 @@ fn bench_e0_shape(c: &mut Criterion) {
         });
         group.bench_function(format!("ava_bftsmart_{clusters}clusters_5s"), |b| {
             b.iter(|| {
-                let mut dep = bftsmart_deployment(small_config(clusters), opts(2));
+                let mut dep = Protocol::AvaBftSmart.deploy(small_config(clusters), opts(2));
                 dep.run_for(Duration::from_secs(5));
                 let n = completed(dep.outputs());
                 assert!(n > 0);
@@ -68,7 +68,7 @@ fn bench_e3_heterogeneous(c: &mut Criterion) {
             let mut config =
                 SystemConfig::heterogeneous(&[vec![Region::AsiaSouth; 9], vec![Region::Europe; 5]]);
             config.params.batch_size = 20;
-            let mut dep = hotstuff_deployment(config, opts(3));
+            let mut dep = Protocol::AvaHotStuff.deploy(config, opts(3));
             dep.run_for(Duration::from_secs(5));
             black_box(completed(dep.outputs()))
         })
@@ -81,7 +81,7 @@ fn bench_e6_geobft(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("geobft_2clusters_5s", |b| {
         b.iter(|| {
-            let mut dep = geobft_deployment(small_config(2), opts(4));
+            let mut dep = Protocol::GeoBft.deploy(small_config(2), opts(4));
             dep.run_for(Duration::from_secs(5));
             black_box(completed(dep.outputs()))
         })

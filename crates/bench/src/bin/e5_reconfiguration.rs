@@ -1,12 +1,20 @@
 //! E5 (Fig. 5): impact of reconfigurations on throughput, and the parallel vs single
 //! workflow ablation.
 //!
-//! Usage: `e5_reconfiguration [joins-leaves|workflow]` (default: both).
-use ava_bench::experiments::{e5_joins_and_leaves, e5_workflow_comparison, ExperimentScale};
+//! Usage: `e5_reconfiguration [joins-leaves|workflow|trace]` (default: both figure
+//! experiments). `trace` prints the per-round reconfiguration/commit trace of the
+//! "single workflow" ablation (the E5.2 diagnosis view).
+use ava_bench::experiments::{
+    e5_joins_and_leaves, e5_workflow_comparison, e5_workflow_trace, ExperimentScale,
+};
 
 fn main() {
     let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
     let scale = ExperimentScale::from_env();
+    if arg == "trace" {
+        e5_workflow_trace(&scale);
+        return;
+    }
     if arg != "workflow" {
         e5_joins_and_leaves(&scale);
     }

@@ -1,0 +1,7 @@
+//! E9: scenario shapes beyond the paper — a mid-run inter-cluster partition that
+//! heals, and a mid-run latency-model shift — with observer-produced throughput
+//! time series. Neither shape was expressible under the pre-scenario harness.
+use ava_bench::experiments::{e9_partitions, ExperimentScale};
+fn main() {
+    e9_partitions(&ExperimentScale::from_env());
+}

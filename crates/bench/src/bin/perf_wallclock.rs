@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! perf_wallclock [--quick|--full] [--iters N] [--out FILE] \
-//!                [--baseline FILE.tsv] [--emit-tsv FILE.tsv]
+//!                [--baseline FILE.tsv] [--emit-tsv FILE.tsv] \
+//!                [--check FILE.json] [--check-threshold PCT]
 //! ```
 //!
 //! * `--quick` (default): 5 s-virtual-time shapes; finishes in seconds.
@@ -12,9 +13,14 @@
 //! * `--baseline`: a `name\twall_ms` TSV from a previous run (typically the parent
 //!   commit); per-shape speedups are recorded in the JSON.
 //! * `--emit-tsv`: write this run's timings in the baseline format.
+//! * `--check`: compare this run against the per-shape `wall_ms` of a committed
+//!   `BENCH_PR*.json` and exit non-zero if any shape regressed by more than
+//!   `--check-threshold` percent (default 25). CI runs this against the repo-root
+//!   baseline so hot-path regressions fail the build.
 
 use ava_bench::perf::{
-    parse_baseline, peak_rss_kb, render_json, render_tsv, run_full_e0, run_quick_shapes,
+    check_regressions, parse_baseline, parse_bench_json, peak_rss_kb, render_json, render_tsv,
+    run_full_e0, run_quick_shapes,
 };
 use std::collections::BTreeMap;
 
@@ -24,6 +30,8 @@ fn main() {
     let mut out = String::from("BENCH_PR2.json");
     let mut baseline_path: Option<String> = None;
     let mut tsv_path: Option<String> = None;
+    let mut check_path: Option<String> = None;
+    let mut check_threshold = 25.0f64;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -34,6 +42,12 @@ fn main() {
             "--out" => out = next_value(&mut args, "--out"),
             "--baseline" => baseline_path = Some(next_value(&mut args, "--baseline")),
             "--emit-tsv" => tsv_path = Some(next_value(&mut args, "--emit-tsv")),
+            "--check" => check_path = Some(next_value(&mut args, "--check")),
+            "--check-threshold" => {
+                check_threshold = next_value(&mut args, "--check-threshold")
+                    .parse()
+                    .expect("--check-threshold PCT")
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 std::process::exit(2);
@@ -84,6 +98,25 @@ fn main() {
         std::fs::write(&path, render_tsv(&records))
             .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
         eprintln!("wrote {path}");
+    }
+
+    if let Some(path) = check_path {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read check baseline {path}: {e}"));
+        let committed = parse_bench_json(&text);
+        let failures = check_regressions(&records, &committed, check_threshold / 100.0);
+        if failures.is_empty() {
+            eprintln!(
+                "check against {path}: all {} shapes within +{check_threshold:.0}%",
+                records.iter().filter(|r| committed.contains_key(&r.name)).count()
+            );
+        } else {
+            eprintln!("check against {path} FAILED:");
+            for f in &failures {
+                eprintln!("  {f}");
+            }
+            std::process::exit(1);
+        }
     }
 }
 

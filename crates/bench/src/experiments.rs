@@ -1,43 +1,28 @@
-//! Experiment runners for E0–E8.
+//! Experiment runners for E0–E9.
 //!
 //! Every function regenerates one of the paper's figures/tables as a printed table
 //! of rows (and returns the rows so tests and EXPERIMENTS.md generation can assert on
 //! them). Configurations follow the paper; the `ExperimentScale` controls run length
 //! and sweep density so that the default invocation finishes in seconds while
 //! `AVA_FULL=1` runs paper-scale parameters.
+//!
+//! All experiments are expressed through the declarative scenario API
+//! ([`ava_scenario::Scenario`]): a protocol, a configuration, a schedule of typed
+//! events, and observers collecting series mid-run. There are no per-protocol
+//! deployment `match` arms here — [`Protocol::deploy`] is the single label-to-stack
+//! mapping — and fault/churn injection is schedule construction, not generic free
+//! functions.
 
-use crate::report::{
-    fmt, print_table, stage_breakdown, summarize, throughput_timeseries, RunMetrics,
-};
-use ava_geobft::geobft_deployment;
-use ava_hamava::harness::{
-    bftsmart_deployment, hotstuff_deployment, Deployment, DeploymentOptions,
+use crate::report::{fmt, print_table, summarize, RunMetrics};
+use ava_hamava::harness::DeploymentOptions;
+use ava_scenario::{
+    ReconfigTraceObserver, Scenario, ScenarioBuilder, StageBreakdownObserver, ThroughputObserver,
 };
 use ava_simnet::{CostModel, LatencyModel};
 use ava_types::{ClusterId, Duration, Output, Region, SystemConfig, Time};
 use ava_workload::WorkloadSpec;
 
-/// Which replicated system to run.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum Protocol {
-    /// Hamava instantiated with HotStuff (A.H).
-    AvaHotStuff,
-    /// Hamava instantiated with BFT-SMaRt (A.B).
-    AvaBftSmart,
-    /// The GeoBFT-style baseline (fixed membership).
-    GeoBft,
-}
-
-impl Protocol {
-    /// Short label used in tables.
-    pub fn label(self) -> &'static str {
-        match self {
-            Protocol::AvaHotStuff => "A.H",
-            Protocol::AvaBftSmart => "A.B",
-            Protocol::GeoBft => "GeoBFT",
-        }
-    }
-}
+pub use ava_scenario::Protocol;
 
 /// Scaling knobs for experiment runs.
 #[derive(Clone, Copy, Debug)]
@@ -115,7 +100,51 @@ fn adjust_batch(config: &mut SystemConfig, scale: &ExperimentScale) {
     }
 }
 
-/// Run one deployment of `protocol` and return its metrics plus all raw outputs.
+/// Tighten the failure/reconfiguration timeouts so recovery fits a reduced run.
+fn adjust_timeouts(config: &mut SystemConfig, scale: &ExperimentScale) {
+    if !scale.full {
+        config.params.remote_leader_timeout = Duration::from_secs(4);
+        config.params.local_timeout = Duration::from_secs(4);
+        config.params.brd_timeout = Duration::from_secs(4);
+    }
+}
+
+/// Start a scenario for one experiment run of `protocol`.
+fn scenario(
+    protocol: Protocol,
+    config: SystemConfig,
+    opts: DeploymentOptions,
+    scale: &ExperimentScale,
+) -> ScenarioBuilder {
+    Scenario::builder(protocol, config).options(opts).run_for(scale.run)
+}
+
+/// Schedule E5-style churn: at each of `churn_count` evenly spaced boundaries, one
+/// replica joins every cluster and one original member per cluster requests to
+/// leave. Purely declarative — the runner applies the events at their times.
+fn with_churn(
+    mut builder: ScenarioBuilder,
+    config: &SystemConfig,
+    run: Duration,
+    churn_count: usize,
+) -> ScenarioBuilder {
+    let segment = run.as_micros() / (churn_count as u64 + 1);
+    for i in 0..churn_count {
+        let at = Time(segment * (i as u64 + 1));
+        for cluster in &config.clusters {
+            let region = cluster.replicas[0].1;
+            builder = builder.join_at(at, cluster.id, region);
+            // Ask an original member (not the leader) to leave.
+            if let Some((leaver, _)) = cluster.replicas.get(1 + i) {
+                builder = builder.leave_at(at, *leaver);
+            }
+        }
+    }
+    builder
+}
+
+/// Run one plain deployment of `protocol` (empty schedule) and return its metrics
+/// plus all raw outputs.
 pub fn run_once(
     protocol: Protocol,
     config: SystemConfig,
@@ -123,24 +152,8 @@ pub fn run_once(
     scale: &ExperimentScale,
 ) -> (RunMetrics, Vec<Output>) {
     let (start, end) = scale.window();
-    let outputs = match protocol {
-        Protocol::AvaHotStuff => {
-            let mut dep = hotstuff_deployment(config, opts);
-            dep.run_for(scale.run);
-            dep.sim.take_outputs()
-        }
-        Protocol::AvaBftSmart => {
-            let mut dep = bftsmart_deployment(config, opts);
-            dep.run_for(scale.run);
-            dep.sim.take_outputs()
-        }
-        Protocol::GeoBft => {
-            let mut dep = geobft_deployment(config, opts);
-            dep.run_for(scale.run);
-            dep.sim.take_outputs()
-        }
-    };
-    (summarize(&outputs, start, end), outputs)
+    let run = scenario(protocol, config, opts, scale).build().run();
+    (summarize(&run.outputs, start, end), run.outputs)
 }
 
 // ---------------------------------------------------------------------------------
@@ -168,7 +181,7 @@ fn clusters_sweep(scale: &ExperimentScale, multi_region: bool, title: &str) -> V
             SystemConfig::even_split_single_region(total, clusters, Region::UsWest)
         };
         let mut row = vec![clusters.to_string()];
-        for protocol in [Protocol::AvaHotStuff, Protocol::AvaBftSmart] {
+        for protocol in Protocol::AVA {
             let mut cfg = config.clone();
             adjust_batch(&mut cfg, scale);
             let (m, _) = run_once(protocol, cfg, default_opts(1, scale), scale);
@@ -190,27 +203,33 @@ fn clusters_sweep(scale: &ExperimentScale, multi_region: bool, title: &str) -> V
 // ---------------------------------------------------------------------------------
 
 /// E2 (Fig. 4a): per-stage latency breakdown for 3 clusters × 4 nodes over 1, 2 and 3
-/// regions, for both systems.
+/// regions, for both systems. The breakdown is collected by a
+/// [`StageBreakdownObserver`] while the run executes.
 pub fn e2_latency_breakdown(scale: &ExperimentScale) -> Vec<Vec<String>> {
     let region_sets: [(&str, Vec<Region>); 3] = [
         ("1 region", vec![Region::AsiaSouth; 3]),
         ("2 regions", vec![Region::Europe, Region::AsiaSouth, Region::AsiaSouth]),
         ("3 regions", vec![Region::Europe, Region::AsiaSouth, Region::UsWest]),
     ];
+    let (start, end) = scale.window();
     let mut rows = Vec::new();
     for protocol in [Protocol::AvaBftSmart, Protocol::AvaHotStuff] {
         for (label, regions) in &region_sets {
             let cluster_regions: Vec<Vec<Region>> = regions.iter().map(|&r| vec![r; 4]).collect();
             let mut config = SystemConfig::heterogeneous(&cluster_regions);
             adjust_batch(&mut config, scale);
-            let (metrics, outputs) = run_once(protocol, config, default_opts(2, scale), scale);
-            let stages = stage_breakdown(&outputs);
+            let mut stages = StageBreakdownObserver::new();
+            let run = scenario(protocol, config, default_opts(2, scale), scale)
+                .build()
+                .run_observed(&mut [&mut stages]);
+            let metrics = summarize(&run.outputs, start, end);
+            let breakdown = stages.breakdown();
             rows.push(vec![
                 protocol.label().to_string(),
                 (*label).to_string(),
-                fmt(stages[0], 1),
-                fmt(stages[1], 1),
-                fmt(stages[2], 1),
+                fmt(breakdown[0], 1),
+                fmt(breakdown[1], 1),
+                fmt(breakdown[2], 1),
                 fmt(metrics.read_latency_ms, 1),
                 fmt(metrics.write_latency_ms, 1),
             ]);
@@ -255,7 +274,7 @@ pub fn e3_setup(setup: usize, s: usize) -> SystemConfig {
 pub fn e3_heterogeneity(scale: &ExperimentScale) -> Vec<Vec<String>> {
     let scales: Vec<usize> = if scale.full { vec![1, 2, 3, 4, 5] } else { vec![1, 2] };
     let mut rows = Vec::new();
-    for protocol in [Protocol::AvaHotStuff, Protocol::AvaBftSmart] {
+    for protocol in Protocol::AVA {
         for &s in &scales {
             let mut row = vec![protocol.label().to_string(), s.to_string()];
             for setup in 1..=3 {
@@ -301,38 +320,47 @@ pub enum FailureScenario {
 }
 
 /// E4 (Fig. 4f–h): throughput time series around a failure, for both systems.
-pub fn e4_failures(scenario: FailureScenario, scale: &ExperimentScale) -> Vec<Vec<String>> {
+///
+/// The failure is a scheduled [`ava_scenario::ScenarioEvent`]; the series comes from
+/// a [`ThroughputObserver`] attached to the run. The old harness silently ran a
+/// BFT-SMaRt deployment when handed the GeoBFT label here — with [`Protocol::deploy`]
+/// as the only label-to-stack mapping, that mismatch is unrepresentable.
+pub fn e4_failures(scenario_kind: FailureScenario, scale: &ExperimentScale) -> Vec<Vec<String>> {
     let nodes_per_cluster = if scale.full { 10 } else { 7 };
     let fail_at = Time(scale.run.as_micros() / 3);
     let mut series: Vec<(Protocol, Vec<(f64, f64)>)> = Vec::new();
-    for protocol in [Protocol::AvaHotStuff, Protocol::AvaBftSmart] {
+    for protocol in Protocol::AVA {
         let mut config = SystemConfig::homogeneous_regions(&[
             (nodes_per_cluster, Region::UsWest),
             (nodes_per_cluster, Region::Europe),
         ]);
         adjust_batch(&mut config, scale);
         // Faster remote-leader/local timeouts so recovery fits the reduced run.
-        if !scale.full {
-            config.params.remote_leader_timeout = Duration::from_secs(4);
-            config.params.local_timeout = Duration::from_secs(4);
-            config.params.brd_timeout = Duration::from_secs(4);
-        }
-        let opts = default_opts(4, scale);
-        let outputs = match protocol {
-            Protocol::AvaHotStuff => {
-                let mut dep = hotstuff_deployment(config.clone(), opts);
-                inject_failure(&mut dep, scenario, fail_at, &config);
-                dep.run_for(scale.run);
-                dep.sim.take_outputs()
+        adjust_timeouts(&mut config, scale);
+        let mut builder = scenario(protocol, config.clone(), default_opts(4, scale), scale);
+        builder = match scenario_kind {
+            FailureScenario::NonLeader => {
+                // Crash f non-leader replicas in each cluster.
+                for cluster in &config.clusters {
+                    let f = (cluster.replicas.len() - 1) / 3;
+                    for (id, _) in cluster.replicas.iter().skip(1).take(f) {
+                        builder = builder.crash_at(fail_at, *id);
+                    }
+                }
+                builder
             }
-            Protocol::AvaBftSmart | Protocol::GeoBft => {
-                let mut dep = bftsmart_deployment(config.clone(), opts);
-                inject_failure(&mut dep, scenario, fail_at, &config);
-                dep.run_for(scale.run);
-                dep.sim.take_outputs()
+            FailureScenario::Leader => builder.crash_initial_leader_at(fail_at, ClusterId(0)),
+            FailureScenario::ByzantineLeader => {
+                // The leader keeps acting correctly locally but stops inter-cluster
+                // broadcasts; the remote cluster must trigger the remote leader
+                // change.
+                let leader = config.initial_leader(ClusterId(0));
+                builder.mute_inter_cluster_at(fail_at, leader)
             }
         };
-        series.push((protocol, throughput_timeseries(&outputs, Duration::from_secs(2))));
+        let mut throughput = ThroughputObserver::new(Duration::from_secs(2));
+        builder.build().run_observed(&mut [&mut throughput]);
+        series.push((protocol, throughput.series()));
     }
     let mut rows = Vec::new();
     for (protocol, points) in &series {
@@ -342,52 +370,13 @@ pub fn e4_failures(scenario: FailureScenario, scale: &ExperimentScale) -> Vec<Ve
     }
     print_table(
         &format!(
-            "E4 ({scenario:?}): throughput over time, failure at {}s (Fig. 4f-h)",
+            "E4 ({scenario_kind:?}): throughput over time, failure at {}s (Fig. 4f-h)",
             fail_at.as_secs_f64()
         ),
         &["system", "time (s)", "throughput (txn/s)"],
         &rows,
     );
     rows
-}
-
-fn inject_failure<T>(
-    dep: &mut Deployment<T>,
-    scenario: FailureScenario,
-    at: Time,
-    config: &SystemConfig,
-) where
-    T: ava_consensus::TotalOrderBroadcast + 'static,
-    T::Msg: Clone + ava_consensus::WireSize + 'static,
-    ava_hamava::AvaMsg<T::Msg>: ava_simnet::SimMessage,
-{
-    match scenario {
-        FailureScenario::NonLeader => {
-            // Crash f non-leader replicas in each cluster.
-            for cluster in &config.clusters {
-                let f = (cluster.replicas.len() - 1) / 3;
-                for (id, _) in cluster.replicas.iter().skip(1).take(f) {
-                    dep.crash_at(*id, at);
-                }
-            }
-        }
-        FailureScenario::Leader => {
-            let leader = dep.initial_leader(ClusterId(0));
-            dep.crash_at(leader, at);
-        }
-        FailureScenario::ByzantineLeader => {
-            // The leader keeps acting correctly locally but stops inter-cluster
-            // broadcasts; the remote cluster must trigger the remote leader change.
-            let leader = dep.initial_leader(ClusterId(0));
-            // Control message is delivered (and takes effect) at time `at`.
-            dep.sim.external_send(
-                leader,
-                leader,
-                ava_hamava::AvaMsg::Control(ava_hamava::ControlCmd::MuteInterCluster),
-                at,
-            );
-        }
-    }
 }
 
 // ---------------------------------------------------------------------------------
@@ -398,26 +387,17 @@ fn inject_failure<T>(
 pub fn e5_joins_and_leaves(scale: &ExperimentScale) -> Vec<Vec<String>> {
     let nodes = if scale.full { 7 } else { 5 };
     let mut rows = Vec::new();
-    for protocol in [Protocol::AvaHotStuff, Protocol::AvaBftSmart] {
+    for protocol in Protocol::AVA {
         let mut config =
             SystemConfig::homogeneous_regions(&[(nodes, Region::UsWest), (nodes, Region::Europe)]);
         adjust_batch(&mut config, scale);
-        let opts = default_opts(5, scale);
-        let outputs = match protocol {
-            Protocol::AvaHotStuff => {
-                let mut dep = hotstuff_deployment(config, opts);
-                drive_churn(&mut dep, scale, 3);
-                dep.sim.take_outputs()
-            }
-            _ => {
-                let mut dep = bftsmart_deployment(config, opts);
-                drive_churn(&mut dep, scale, 3);
-                dep.sim.take_outputs()
-            }
-        };
+        let builder = scenario(protocol, config.clone(), default_opts(5, scale), scale);
+        let builder = with_churn(builder, &config, scale.run, 3);
+        let mut throughput = ThroughputObserver::new(Duration::from_secs(2));
+        let run = builder.build().run_observed(&mut [&mut throughput]);
         let applied =
-            outputs.iter().filter(|o| matches!(o, Output::ReconfigApplied { .. })).count();
-        for (t, tps) in throughput_timeseries(&outputs, Duration::from_secs(2)) {
+            run.outputs.iter().filter(|o| matches!(o, Output::ReconfigApplied { .. })).count();
+        for (t, tps) in throughput.series() {
             rows.push(vec![
                 protocol.label().to_string(),
                 fmt(t, 0),
@@ -434,57 +414,28 @@ pub fn e5_joins_and_leaves(scale: &ExperimentScale) -> Vec<Vec<String>> {
     rows
 }
 
-fn drive_churn<T>(dep: &mut Deployment<T>, scale: &ExperimentScale, churn_count: usize)
-where
-    T: ava_consensus::TotalOrderBroadcast + 'static,
-    T::Msg: Clone + ava_consensus::WireSize + 'static,
-    ava_hamava::AvaMsg<T::Msg>: ava_simnet::SimMessage,
-{
-    // Run in three segments; at each boundary add joining replicas and request leaves.
-    let segment = Duration(scale.run.as_micros() / (churn_count as u64 + 1));
-    let mut joined = Vec::new();
-    for i in 0..churn_count {
-        dep.run_for(segment);
-        for cluster in dep.config.clusters.clone() {
-            let region = cluster.replicas[0].1;
-            let new_id = dep.add_joining_replica(cluster.id, region);
-            joined.push(new_id);
-            // Ask an original member (not the leader) to leave.
-            if let Some((leaver, _)) = cluster.replicas.get(1 + i) {
-                dep.request_leave(*leaver);
-            }
-        }
-    }
-    dep.run_for(segment);
+fn e5_workflow_config(scale: &ExperimentScale, parallel: bool) -> SystemConfig {
+    let mut config = SystemConfig::homogeneous_regions(&[
+        (if scale.full { 10 } else { 6 }, Region::UsWest),
+        (if scale.full { 8 } else { 5 }, Region::Europe),
+    ]);
+    adjust_batch(&mut config, scale);
+    config.params.parallel_reconfig_workflow = parallel;
+    config
 }
 
 /// E5.2 (Fig. 5b): parallel reconfiguration workflow vs. single workflow.
 pub fn e5_workflow_comparison(scale: &ExperimentScale) -> Vec<Vec<String>> {
     let mut rows = Vec::new();
-    for protocol in [Protocol::AvaHotStuff, Protocol::AvaBftSmart] {
+    for protocol in Protocol::AVA {
         for parallel in [true, false] {
-            let mut config = SystemConfig::homogeneous_regions(&[
-                (if scale.full { 10 } else { 6 }, Region::UsWest),
-                (if scale.full { 8 } else { 5 }, Region::Europe),
-            ]);
-            adjust_batch(&mut config, scale);
-            config.params.parallel_reconfig_workflow = parallel;
+            let config = e5_workflow_config(scale, parallel);
             let mut opts = default_opts(6, scale);
             opts.workload = WorkloadSpec::default().write_only();
             let (start, end) = scale.window();
-            let outputs = match protocol {
-                Protocol::AvaHotStuff => {
-                    let mut dep = hotstuff_deployment(config, opts);
-                    drive_churn(&mut dep, scale, 2);
-                    dep.sim.take_outputs()
-                }
-                _ => {
-                    let mut dep = bftsmart_deployment(config, opts);
-                    drive_churn(&mut dep, scale, 2);
-                    dep.sim.take_outputs()
-                }
-            };
-            let m = summarize(&outputs, start, end);
+            let builder = scenario(protocol, config.clone(), opts, scale);
+            let run = with_churn(builder, &config, scale.run, 2).build().run();
+            let m = summarize(&run.outputs, start, end);
             rows.push(vec![
                 protocol.label().to_string(),
                 if parallel { "parallel workflows".into() } else { "single workflow".into() },
@@ -499,6 +450,57 @@ pub fn e5_workflow_comparison(scale: &ExperimentScale) -> Vec<Vec<String>> {
         &rows,
     );
     rows
+}
+
+/// E5.2 diagnosis: run the "single workflow" ablation with a
+/// [`ReconfigTraceObserver`] attached and print the per-round
+/// reconfiguration/commit trace (which rounds executed, when, with how many
+/// transactions, which reconfigurations they carried, plus leader changes). This is
+/// the mid-run visibility the old `take_outputs()`-at-the-end harness could not
+/// provide; see EXPERIMENTS.md for the resulting finding.
+pub fn e5_workflow_trace(scale: &ExperimentScale) -> ReconfigTraceObserver {
+    let config = e5_workflow_config(scale, false);
+    let mut opts = default_opts(6, scale);
+    opts.workload = WorkloadSpec::default().write_only();
+    let builder = scenario(Protocol::AvaHotStuff, config.clone(), opts, scale);
+    let mut trace = ReconfigTraceObserver::new();
+    let mut throughput = ThroughputObserver::new(Duration::from_secs(2));
+    let run = with_churn(builder, &config, scale.run, 2)
+        .build()
+        .run_observed(&mut [&mut trace, &mut throughput]);
+    print_table(
+        "E5.2 trace: per-round commit/reconfiguration activity (single workflow, A.H)",
+        &[
+            "cluster",
+            "round",
+            "s1/s2/s3",
+            "executions",
+            "txns",
+            "reconfigs",
+            "first (s)",
+            "last (s)",
+        ],
+        &trace.trace_rows(),
+    );
+    let mut aux: Vec<Vec<String>> = trace
+        .scheduled_events()
+        .iter()
+        .map(|(t, e)| vec![fmt(t.as_secs_f64(), 1), e.clone()])
+        .collect();
+    for (t, cluster, leader) in trace.leader_changes() {
+        aux.push(vec![
+            fmt(t.as_secs_f64(), 1),
+            format!("LeaderChanged {{ cluster: {}, new_leader: {leader} }}", cluster.0),
+        ]);
+    }
+    print_table("E5.2 trace: schedule + leader changes", &["time (s)", "event"], &aux);
+    println!(
+        "completed transactions: {} (throughput buckets: {})",
+        throughput.completed(),
+        throughput.series().len()
+    );
+    let _ = run;
+    trace
 }
 
 // ---------------------------------------------------------------------------------
@@ -546,28 +548,17 @@ pub fn e6_vs_geobft(scale: &ExperimentScale) -> Vec<Vec<String>> {
 /// E7 (Fig. 7): impact of the reconfiguration request frequency.
 pub fn e7_reconfig_frequency(scale: &ExperimentScale) -> Vec<Vec<String>> {
     let mut rows = Vec::new();
-    for protocol in [Protocol::AvaHotStuff, Protocol::AvaBftSmart] {
+    for protocol in Protocol::AVA {
         for (label, churn_rounds) in [("none", 0usize), ("every 20s", 2), ("continuous", 6)] {
             let mut config = SystemConfig::homogeneous_regions(&[
                 (if scale.full { 10 } else { 6 }, Region::UsWest),
                 (if scale.full { 10 } else { 6 }, Region::Europe),
             ]);
             adjust_batch(&mut config, scale);
-            let opts = default_opts(8, scale);
             let (start, end) = scale.window();
-            let outputs = match protocol {
-                Protocol::AvaHotStuff => {
-                    let mut dep = hotstuff_deployment(config, opts);
-                    drive_churn(&mut dep, scale, churn_rounds);
-                    dep.sim.take_outputs()
-                }
-                _ => {
-                    let mut dep = bftsmart_deployment(config, opts);
-                    drive_churn(&mut dep, scale, churn_rounds);
-                    dep.sim.take_outputs()
-                }
-            };
-            let m = summarize(&outputs, start, end);
+            let builder = scenario(protocol, config.clone(), default_opts(8, scale), scale);
+            let run = with_churn(builder, &config, scale.run, churn_rounds).build().run();
+            let m = summarize(&run.outputs, start, end);
             rows.push(vec![
                 protocol.label().to_string(),
                 label.to_string(),
@@ -600,7 +591,7 @@ pub fn e8_network_latency(scale: &ExperimentScale) -> Vec<Vec<String>> {
         (Region::AsiaSouth, 219.0),
     ];
     let mut rows = Vec::new();
-    for protocol in [Protocol::AvaHotStuff, Protocol::AvaBftSmart] {
+    for protocol in Protocol::AVA {
         for &(region, rtt) in &second_regions {
             let mut config = SystemConfig::homogeneous_regions(&[
                 (if scale.full { 10 } else { 6 }, Region::UsWest),
@@ -612,19 +603,9 @@ pub fn e8_network_latency(scale: &ExperimentScale) -> Vec<Vec<String>> {
             latency.set_rtt(Region::UsWest, region, rtt);
             opts.latency = latency;
             let (start, end) = scale.window();
-            let outputs = match protocol {
-                Protocol::AvaHotStuff => {
-                    let mut dep = hotstuff_deployment(config, opts);
-                    drive_churn(&mut dep, scale, 2);
-                    dep.sim.take_outputs()
-                }
-                _ => {
-                    let mut dep = bftsmart_deployment(config, opts);
-                    drive_churn(&mut dep, scale, 2);
-                    dep.sim.take_outputs()
-                }
-            };
-            let m = summarize(&outputs, start, end);
+            let builder = scenario(protocol, config.clone(), opts, scale);
+            let run = with_churn(builder, &config, scale.run, 2).build().run();
+            let m = summarize(&run.outputs, start, end);
             rows.push(vec![
                 protocol.label().to_string(),
                 format!("{rtt:.0} ms ({})", region.zone_name()),
@@ -637,6 +618,72 @@ pub fn e8_network_latency(scale: &ExperimentScale) -> Vec<Vec<String>> {
         "E8: network latency during reconfiguration (Fig. 8)",
         &["system", "inter-cluster RTT", "throughput (txn/s)", "latency (s)"],
         &rows,
+    );
+    rows
+}
+
+// ---------------------------------------------------------------------------------
+// E9: partitions and latency shifts (scenario shapes beyond the paper)
+// ---------------------------------------------------------------------------------
+
+/// E9: two scenario shapes the hand-wired harness could not express —
+/// (a) a mid-run inter-region partition between the two clusters that heals after a
+/// third of the run, and (b) a mid-run latency-model shift that moves the
+/// inter-cluster RTT from the paper's table to a uniform 219 ms WAN. Both print an
+/// observer-produced throughput time series.
+pub fn e9_partitions(scale: &ExperimentScale) -> Vec<Vec<String>> {
+    let nodes = if scale.full { 7 } else { 5 };
+    let third = Time(scale.run.as_micros() / 3);
+    let two_thirds = Time(2 * scale.run.as_micros() / 3);
+    let half = Time(scale.run.as_micros() / 2);
+    let mut rows = Vec::new();
+    let mut dropped = Vec::new();
+    for protocol in Protocol::AVA {
+        let mut config =
+            SystemConfig::homogeneous_regions(&[(nodes, Region::UsWest), (nodes, Region::Europe)]);
+        adjust_batch(&mut config, scale);
+        adjust_timeouts(&mut config, scale);
+
+        let shapes: [(&str, ScenarioBuilder); 2] = [
+            (
+                "partition+heal",
+                scenario(protocol, config.clone(), default_opts(10, scale), scale)
+                    .partition_at(third, ClusterId(0), ClusterId(1))
+                    .heal_at(two_thirds, ClusterId(0), ClusterId(1)),
+            ),
+            (
+                "latency shift 142->219ms",
+                scenario(protocol, config.clone(), default_opts(10, scale), scale)
+                    .latency_shift_at(half, LatencyModel::uniform(219.0)),
+            ),
+        ];
+        for (shape, builder) in shapes {
+            let mut throughput = ThroughputObserver::new(Duration::from_secs(2));
+            let run = builder.build().run_observed(&mut [&mut throughput]);
+            for (t, tps) in throughput.series() {
+                rows.push(vec![
+                    protocol.label().to_string(),
+                    shape.to_string(),
+                    fmt(t, 0),
+                    fmt(tps, 1),
+                ]);
+            }
+            dropped.push(vec![
+                protocol.label().to_string(),
+                shape.to_string(),
+                run.stats.dropped_messages.to_string(),
+            ]);
+        }
+    }
+    print_table(
+        "E9: mid-run partition/heal and latency shift (scenario API)",
+        &["system", "shape", "time (s)", "throughput (txn/s)"],
+        &rows,
+    );
+    print_table(
+        "E9: messages dropped by the partition",
+        &["system", "shape", "dropped messages"],
+        &dropped,
     );
     rows
 }
@@ -671,6 +718,33 @@ mod tests {
             run_once(Protocol::AvaHotStuff, config, default_opts(11, &scale), &scale);
         assert!(m.completed > 0, "no transactions completed");
         assert!(outputs.iter().any(|o| matches!(o, Output::RoundExecuted { .. })));
+    }
+
+    #[test]
+    fn every_protocol_label_runs_its_own_stack() {
+        // Regression test for the old e4 arm that ran a BFT-SMaRt deployment for
+        // the GeoBFT label: with the scenario API the deployment reports the label
+        // it was built for, and GeoBFT visibly gets its config transform.
+        let scale = tiny_scale();
+        let mut config = SystemConfig::even_split_single_region(8, 2, Region::UsWest);
+        config.params.batch_size = 20;
+        for protocol in Protocol::ALL {
+            let dep = protocol.deploy(config.clone(), default_opts(12, &scale));
+            assert_eq!(dep.protocol(), protocol, "label must map to its own deployment");
+        }
+        let geo = Protocol::GeoBft.deploy(config.clone(), default_opts(12, &scale));
+        assert!(geo.config().params.parallel_reconfig_workflow);
+    }
+
+    #[test]
+    fn churn_schedule_matches_the_e5_shape() {
+        let config = SystemConfig::homogeneous_regions(&[(5, Region::UsWest), (5, Region::Europe)]);
+        let builder = Scenario::builder(Protocol::AvaHotStuff, config.clone())
+            .run_for(Duration::from_secs(12));
+        let s = with_churn(builder, &config, Duration::from_secs(12), 3).build();
+        // 3 boundaries × 2 clusters × (join + leave) = 12 events.
+        assert_eq!(s.schedule().len(), 12);
+        assert_eq!(s.schedule().last_time(), Some(Time::from_secs(9)));
     }
 
     #[test]

@@ -8,6 +8,10 @@
 //! the paper reports. Binaries run a reduced-scale configuration by default so they
 //! finish in seconds; set `AVA_FULL=1` to run the paper-scale configurations
 //! (96 nodes, three-minute virtual runs).
+//!
+//! Every experiment is a declarative [`ava_scenario::Scenario`]: protocol +
+//! configuration + event schedule + observers. New workloads add schedule shapes,
+//! not new plumbing.
 
 pub mod complexity;
 pub mod experiments;

@@ -7,9 +7,8 @@
 //! silently regress) their speedups. The `perf_wallclock` binary is the CLI front
 //! end; CI runs it at quick scale as a bench smoke test.
 
-use crate::experiments::{e0_single_region, ExperimentScale};
-use ava_geobft::geobft_deployment;
-use ava_hamava::harness::{bftsmart_deployment, hotstuff_deployment, DeploymentOptions};
+use crate::experiments::{e0_single_region, ExperimentScale, Protocol};
+use ava_hamava::harness::DeploymentOptions;
 use ava_simnet::{CostModel, LatencyModel};
 use ava_types::{Duration, Output, Region, SystemConfig};
 use ava_workload::WorkloadSpec;
@@ -88,37 +87,39 @@ fn time_shape(name: &str, iters: u32, mut run: impl FnMut() -> (u64, usize)) -> 
 /// time.
 pub fn run_quick_shapes(iters: u32) -> Vec<PerfRecord> {
     let run_secs = Duration::from_secs(5);
+    let time_deploy = |name: &str, protocol: Protocol, config: SystemConfig, seed: u64| {
+        time_shape(name, iters, || {
+            let mut dep = protocol.deploy(config.clone(), opts(seed));
+            dep.run_for(run_secs);
+            (dep.net_stats().events_processed, completed(dep.outputs()))
+        })
+    };
     let mut records = Vec::new();
     for clusters in [2usize, 3] {
-        records.push(time_shape(&format!("e0/hotstuff_{clusters}clusters_5s"), iters, || {
-            let mut dep = hotstuff_deployment(small_config(clusters), opts(1));
-            dep.run_for(run_secs);
-            (dep.sim.stats().events_processed, completed(dep.outputs()))
-        }));
-        records.push(time_shape(&format!("e0/bftsmart_{clusters}clusters_5s"), iters, || {
-            let mut dep = bftsmart_deployment(small_config(clusters), opts(2));
-            dep.run_for(run_secs);
-            (dep.sim.stats().events_processed, completed(dep.outputs()))
-        }));
+        records.push(time_deploy(
+            &format!("e0/hotstuff_{clusters}clusters_5s"),
+            Protocol::AvaHotStuff,
+            small_config(clusters),
+            1,
+        ));
+        records.push(time_deploy(
+            &format!("e0/bftsmart_{clusters}clusters_5s"),
+            Protocol::AvaBftSmart,
+            small_config(clusters),
+            2,
+        ));
     }
-    records.push(time_shape("e1/hotstuff_3clusters_multiregion_5s", iters, || {
-        let mut dep = hotstuff_deployment(multi_region_config(3), opts(5));
-        dep.run_for(run_secs);
-        (dep.sim.stats().events_processed, completed(dep.outputs()))
-    }));
-    records.push(time_shape("e3/heterogeneous_9asia_5eu_5s", iters, || {
-        let mut config =
-            SystemConfig::heterogeneous(&[vec![Region::AsiaSouth; 9], vec![Region::Europe; 5]]);
-        config.params.batch_size = 20;
-        let mut dep = hotstuff_deployment(config, opts(3));
-        dep.run_for(run_secs);
-        (dep.sim.stats().events_processed, completed(dep.outputs()))
-    }));
-    records.push(time_shape("e6/geobft_2clusters_5s", iters, || {
-        let mut dep = geobft_deployment(small_config(2), opts(4));
-        dep.run_for(run_secs);
-        (dep.sim.stats().events_processed, completed(dep.outputs()))
-    }));
+    records.push(time_deploy(
+        "e1/hotstuff_3clusters_multiregion_5s",
+        Protocol::AvaHotStuff,
+        multi_region_config(3),
+        5,
+    ));
+    let mut hetero =
+        SystemConfig::heterogeneous(&[vec![Region::AsiaSouth; 9], vec![Region::Europe; 5]]);
+    hetero.params.batch_size = 20;
+    records.push(time_deploy("e3/heterogeneous_9asia_5eu_5s", Protocol::AvaHotStuff, hetero, 3));
+    records.push(time_deploy("e6/geobft_2clusters_5s", Protocol::GeoBft, small_config(2), 4));
     records
 }
 
@@ -185,6 +186,54 @@ pub fn render_json(
     out
 }
 
+/// Extract per-shape `name -> wall_ms` from a `BENCH_PR*.json` document produced by
+/// [`render_json`] (a hand-rolled scan; the format is our own renderer's).
+pub fn parse_bench_json(text: &str) -> BTreeMap<String, f64> {
+    let mut map = BTreeMap::new();
+    for line in text.lines() {
+        let Some(name_at) = line.find("\"name\": \"") else { continue };
+        let rest = &line[name_at + 9..];
+        let Some(name_end) = rest.find('"') else { continue };
+        let name = &rest[..name_end];
+        let Some(ms_at) = line.find("\"wall_ms\": ") else { continue };
+        let ms_text: String = line[ms_at + 11..]
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+            .collect();
+        if let Ok(ms) = ms_text.parse::<f64>() {
+            map.insert(name.to_string(), ms);
+        }
+    }
+    map
+}
+
+/// Compare `records` against committed per-shape baselines: any shape slower than
+/// `baseline × (1 + threshold)` is a regression. Returns one human-readable line
+/// per offending shape (empty = gate passes). Shapes missing from the baseline are
+/// ignored (new shapes are not regressions).
+pub fn check_regressions(
+    records: &[PerfRecord],
+    baseline: &BTreeMap<String, f64>,
+    threshold: f64,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    for r in records {
+        if let Some(&base) = baseline.get(&r.name) {
+            if base > 0.0 && r.wall_ms > base * (1.0 + threshold) {
+                failures.push(format!(
+                    "{}: {:.1} ms vs baseline {:.1} ms (+{:.0}%, budget +{:.0}%)",
+                    r.name,
+                    r.wall_ms,
+                    base,
+                    (r.wall_ms / base - 1.0) * 100.0,
+                    threshold * 100.0
+                ));
+            }
+        }
+    }
+    failures
+}
+
 /// Render records as `name\twall_ms` lines (the baseline interchange format).
 pub fn render_tsv(records: &[PerfRecord]) -> String {
     let mut out = String::new();
@@ -240,6 +289,28 @@ mod tests {
         assert!(json.contains("\"speedup\": 2.50"));
         assert!(json.contains("\"name\": \"y\""));
         assert_eq!(json.matches("baseline_wall_ms").count(), 1);
+    }
+
+    #[test]
+    fn bench_json_roundtrips_through_the_parser() {
+        let records = vec![record("e0/x_2c", 12.5), record("e6/y_3c", 1000.125)];
+        let json = render_json("quick", 1, &records, &BTreeMap::new());
+        let map = parse_bench_json(&json);
+        assert_eq!(map.len(), 2);
+        assert!((map["e0/x_2c"] - 12.5).abs() < 1e-6);
+        assert!((map["e6/y_3c"] - 1000.125).abs() < 1e-6);
+    }
+
+    #[test]
+    fn regression_gate_flags_only_shapes_over_budget() {
+        let mut baseline = BTreeMap::new();
+        baseline.insert("slow".to_string(), 100.0);
+        baseline.insert("ok".to_string(), 100.0);
+        // "new" has no baseline and must be ignored.
+        let records = vec![record("slow", 130.0), record("ok", 120.0), record("new", 9.9)];
+        let failures = check_regressions(&records, &baseline, 0.25);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].starts_with("slow:"), "{failures:?}");
     }
 
     #[test]

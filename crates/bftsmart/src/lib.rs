@@ -71,7 +71,7 @@ impl WireSize for BftSmartMsg {
         match self {
             BftSmartMsg::Forward(op) => match op {
                 Operation::Trans(t) => t.payload_size as usize + 48,
-                Operation::ReconfigSet(rc) => rc.len() * 64 + 48,
+                Operation::ReconfigSet { recs, .. } => recs.len() * 64 + 56,
             },
             BftSmartMsg::PrePrepare { block, .. } => block.wire_size(),
             BftSmartMsg::Prepare { .. } | BftSmartMsg::Commit { .. } => 120,

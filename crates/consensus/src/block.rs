@@ -67,7 +67,7 @@ impl Block {
                 .iter()
                 .map(|o| match o {
                     Operation::Trans(t) => t.payload_size as usize + 32,
-                    Operation::ReconfigSet(rc) => rc.len() * 64 + 32,
+                    Operation::ReconfigSet { recs, .. } => recs.len() * 64 + 40,
                 })
                 .sum::<usize>()
         })

@@ -19,23 +19,33 @@
 //! that the benchmark crate can sweep them with identical workloads.
 
 use ava_bftsmart::BftSmart;
-use ava_hamava::harness::{bftsmart_deployment, Deployment, DeploymentOptions};
+use ava_hamava::harness::{bftsmart_factory, Deployment, DeploymentOptions};
 use ava_types::{Region, SystemConfig};
 
-/// Build a GeoBFT-style deployment: clustered, PBFT local ordering, certified global
-/// sharing, fixed membership.
+/// Adjust `config` for a GeoBFT-style run: clustered, PBFT local ordering, certified
+/// global sharing, fixed membership.
 ///
-/// The returned deployment must not be driven with join/leave requests — GeoBFT has
+/// A GeoBFT configuration must not be driven with join/leave requests — GeoBFT has
 /// no reconfiguration path, and that is precisely the capability gap E6 highlights.
-pub fn geobft_deployment(
-    mut config: SystemConfig,
-    opts: DeploymentOptions,
-) -> Deployment<BftSmart> {
+/// `ava_scenario::Protocol::GeoBft` enforces this by rejecting reconfiguration
+/// events at deployment time.
+pub fn geobft_config(mut config: SystemConfig) -> SystemConfig {
     // GeoBFT processes client batches directly; there is no parallel reconfiguration
     // workflow to overlap, so disable it (the BRD round still closes with an empty
     // set, mirroring GeoBFT's lack of a reconfiguration phase).
     config.params.parallel_reconfig_workflow = true;
-    bftsmart_deployment(config, opts)
+    config
+}
+
+/// Build a GeoBFT-style deployment (see [`geobft_config`]).
+#[deprecated(
+    since = "0.1.0",
+    note = "use `ava_scenario::Protocol::GeoBft.deploy(config, opts)` (or \
+            `Scenario::builder` for scheduled events and observers); this shim will \
+            be removed next PR cycle"
+)]
+pub fn geobft_deployment(config: SystemConfig, opts: DeploymentOptions) -> Deployment<BftSmart> {
+    Deployment::build(geobft_config(config), opts, bftsmart_factory())
 }
 
 /// Configuration for the classical non-clustered baseline: every replica in a single
@@ -68,11 +78,18 @@ mod tests {
     fn geobft_deployment_processes_transactions() {
         let mut config = SystemConfig::even_split_single_region(8, 2, Region::UsWest);
         config.params.batch_size = 20;
-        let mut dep = geobft_deployment(config, small_opts());
+        let mut dep = Deployment::build(geobft_config(config), small_opts(), bftsmart_factory());
         dep.run_for(Duration::from_secs(10));
         let committed =
             dep.outputs().iter().filter(|o| matches!(o, Output::TxCompleted { .. })).count();
         assert!(committed > 0, "GeoBFT baseline should commit transactions");
+    }
+
+    #[test]
+    fn geobft_config_forces_the_direct_processing_path() {
+        let mut config = SystemConfig::even_split_single_region(8, 2, Region::UsWest);
+        config.params.parallel_reconfig_workflow = false;
+        assert!(geobft_config(config).params.parallel_reconfig_workflow);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! issued immediately. Reads are answered locally by the contacted replica; writes
 //! complete when the round that ordered them executes.
 
-use crate::messages::AvaMsg;
+use crate::messages::{AvaMsg, ClientCtl};
 use ava_consensus::WireSize;
 use ava_simnet::{Actor, Context, SimMessage};
 use ava_types::{ClientId, ClusterId, Duration, Output, ReplicaId, Time, TxId};
@@ -97,19 +97,27 @@ where
     }
 
     fn on_message(&mut self, _from: ReplicaId, msg: AvaMsg<TM>, ctx: &mut Context<'_, AvaMsg<TM>>) {
-        if let AvaMsg::ClientResponse { tx, is_write } = msg {
-            if let Some((issued_at, _)) = self.outstanding.remove(&tx) {
-                self.completed += 1;
-                ctx.emit(Output::TxCompleted {
-                    tx,
-                    client: self.cfg.id,
-                    cluster: self.cfg.cluster,
-                    issued_at,
-                    completed_at: ctx.now(),
-                    is_write,
-                });
-                self.issue_one(ctx);
+        match msg {
+            AvaMsg::ClientResponse { tx, is_write } => {
+                if let Some((issued_at, _)) = self.outstanding.remove(&tx) {
+                    self.completed += 1;
+                    ctx.emit(Output::TxCompleted {
+                        tx,
+                        client: self.cfg.id,
+                        cluster: self.cfg.cluster,
+                        issued_at,
+                        completed_at: ctx.now(),
+                        is_write,
+                    });
+                    self.issue_one(ctx);
+                }
             }
+            AvaMsg::ClientControl(ClientCtl::SwitchWorkload(spec)) => {
+                // Outstanding requests complete under the old mix; everything issued
+                // from now on follows the new spec.
+                self.workload.switch_spec(spec);
+            }
+            _ => {}
         }
     }
 

@@ -3,11 +3,11 @@
 //! examples, the integration tests and the benchmark harness.
 
 use crate::client::{Client, ClientConfig};
-use crate::messages::{AvaMsg, ControlCmd};
+use crate::messages::{AvaMsg, ClientCtl, ControlCmd};
 use crate::replica::{Replica, ReplicaConfig};
 use ava_consensus::{TobConfig, TotalOrderBroadcast, WireSize};
 use ava_crypto::{KeyRegistry, Keypair};
-use ava_simnet::{client_node_id, CostModel, LatencyModel, SimMessage, Simulation};
+use ava_simnet::{client_node_id, CostModel, LatencyModel, NetStats, SimMessage, Simulation};
 use ava_types::{ClientId, ClusterId, Duration, Output, Region, ReplicaId, SystemConfig, Time};
 use ava_workload::{ClientWorkload, WorkloadSpec};
 
@@ -56,6 +56,7 @@ pub struct Deployment<T: TotalOrderBroadcast + 'static> {
     factory: TobFactory<T>,
     next_replica_id: u32,
     next_client_id: u32,
+    clients: Vec<(ClientId, ClusterId)>,
 }
 
 impl<T> Deployment<T>
@@ -94,6 +95,7 @@ where
             factory,
             next_replica_id: config.max_replica_id() + 1,
             next_client_id: 0,
+            clients: Vec::new(),
             config,
         };
         for cluster in deployment.config.clusters.clone() {
@@ -124,7 +126,30 @@ where
         ccfg.concurrency = self.opts.client_concurrency;
         let client: Client<T::Msg> = Client::new(ccfg, ClientWorkload::new(workload, id));
         self.sim.add_node(client_node_id(id), region, cluster.0, Box::new(client));
+        self.clients.push((id, cluster));
         id
+    }
+
+    /// The clients added so far, with the cluster each one targets.
+    pub fn clients(&self) -> &[(ClientId, ClusterId)] {
+        &self.clients
+    }
+
+    /// Switch the workload of every client of `cluster` to `workload`, effective at
+    /// the current virtual time (the scenario API's `WorkloadSwitch` event).
+    pub fn switch_workload(&mut self, cluster: ClusterId, workload: WorkloadSpec) {
+        let at = self.sim.now();
+        let targets: Vec<ClientId> =
+            self.clients.iter().filter(|(_, c)| *c == cluster).map(|(id, _)| *id).collect();
+        for client in targets {
+            let node = client_node_id(client);
+            self.sim.external_send(
+                node,
+                node,
+                AvaMsg::ClientControl(ClientCtl::SwitchWorkload(workload.clone())),
+                at,
+            );
+        }
     }
 
     /// Add a new replica that will request to join `cluster` (E5-style churn).
@@ -176,6 +201,24 @@ where
         self.sim.crash_at(replica, at);
     }
 
+    /// Partition clusters `a` and `b` from each other, starting now: all
+    /// inter-cluster traffic between them is dropped until [`Deployment::heal`].
+    /// Clients share their cluster's side of the partition.
+    pub fn partition(&mut self, a: ClusterId, b: ClusterId) {
+        self.sim.partition_groups(a.0, b.0);
+    }
+
+    /// Heal a partition previously installed with [`Deployment::partition`].
+    pub fn heal(&mut self, a: ClusterId, b: ClusterId) {
+        self.sim.heal_groups(a.0, b.0);
+    }
+
+    /// Replace the network latency model, effective for every message sent from now
+    /// on (the scenario API's `LatencyShift` event).
+    pub fn set_latency(&mut self, latency: LatencyModel) {
+        self.sim.set_latency_model(latency);
+    }
+
     /// The initial leader of `cluster` (its first member).
     pub fn initial_leader(&self, cluster: ClusterId) -> ReplicaId {
         self.config
@@ -200,32 +243,61 @@ where
     pub fn outputs(&self) -> &[Output] {
         self.sim.outputs()
     }
+
+    /// Take ownership of the measurement events collected so far.
+    pub fn take_outputs(&mut self) -> Vec<Output> {
+        self.sim.take_outputs()
+    }
+
+    /// Network statistics of the run so far.
+    pub fn net_stats(&self) -> &NetStats {
+        self.sim.stats()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.sim.now()
+    }
+}
+
+/// The [`TobFactory`] instantiating Hamava with the HotStuff TOB (AVA-HOTSTUFF).
+pub fn hotstuff_factory() -> TobFactory<ava_hotstuff::HotStuff> {
+    Box::new(|cfg, keypair, registry, leader| {
+        ava_hotstuff::HotStuff::new(cfg, keypair, registry, leader)
+    })
+}
+
+/// The [`TobFactory`] instantiating Hamava with the BFT-SMaRt TOB (AVA-BFTSMART).
+pub fn bftsmart_factory() -> TobFactory<ava_bftsmart::BftSmart> {
+    Box::new(|cfg, keypair, registry, leader| {
+        ava_bftsmart::BftSmart::new(cfg, keypair, registry, leader)
+    })
 }
 
 /// Build an AVA-HOTSTUFF deployment (Hamava instantiated with the HotStuff TOB).
+#[deprecated(
+    since = "0.1.0",
+    note = "use `ava_scenario::Protocol::AvaHotStuff.deploy(config, opts)` (or \
+            `Scenario::builder` for scheduled events and observers); this shim will \
+            be removed next PR cycle"
+)]
 pub fn hotstuff_deployment(
     config: SystemConfig,
     opts: DeploymentOptions,
 ) -> Deployment<ava_hotstuff::HotStuff> {
-    Deployment::build(
-        config,
-        opts,
-        Box::new(|cfg, keypair, registry, leader| {
-            ava_hotstuff::HotStuff::new(cfg, keypair, registry, leader)
-        }),
-    )
+    Deployment::build(config, opts, hotstuff_factory())
 }
 
 /// Build an AVA-BFTSMART deployment (Hamava instantiated with the BFT-SMaRt TOB).
+#[deprecated(
+    since = "0.1.0",
+    note = "use `ava_scenario::Protocol::AvaBftSmart.deploy(config, opts)` (or \
+            `Scenario::builder` for scheduled events and observers); this shim will \
+            be removed next PR cycle"
+)]
 pub fn bftsmart_deployment(
     config: SystemConfig,
     opts: DeploymentOptions,
 ) -> Deployment<ava_bftsmart::BftSmart> {
-    Deployment::build(
-        config,
-        opts,
-        Box::new(|cfg, keypair, registry, leader| {
-            ava_bftsmart::BftSmart::new(cfg, keypair, registry, leader)
-        }),
-    )
+    Deployment::build(config, opts, bftsmart_factory())
 }

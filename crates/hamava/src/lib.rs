@@ -23,7 +23,7 @@
 //! ## Quick start
 //!
 //! ```
-//! use ava_hamava::harness::{hotstuff_deployment, DeploymentOptions};
+//! use ava_hamava::harness::{hotstuff_factory, Deployment, DeploymentOptions};
 //! use ava_types::{Duration, Region, SystemConfig};
 //!
 //! // Two heterogeneous clusters: 4 replicas in the US, 7 in Europe.
@@ -31,10 +31,14 @@
 //!     vec![Region::UsWest; 4],
 //!     vec![Region::Europe; 7],
 //! ]);
-//! let mut deployment = hotstuff_deployment(config, DeploymentOptions::default());
+//! let mut deployment = Deployment::build(config, DeploymentOptions::default(), hotstuff_factory());
 //! deployment.run_for(Duration::from_secs(5));
 //! assert!(!deployment.outputs().is_empty());
 //! ```
+//!
+//! Experiments should prefer the declarative scenario API (`ava-scenario`), which
+//! wraps this harness behind [`harness::Deployment`]-erasing trait objects and adds
+//! event schedules and run observers.
 
 pub mod brd;
 pub mod client;
@@ -46,8 +50,10 @@ pub mod replica;
 
 pub use brd::{Brd, BrdAction, BrdCert, BrdMsg};
 pub use client::{Client, ClientConfig};
-pub use harness::{bftsmart_deployment, hotstuff_deployment, Deployment, DeploymentOptions};
+#[allow(deprecated)]
+pub use harness::{bftsmart_deployment, hotstuff_deployment};
+pub use harness::{bftsmart_factory, hotstuff_factory, Deployment, DeploymentOptions, TobFactory};
 pub use leader_election::{ElectionAction, ElectionMsg, LeaderElection};
-pub use messages::{AvaMsg, ControlCmd, RoundPackage};
+pub use messages::{AvaMsg, ClientCtl, ControlCmd, RoundPackage};
 pub use remote_leader::{RemoteLeaderAction, RemoteLeaderChange, RemoteLeaderMsg};
 pub use replica::{Replica, ReplicaConfig, ReplicaStatus};

@@ -115,6 +115,16 @@ pub enum ControlCmd {
     SilentLocalLeader,
 }
 
+/// Commands injected by experiments targeting a *client* actor (the scenario API's
+/// workload events; not part of the protocol).
+#[derive(Clone, Debug)]
+pub enum ClientCtl {
+    /// Replace the client's workload generator spec mid-run (the scenario API's
+    /// `WorkloadSwitch` event). The client's transaction sequence counter keeps
+    /// running, so ids issued after the switch never collide with earlier ones.
+    SwitchWorkload(ava_workload::WorkloadSpec),
+}
+
 /// The top-level message enum of a Hamava deployment.
 #[derive(Clone, Debug)]
 pub enum AvaMsg<TM> {
@@ -182,6 +192,8 @@ pub enum AvaMsg<TM> {
     },
     /// Experiment control command.
     Control(ControlCmd),
+    /// Experiment control command addressed to a client actor.
+    ClientControl(ClientCtl),
 }
 
 impl<TM: WireSize> SimMessage for AvaMsg<TM>
@@ -202,7 +214,7 @@ where
             }
             AvaMsg::ClientRequest { tx, .. } => tx.payload_size as usize + 64,
             AvaMsg::ClientResponse { .. } => 64,
-            AvaMsg::Control(_) => 32,
+            AvaMsg::Control(_) | AvaMsg::ClientControl(_) => 32,
         }
     }
 }

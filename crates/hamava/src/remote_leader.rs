@@ -331,8 +331,12 @@ impl RemoteLeaderChange {
         if !self.verify_remote_complaint(from_cluster, cn, round, &sigs) {
             return;
         }
+        // Accept the expected complaint number *or newer*: when a forward is lost
+        // (partition, drop rule), the complaining cluster re-complains with a
+        // bumped cn, and pinning to equality would desynchronize the two clusters'
+        // counters forever. Older numbers stay rejected (replay protection).
         let expected = self.watches.entry(from_cluster).or_default().rcn;
-        if cn != expected {
+        if cn < expected {
             return;
         }
         // Alg. 2 line 22: re-broadcast inside the local cluster.
@@ -359,11 +363,13 @@ impl RemoteLeaderChange {
             return;
         }
         let watch = self.watches.entry(from_cluster).or_default();
-        if cn != watch.rcn {
+        // Alg. 2 line 24: accept each complaint number at most once (replay
+        // protection), but tolerate skipped numbers — lost forwards advance the
+        // complaining cluster's cn without this side ever seeing the old one.
+        if cn < watch.rcn {
             return;
         }
-        // Alg. 2 line 24: accept the complaint exactly once (replay protection).
-        watch.rcn += 1;
+        watch.rcn = cn + 1;
         // Line 25: skip the change if the local leader was changed very recently so
         // that simultaneous complaints from several clusters only change it once.
         let recently_changed =

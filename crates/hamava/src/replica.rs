@@ -132,6 +132,11 @@ pub struct Replica<T: TotalOrderBroadcast> {
     /// Packages that arrived for future rounds (a remote cluster can be one round
     /// ahead).
     future_packages: Vec<Arc<RoundPackage>>,
+    /// Reconfiguration sets ordered through the TOB (single-workflow mode only),
+    /// keyed by the round they were agreed for. A set can commit while this replica
+    /// is still finishing the previous round; stashing it here instead of dropping
+    /// it keeps Stage 1 of the tagged round live.
+    ordered_reconfig_sets: BTreeMap<Round, Vec<Reconfig>>,
     /// E4.3-style Byzantine behaviour: withhold inter-cluster messages.
     mute_inter: bool,
     /// Whether this replica asked to leave.
@@ -194,6 +199,7 @@ impl<T: TotalOrderBroadcast> Replica<T> {
             kv: BTreeMap::new(),
             prev_package: None,
             future_packages: Vec::new(),
+            ordered_reconfig_sets: BTreeMap::new(),
             mute_inter: false,
             leave_requested: false,
             executed_rounds: 0,
@@ -354,18 +360,19 @@ impl<T: TotalOrderBroadcast> Replica<T> {
         // Reconfiguration sets ordered through the TOB (single-workflow mode).
         let mut reconfig_sets = Vec::new();
         for op in &block.block.ops {
-            if let Operation::ReconfigSet(rc) = op {
-                reconfig_sets.push(rc.clone());
+            if let Operation::ReconfigSet { round, recs } = op {
+                reconfig_sets.push((*round, recs.clone()));
             }
         }
         self.round_state.tx_count += block.block.tx_count();
         self.round_state.blocks.push(block);
         if !self.cfg.params.parallel_reconfig_workflow {
-            if let Some(rc) = reconfig_sets.into_iter().next() {
-                if self.round_state.recs.is_none() {
-                    self.round_state.recs = Some((rc, None));
+            for (round, recs) in reconfig_sets {
+                if round >= self.round {
+                    self.ordered_reconfig_sets.entry(round).or_insert(recs);
                 }
             }
+            self.adopt_ordered_reconfig_set();
         }
         // Alg. 7 line 20: once a large fraction of the batch is ordered, start the
         // reconfiguration dissemination so it overlaps the tail of local ordering.
@@ -388,9 +395,21 @@ impl<T: TotalOrderBroadcast> Replica<T> {
             self.apply_brd_actions(actions, ctx);
         } else {
             // Single-workflow ablation (E5.2): the reconfiguration set competes with
-            // transactions for slots in the total order.
-            let actions = self.tob.broadcast(Operation::ReconfigSet(recs), ctx.now());
+            // transactions for slots in the total order. The round tag keeps each
+            // round's set distinct in the TOB's dedup pool (see `Operation`).
+            let actions =
+                self.tob.broadcast(Operation::ReconfigSet { round: self.round, recs }, ctx.now());
             self.apply_tob_actions(actions, ctx);
+        }
+    }
+
+    /// Single-workflow mode: adopt the ordered reconfiguration set for the current
+    /// round, if one has committed.
+    fn adopt_ordered_reconfig_set(&mut self) {
+        if self.round_state.recs.is_none() {
+            if let Some(recs) = self.ordered_reconfig_sets.remove(&self.round) {
+                self.round_state.recs = Some((recs, None));
+            }
         }
     }
 
@@ -410,6 +429,15 @@ impl<T: TotalOrderBroadcast> Replica<T> {
         }
         let Some((recs, cert)) = self.round_state.recs.clone() else {
             return;
+        };
+        // Single-workflow mode: the set already travels inside the TOB-certified
+        // blocks, so the package-level copy stays empty — it has no BRD delivery
+        // certificate (remote verifiers would reject the package) and would be
+        // applied a second time at execution.
+        let (recs, cert) = if self.cfg.params.parallel_reconfig_workflow {
+            (recs, cert)
+        } else {
+            (Vec::new(), None)
         };
         self.round_state.stage1_done = true;
         self.round_state.stage1_end = Some(now);
@@ -556,8 +584,8 @@ impl<T: TotalOrderBroadcast> Replica<T> {
                             self.apply_transaction(tx, ctx);
                             executed_txns += 1;
                         }
-                        Operation::ReconfigSet(rc) => {
-                            all_recs.push((*cluster, rc.clone()));
+                        Operation::ReconfigSet { recs, .. } => {
+                            all_recs.push((*cluster, recs.clone()));
                         }
                     }
                 }
@@ -657,6 +685,12 @@ impl<T: TotalOrderBroadcast> Replica<T> {
     fn start_round(&mut self, round: Round, ctx: &mut Context<'_, AvaMsg<T::Msg>>) {
         self.round = round;
         self.round_state = RoundState { started_at: ctx.now(), ..Default::default() };
+        if !self.cfg.params.parallel_reconfig_workflow {
+            // Drop stale sets and adopt one that committed while the previous round
+            // was finishing.
+            self.ordered_reconfig_sets.retain(|r, _| *r >= round);
+            self.adopt_ordered_reconfig_set();
+        }
         // Membership may have changed: propagate to every sub-protocol.
         let members = self.my_members();
         self.tob.set_membership(members.clone());
@@ -874,6 +908,8 @@ where
             AvaMsg::ClientRequest { tx, client } => self.on_client_request(from, tx, client, ctx),
             AvaMsg::ClientResponse { .. } => {}
             AvaMsg::Control(cmd) => self.on_control(cmd, ctx),
+            // Client-directed control traffic is not for replicas.
+            AvaMsg::ClientControl(_) => {}
         }
     }
 

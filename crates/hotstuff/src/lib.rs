@@ -102,7 +102,7 @@ impl WireSize for HotStuffMsg {
         match self {
             HotStuffMsg::Forward(op) => match op {
                 Operation::Trans(t) => t.payload_size as usize + 48,
-                Operation::ReconfigSet(rc) => rc.len() * 64 + 48,
+                Operation::ReconfigSet { recs, .. } => recs.len() * 64 + 56,
             },
             HotStuffMsg::Proposal { block, .. } => block.wire_size(),
             HotStuffMsg::PhaseCert { justify, .. } => 96 + justify.len() * 48,

@@ -1,0 +1,323 @@
+//! Run observers: probes the scenario runner invokes while a run executes.
+//!
+//! Observers see every [`Output`] in emission order *during* the run (instead of
+//! reconstructing series from `take_outputs()` afterwards), plus periodic ticks and
+//! the applied schedule events. The built-in observers cover the series the paper's
+//! figures need — throughput over time, per-stage latency, and per-round
+//! reconfiguration traces (the E5.2 diagnosis tool).
+
+use crate::deployment::DynDeployment;
+use crate::scenario::ScenarioEvent;
+use ava_types::{ClusterId, Duration, Output, ReplicaId, Round, StageKind, Time};
+use std::collections::BTreeMap;
+
+/// A probe tapping a scenario run as it executes.
+///
+/// All methods have empty defaults, so an observer implements only what it needs.
+pub trait RunObserver {
+    /// The deployment was built; virtual time is zero.
+    fn on_start(&mut self, dep: &dyn DynDeployment) {
+        let _ = dep;
+    }
+
+    /// The run crossed a tick boundary (see `ScenarioBuilder::tick_every`).
+    fn on_tick(&mut self, now: Time, dep: &dyn DynDeployment) {
+        let _ = (now, dep);
+    }
+
+    /// A measurement event was emitted. Invoked for every output exactly once, in
+    /// emission order, batched at tick/event boundaries and at the end of the run.
+    fn on_output(&mut self, output: &Output) {
+        let _ = output;
+    }
+
+    /// A scheduled event is about to be applied.
+    fn on_event(&mut self, at: Time, event: &ScenarioEvent) {
+        let _ = (at, event);
+    }
+
+    /// The run reached its end time.
+    fn on_end(&mut self, dep: &dyn DynDeployment) {
+        let _ = dep;
+    }
+}
+
+/// Streams completed transactions into a bucketed throughput time series
+/// (the series of the paper's Fig. 4f–h and Fig. 5a).
+#[derive(Clone, Debug)]
+pub struct ThroughputObserver {
+    bucket: Duration,
+    counts: BTreeMap<u64, usize>,
+}
+
+impl ThroughputObserver {
+    /// Bucket completions into windows of `bucket` virtual time.
+    pub fn new(bucket: Duration) -> Self {
+        assert!(bucket > Duration::ZERO, "bucket must be positive");
+        ThroughputObserver { bucket, counts: BTreeMap::new() }
+    }
+
+    /// The series so far: `(bucket_end_seconds, txns_per_second)` pairs.
+    pub fn series(&self) -> Vec<(f64, f64)> {
+        let bucket_secs = self.bucket.as_secs_f64();
+        self.counts
+            .iter()
+            .map(|(idx, c)| (((idx + 1) as f64) * bucket_secs, *c as f64 / bucket_secs))
+            .collect()
+    }
+
+    /// Total completed transactions observed.
+    pub fn completed(&self) -> usize {
+        self.counts.values().sum()
+    }
+}
+
+impl RunObserver for ThroughputObserver {
+    fn on_output(&mut self, output: &Output) {
+        if let Output::TxCompleted { completed_at, .. } = output {
+            let idx = completed_at.as_micros() / self.bucket.as_micros().max(1);
+            *self.counts.entry(idx).or_insert(0) += 1;
+        }
+    }
+}
+
+/// Accumulates per-stage latency sums (the E2 breakdown) while the run executes.
+#[derive(Clone, Debug, Default)]
+pub struct StageBreakdownObserver {
+    sums: [f64; 3],
+    counts: [usize; 3],
+}
+
+impl StageBreakdownObserver {
+    /// A fresh accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Average per-stage latency in milliseconds, in protocol order
+    /// `[intra-cluster, inter-cluster, execution]`.
+    pub fn breakdown(&self) -> [f64; 3] {
+        let mut out = [0.0; 3];
+        for i in 0..3 {
+            out[i] = if self.counts[i] == 0 { 0.0 } else { self.sums[i] / self.counts[i] as f64 };
+        }
+        out
+    }
+}
+
+impl RunObserver for StageBreakdownObserver {
+    fn on_output(&mut self, output: &Output) {
+        if let Output::StageCompleted { stage, started_at, completed_at, .. } = output {
+            let idx = StageKind::ALL.iter().position(|s| s == stage).expect("known stage");
+            self.sums[idx] += completed_at.since(*started_at).as_millis_f64();
+            self.counts[idx] += 1;
+        }
+    }
+}
+
+/// Per-round commit/reconfiguration activity of one cluster (aggregated over its
+/// replicas), collected by [`ReconfigTraceObserver`].
+#[derive(Clone, Debug, Default)]
+pub struct RoundTrace {
+    /// Replicas that reported executing the round.
+    pub executions: usize,
+    /// Transactions the round carried (as reported by the first executor).
+    pub txns: usize,
+    /// Per-stage completion reports `[intra, inter, execution]` across replicas —
+    /// shows exactly which stage a stalled round is stuck in.
+    pub stage_completions: [usize; 3],
+    /// Reconfigurations applied in the round, as `(replica, joined)` pairs
+    /// (deduplicated across reporting replicas).
+    pub reconfigs: Vec<(ReplicaId, bool)>,
+    /// First time any replica executed the round.
+    pub first_at: Option<Time>,
+    /// Last time any replica executed the round.
+    pub last_at: Option<Time>,
+}
+
+/// Collects a per-round reconfiguration/commit trace: which rounds executed, when,
+/// with how many transactions, which reconfigurations they applied, and every
+/// leader change — the mid-run visibility the E5.2 "single workflow completes 0
+/// txns" diagnosis needed.
+#[derive(Clone, Debug, Default)]
+pub struct ReconfigTraceObserver {
+    rounds: BTreeMap<(ClusterId, Round), RoundTrace>,
+    leader_changes: Vec<(Time, ClusterId, ReplicaId)>,
+    /// Leader installs already recorded, as `(cluster, leader, timestamp)` — every
+    /// replica of a cluster reports the same install once, and reports from
+    /// different clusters interleave.
+    seen_changes: std::collections::BTreeSet<(ClusterId, ReplicaId, u64)>,
+    scheduled: Vec<(Time, String)>,
+}
+
+impl ReconfigTraceObserver {
+    /// A fresh trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The per-round traces, keyed by `(cluster, round)`.
+    pub fn rounds(&self) -> &BTreeMap<(ClusterId, Round), RoundTrace> {
+        &self.rounds
+    }
+
+    /// Leader changes seen so far, as `(at, cluster, new_leader)` — one entry per
+    /// distinct `(cluster, leader, timestamp)` install, i.e. the first replica's
+    /// report of each change.
+    pub fn leader_changes(&self) -> &[(Time, ClusterId, ReplicaId)] {
+        &self.leader_changes
+    }
+
+    /// Schedule events applied during the run, rendered for the trace.
+    pub fn scheduled_events(&self) -> &[(Time, String)] {
+        &self.scheduled
+    }
+
+    /// Render the trace as printable table rows:
+    /// `[cluster, round, s1/s2/s3, executions, txns, reconfigs, first_at, last_at]`.
+    pub fn trace_rows(&self) -> Vec<Vec<String>> {
+        self.rounds
+            .iter()
+            .map(|((cluster, round), t)| {
+                let recs = if t.reconfigs.is_empty() {
+                    "-".to_string()
+                } else {
+                    t.reconfigs
+                        .iter()
+                        .map(|(r, joined)| format!("{r}{}", if *joined { "+" } else { "-" }))
+                        .collect::<Vec<_>>()
+                        .join(",")
+                };
+                let fmt_t =
+                    |t: Option<Time>| t.map_or("-".into(), |t| format!("{:.1}", t.as_secs_f64()));
+                vec![
+                    cluster.0.to_string(),
+                    round.0.to_string(),
+                    format!(
+                        "{}/{}/{}",
+                        t.stage_completions[0], t.stage_completions[1], t.stage_completions[2]
+                    ),
+                    t.executions.to_string(),
+                    t.txns.to_string(),
+                    recs,
+                    fmt_t(t.first_at),
+                    fmt_t(t.last_at),
+                ]
+            })
+            .collect()
+    }
+}
+
+impl RunObserver for ReconfigTraceObserver {
+    fn on_output(&mut self, output: &Output) {
+        match output {
+            Output::StageCompleted { cluster, round, stage, .. } => {
+                let t = self.rounds.entry((*cluster, *round)).or_default();
+                let idx = StageKind::ALL.iter().position(|s| s == stage).expect("known stage");
+                t.stage_completions[idx] += 1;
+            }
+            Output::RoundExecuted { cluster, round, txns, at, .. } => {
+                let t = self.rounds.entry((*cluster, *round)).or_default();
+                t.executions += 1;
+                if t.executions == 1 {
+                    t.txns = *txns;
+                }
+                t.first_at = Some(t.first_at.map_or(*at, |f| f.min(*at)));
+                t.last_at = Some(t.last_at.map_or(*at, |l| l.max(*at)));
+            }
+            Output::ReconfigApplied { replica, cluster, joined, round, .. } => {
+                let t = self.rounds.entry((*cluster, *round)).or_default();
+                if !t.reconfigs.contains(&(*replica, *joined)) {
+                    t.reconfigs.push((*replica, *joined));
+                }
+            }
+            Output::LeaderChanged { cluster, new_leader, timestamp, at, .. } => {
+                if self.seen_changes.insert((*cluster, *new_leader, *timestamp)) {
+                    self.leader_changes.push((*at, *cluster, *new_leader));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_event(&mut self, at: Time, event: &ScenarioEvent) {
+        self.scheduled.push((at, format!("{event:?}")));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ava_types::{ClientId, TxId};
+
+    fn tx(completed_ms: u64) -> Output {
+        Output::TxCompleted {
+            tx: TxId { client: ClientId(0), seq: completed_ms },
+            client: ClientId(0),
+            cluster: ClusterId(0),
+            issued_at: Time::ZERO,
+            completed_at: Time::from_millis(completed_ms),
+            is_write: true,
+        }
+    }
+
+    #[test]
+    fn throughput_observer_matches_posthoc_bucketing() {
+        let mut obs = ThroughputObserver::new(Duration::from_secs(1));
+        for o in [tx(500), tx(600), tx(1500)] {
+            obs.on_output(&o);
+        }
+        assert_eq!(obs.series(), vec![(1.0, 2.0), (2.0, 1.0)]);
+        assert_eq!(obs.completed(), 3);
+    }
+
+    #[test]
+    fn stage_observer_averages_per_stage() {
+        let stage = |kind, start, end| Output::StageCompleted {
+            replica: ReplicaId(0),
+            cluster: ClusterId(0),
+            round: Round(1),
+            stage: kind,
+            started_at: Time::from_millis(start),
+            completed_at: Time::from_millis(end),
+        };
+        let mut obs = StageBreakdownObserver::new();
+        for o in [
+            stage(StageKind::IntraCluster, 0, 100),
+            stage(StageKind::IntraCluster, 0, 300),
+            stage(StageKind::InterCluster, 100, 150),
+        ] {
+            obs.on_output(&o);
+        }
+        let b = obs.breakdown();
+        assert!((b[0] - 200.0).abs() < 1e-9);
+        assert!((b[1] - 50.0).abs() < 1e-9);
+        assert_eq!(b[2], 0.0);
+    }
+
+    #[test]
+    fn reconfig_trace_collects_rounds_and_reconfigs() {
+        let mut obs = ReconfigTraceObserver::new();
+        obs.on_output(&Output::RoundExecuted {
+            replica: ReplicaId(0),
+            cluster: ClusterId(0),
+            round: Round(3),
+            txns: 20,
+            at: Time::from_secs(2),
+        });
+        obs.on_output(&Output::ReconfigApplied {
+            replica: ReplicaId(9),
+            cluster: ClusterId(0),
+            joined: true,
+            round: Round(3),
+            at: Time::from_secs(2),
+        });
+        obs.on_event(Time::from_secs(1), &ScenarioEvent::Leave { replica: ReplicaId(2) });
+        let rows = obs.trace_rows();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][1], "3");
+        assert_eq!(rows[0][4], "20");
+        assert!(rows[0][5].contains("9+"));
+        assert_eq!(obs.scheduled_events().len(), 1);
+    }
+}

@@ -50,6 +50,27 @@ impl DropRule {
     }
 }
 
+/// An active network partition between two node groups (clusters). While a
+/// partition is in place, every message between the two groups is dropped, in both
+/// directions; intra-group traffic is unaffected. Unlike [`DropRule`]s, partitions
+/// never consume randomness, so installing or healing one cannot perturb the RNG
+/// draw order of the rest of the run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct GroupPartition {
+    a: u32,
+    b: u32,
+}
+
+impl GroupPartition {
+    fn new(a: u32, b: u32) -> Self {
+        GroupPartition { a: a.min(b), b: a.max(b) }
+    }
+
+    fn severs(&self, from: u32, to: u32) -> bool {
+        *self == GroupPartition::new(from, to)
+    }
+}
+
 struct NodeSlot<M> {
     actor: Box<dyn Actor<M>>,
     region: Region,
@@ -74,6 +95,7 @@ pub struct Simulation<M: SimMessage> {
     stats: NetStats,
     drop_rules: Vec<DropRule>,
     crash_schedule: Vec<(Time, ReplicaId)>,
+    partitions: Vec<GroupPartition>,
 }
 
 impl<M: SimMessage> Simulation<M> {
@@ -91,6 +113,7 @@ impl<M: SimMessage> Simulation<M> {
             stats: NetStats::default(),
             drop_rules: Vec::new(),
             crash_schedule: Vec::new(),
+            partitions: Vec::new(),
         }
     }
 
@@ -139,6 +162,41 @@ impl<M: SimMessage> Simulation<M> {
     /// Install a message drop rule.
     pub fn add_drop_rule(&mut self, rule: DropRule) {
         self.drop_rules.push(rule);
+    }
+
+    /// Partition groups `a` and `b` from each other, starting now: every message
+    /// between them (either direction) is dropped until [`Simulation::heal_groups`]
+    /// removes the partition. Installing the same partition twice is a no-op.
+    pub fn partition_groups(&mut self, a: u32, b: u32) {
+        let p = GroupPartition::new(a, b);
+        if !self.partitions.contains(&p) {
+            self.partitions.push(p);
+        }
+    }
+
+    /// Heal a partition previously installed with [`Simulation::partition_groups`].
+    /// Healing a pair that is not partitioned is a no-op.
+    pub fn heal_groups(&mut self, a: u32, b: u32) {
+        let p = GroupPartition::new(a, b);
+        self.partitions.retain(|q| *q != p);
+    }
+
+    /// Whether groups `a` and `b` are currently partitioned from each other.
+    pub fn groups_partitioned(&self, a: u32, b: u32) -> bool {
+        self.partitions.iter().any(|p| p.severs(a, b))
+    }
+
+    /// Replace the latency model, effective for every message routed from now on.
+    /// Messages already in flight keep the delivery time they were scheduled with.
+    /// Swapping the model consumes no randomness, so a run that shifts latency at
+    /// time `t` is bit-identical to the unshifted run up to `t`.
+    pub fn set_latency_model(&mut self, latency: LatencyModel) {
+        self.latency = latency;
+    }
+
+    /// The current latency model.
+    pub fn latency_model(&self) -> &LatencyModel {
+        &self.latency
     }
 
     /// Inject a message from outside the simulation (or on behalf of `from`) that
@@ -291,6 +349,12 @@ impl<M: SimMessage> Simulation<M> {
         let to_region = dest.region;
         let to_group = dest.group;
         self.stats.record_send(from_group, to_group, size);
+        // Active partitions sever the two groups deterministically (no RNG roll),
+        // before the probabilistic drop rules are consulted.
+        if from_group != to_group && self.groups_partitioned(from_group, to_group) {
+            self.stats.dropped_messages += 1;
+            return;
+        }
         // Single pass over the drop rules: collect the strongest matching
         // probability, then roll at most once (preserving the RNG draw order of the
         // previous two-pass `any` + `max` scan).
@@ -505,6 +569,110 @@ mod tests {
         sim.run_until(Time::from_secs(5));
         // Node 1 got at least the external message plus protocol traffic.
         assert!(sim.stats().total_messages() >= 8);
+    }
+
+    #[test]
+    fn partition_severs_cross_group_traffic_and_heal_restores_it() {
+        // Partition installed at t=0: the initial ping is dropped, nothing completes.
+        let mut sim = two_node_sim((Region::UsWest, Region::UsWest));
+        sim.partition_groups(0, 1);
+        assert!(sim.groups_partitioned(0, 1));
+        sim.run_until(Time::from_secs(2));
+        assert!(sim.outputs().is_empty());
+        assert!(sim.stats().dropped_messages >= 1);
+
+        // Healed partition: traffic flows again (a fresh external ping restarts the
+        // exchange, since the original one was lost).
+        sim.heal_groups(0, 1);
+        assert!(!sim.groups_partitioned(0, 1));
+        let now = sim.now();
+        sim.external_send(ReplicaId(0), ReplicaId(1), PingMsg, now);
+        sim.run_until(Time::from_secs(10));
+        assert!(
+            sim.outputs().iter().any(|o| matches!(o, Output::Custom { name: "done", .. })),
+            "ping-pong should complete after the heal"
+        );
+    }
+
+    #[test]
+    fn partition_is_symmetric_and_leaves_intra_group_traffic_alone() {
+        let mut sim =
+            Simulation::new(9, LatencyModel::paper_table2().with_jitter(0.0), CostModel::zero());
+        // Nodes 0 and 1 share group 0; node 2 is group 1. Partition 0|1 must sever
+        // 0<->2 in both directions while 0<->1 keeps working.
+        sim.add_node(
+            ReplicaId(0),
+            Region::UsWest,
+            0,
+            Box::new(Ping { peer: ReplicaId(1), remaining: 3, initiator: true }),
+        );
+        sim.add_node(
+            ReplicaId(1),
+            Region::UsWest,
+            0,
+            Box::new(Ping { peer: ReplicaId(0), remaining: 3, initiator: false }),
+        );
+        sim.add_node(
+            ReplicaId(2),
+            Region::Europe,
+            1,
+            Box::new(Ping { peer: ReplicaId(0), remaining: 3, initiator: true }),
+        );
+        sim.partition_groups(1, 0); // order must not matter
+        sim.run_until(Time::from_secs(5));
+        assert!(sim.groups_partitioned(0, 1));
+        // The intra-group pair finished; every cross-group message was dropped.
+        assert_eq!(
+            sim.outputs()
+                .iter()
+                .filter(|o| matches!(o, Output::Custom { name: "done", .. }))
+                .count(),
+            1
+        );
+        assert!(sim.stats().dropped_messages >= 1);
+        assert_eq!(sim.stats().local_messages, 7);
+    }
+
+    #[test]
+    fn latency_shift_changes_delivery_times_mid_run() {
+        // Same topology twice; the second run shifts to a 10x slower uniform model
+        // mid-run, so the exchange completes strictly later.
+        let run = |shift: bool| {
+            let mut sim = Simulation::new(
+                5,
+                LatencyModel::paper_table2().with_jitter(0.0),
+                CostModel::zero(),
+            );
+            sim.add_node(
+                ReplicaId(0),
+                Region::UsWest,
+                0,
+                Box::new(Ping { peer: ReplicaId(1), remaining: 6, initiator: true }),
+            );
+            sim.add_node(
+                ReplicaId(1),
+                Region::Europe,
+                1,
+                Box::new(Ping { peer: ReplicaId(0), remaining: 6, initiator: false }),
+            );
+            sim.run_until(Time::from_millis(100));
+            if shift {
+                sim.set_latency_model(LatencyModel::uniform(1480.0).with_jitter(0.0));
+            }
+            sim.run_until(Time::from_secs(60));
+            sim.outputs()
+                .iter()
+                .find_map(|o| match o {
+                    Output::Custom { name: "done", at, .. } => Some(*at),
+                    _ => None,
+                })
+                .expect("exchange completes")
+        };
+        let (base, shifted) = (run(false), run(true));
+        assert!(shifted > base, "shifted {shifted:?} vs base {base:?}");
+        // Each side echoes 6 times, so the exchange ends on the 13th one-way hop;
+        // unshifted, every hop is 148/2 = 74 ms.
+        assert_eq!(base, Time::from_millis(74 * 13));
     }
 
     #[test]

@@ -160,6 +160,32 @@ impl SystemConfig {
     pub fn max_replica_id(&self) -> u32 {
         self.clusters.iter().flat_map(|c| c.replicas.iter().map(|(id, _)| id.0)).max().unwrap_or(0)
     }
+
+    /// The spec of `cluster`, if it is part of the initial configuration.
+    pub fn cluster(&self, cluster: ClusterId) -> Option<&ClusterSpec> {
+        self.clusters.iter().find(|c| c.id == cluster)
+    }
+
+    /// The initial leader of `cluster` (by convention its first configured member).
+    ///
+    /// # Panics
+    /// Panics if `cluster` is unknown or empty.
+    pub fn initial_leader(&self, cluster: ClusterId) -> ReplicaId {
+        self.cluster(cluster)
+            .and_then(|c| c.replicas.first().map(|(id, _)| *id))
+            .unwrap_or_else(|| panic!("unknown or empty cluster {cluster:?}"))
+    }
+
+    /// The region of the first configured replica of `cluster` (the "home" region
+    /// used when placing new clients or joining replicas).
+    ///
+    /// # Panics
+    /// Panics if `cluster` is unknown or empty.
+    pub fn home_region(&self, cluster: ClusterId) -> Region {
+        self.cluster(cluster)
+            .and_then(|c| c.replicas.first().map(|(_, region)| *region))
+            .unwrap_or_else(|| panic!("unknown or empty cluster {cluster:?}"))
+    }
 }
 
 #[cfg(test)]
@@ -205,6 +231,15 @@ mod tests {
         assert_eq!(m.size(ClusterId(1)), 5);
         assert_eq!(m.f(ClusterId(0)), 2);
         assert_eq!(m.f(ClusterId(1)), 1);
+    }
+
+    #[test]
+    fn initial_leader_and_home_region_follow_the_first_member() {
+        let cfg = SystemConfig::homogeneous_regions(&[(4, Region::UsWest), (3, Region::Europe)]);
+        assert_eq!(cfg.initial_leader(ClusterId(0)), ReplicaId(0));
+        assert_eq!(cfg.initial_leader(ClusterId(1)), ReplicaId(4));
+        assert_eq!(cfg.home_region(ClusterId(1)), Region::Europe);
+        assert!(cfg.cluster(ClusterId(2)).is_none());
     }
 
     #[test]

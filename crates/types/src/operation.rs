@@ -88,14 +88,25 @@ impl Reconfig {
 pub enum Operation {
     /// `Trans(p, t)` in the paper: a transaction issued by client `p`.
     Trans(Transaction),
-    /// `Reconfig(rc)` in the paper: the reconfiguration set for the round.
-    ReconfigSet(Vec<Reconfig>),
+    /// `Reconfig(rc)` in the paper: the reconfiguration set agreed for `round`.
+    ///
+    /// The round is part of the operation's identity: in the single-workflow
+    /// ablation (E5.2) every round orders its set through the transaction
+    /// total-order broadcast, whose pool deduplicates operations by digest — two
+    /// different rounds' (often empty) sets must not collide, or every round after
+    /// the first wedges in Stage 1 waiting for a set the pool swallowed.
+    ReconfigSet {
+        /// The round the set is agreed for.
+        round: Round,
+        /// The reconfiguration requests of the set.
+        recs: Vec<Reconfig>,
+    },
 }
 
 impl Operation {
     /// Whether this operation is a reconfiguration set.
     pub fn is_reconfig(&self) -> bool {
-        matches!(self, Operation::ReconfigSet(_))
+        matches!(self, Operation::ReconfigSet { .. })
     }
 }
 
@@ -124,7 +135,7 @@ impl OperationBatch {
     /// The reconfiguration set of the batch, if any.
     pub fn reconfig_set(&self) -> Option<&Vec<Reconfig>> {
         self.ops.iter().find_map(|o| match o {
-            Operation::ReconfigSet(rc) => Some(rc),
+            Operation::ReconfigSet { recs, .. } => Some(recs),
             Operation::Trans(_) => None,
         })
     }
@@ -135,7 +146,7 @@ impl OperationBatch {
             .iter()
             .map(|o| match o {
                 Operation::Trans(t) => t.payload_size as usize,
-                Operation::ReconfigSet(rc) => rc.len() * 64,
+                Operation::ReconfigSet { recs, .. } => recs.len() * 64,
             })
             .sum()
     }
@@ -188,9 +199,10 @@ impl Encode for Operation {
                 out.write(&[0]);
                 t.encode(out);
             }
-            Operation::ReconfigSet(rc) => {
+            Operation::ReconfigSet { round, recs } => {
                 out.write(&[1]);
-                rc.encode(out);
+                round.encode(out);
+                recs.encode(out);
             }
         }
     }
@@ -211,7 +223,10 @@ mod tests {
         let mut b = OperationBatch::new(Round(1));
         b.ops.push(Operation::Trans(Transaction::write(ClientId(0), 0, 7, 1024)));
         b.ops.push(Operation::Trans(Transaction::read(ClientId(0), 1, 9)));
-        b.ops.push(Operation::ReconfigSet(vec![Reconfig::Leave { replica: ReplicaId(3) }]));
+        b.ops.push(Operation::ReconfigSet {
+            round: Round(1),
+            recs: vec![Reconfig::Leave { replica: ReplicaId(3) }],
+        });
         b
     }
 
@@ -236,6 +251,15 @@ mod tests {
         assert!(j.is_join());
         assert_eq!(j.replica(), ReplicaId(9));
         assert!(!Reconfig::Leave { replica: ReplicaId(9) }.is_join());
+    }
+
+    #[test]
+    fn reconfig_sets_of_different_rounds_encode_differently() {
+        // The regression behind E5.2's "0 txns": round-less empty sets collided in
+        // the total-order broadcast's dedup pool.
+        let a = Operation::ReconfigSet { round: Round(1), recs: vec![] };
+        let b = Operation::ReconfigSet { round: Round(2), recs: vec![] };
+        assert_ne!(a.encoded(), b.encoded());
     }
 
     #[test]

@@ -83,6 +83,19 @@ impl ClientWorkload {
     pub fn issued(&self) -> u64 {
         self.next_seq
     }
+
+    /// The spec currently driving the generator.
+    pub fn spec(&self) -> &WorkloadSpec {
+        &self.spec
+    }
+
+    /// Replace the spec mid-stream (the scenario API's `WorkloadSwitch` event).
+    /// The sequence counter keeps running, so transaction ids issued after the
+    /// switch never collide with those issued before it.
+    pub fn switch_spec(&mut self, spec: WorkloadSpec) {
+        self.sampler = spec.sampler();
+        self.spec = spec;
+    }
 }
 
 #[cfg(test)]
@@ -118,6 +131,20 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         for i in 0..500 {
             assert!(spec.next_transaction(ClientId(1), i, &sampler, &mut rng).kind.is_write());
+        }
+    }
+
+    #[test]
+    fn switch_spec_keeps_the_sequence_counter_running() {
+        let mut wl = ClientWorkload::new(WorkloadSpec::default(), ClientId(2));
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = wl.next_tx(&mut rng);
+        wl.switch_spec(WorkloadSpec::default().write_only());
+        let b = wl.next_tx(&mut rng);
+        assert!(b.id.seq > a.id.seq, "sequence must continue across the switch");
+        assert_eq!(wl.spec().read_ratio, 0.0);
+        for _ in 0..200 {
+            assert!(wl.next_tx(&mut rng).kind.is_write());
         }
     }
 

@@ -6,21 +6,20 @@
 //! Run with: `cargo run --release --example heterogeneous_scaling`
 
 use hamava_repro::bench::experiments::e3_setup;
-use hamava_repro::hamava::harness::{hotstuff_deployment, DeploymentOptions};
+use hamava_repro::scenario::{Protocol, Scenario};
 use hamava_repro::types::{Duration, Output};
 
 fn main() {
-    let run = Duration::from_secs(15);
-    println!("running the three E3 layouts (scale factor 1) for {run} of virtual time each\n");
+    let run_len = Duration::from_secs(15);
+    println!("running the three E3 layouts (scale factor 1) for {run_len} of virtual time each\n");
     let mut results = Vec::new();
     for setup in 1..=3 {
         let mut config = e3_setup(setup, 1);
         config.params.batch_size = 40;
-        let mut deployment = hotstuff_deployment(config, DeploymentOptions::default());
-        deployment.run_for(run);
+        let run = Scenario::builder(Protocol::AvaHotStuff, config).run_for(run_len).build().run();
         let completed =
-            deployment.outputs().iter().filter(|o| matches!(o, Output::TxCompleted { .. })).count();
-        let tput = completed as f64 / run.as_secs_f64();
+            run.outputs.iter().filter(|o| matches!(o, Output::TxCompleted { .. })).count();
+        let tput = completed as f64 / run_len.as_secs_f64();
         let label = match setup {
             1 => "setup 1: equal clusters, regions mixed   ",
             2 => "setup 2: one cluster per region           ",

@@ -1,9 +1,10 @@
 //! Quickstart: two heterogeneous clusters (4 replicas in the US, 7 in Europe)
-//! replicating a YCSB-like workload with Hamava on top of HotStuff.
+//! replicating a YCSB-like workload with Hamava on top of HotStuff, described as a
+//! declarative scenario.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use hamava_repro::hamava::harness::{hotstuff_deployment, DeploymentOptions};
+use hamava_repro::scenario::{Protocol, Scenario, ThroughputObserver};
 use hamava_repro::types::{Duration, Output, Region, SystemConfig, Time};
 
 fn main() {
@@ -12,13 +13,20 @@ fn main() {
         SystemConfig::heterogeneous(&[vec![Region::UsWest; 4], vec![Region::Europe; 7]]);
     config.params.batch_size = 50;
 
-    let mut deployment = hotstuff_deployment(config, DeploymentOptions::default());
-    let run = Duration::from_secs(20);
-    println!("running a 2-cluster AVA-HOTSTUFF deployment for {run} of virtual time...");
-    deployment.run_for(run);
+    let run_len = Duration::from_secs(20);
+    println!("running a 2-cluster AVA-HOTSTUFF scenario for {run_len} of virtual time...");
 
-    let outputs = deployment.outputs();
-    let completed: Vec<_> = outputs
+    // An observer streams the throughput series while the run executes, instead of
+    // reconstructing it from the outputs afterwards.
+    let mut throughput = ThroughputObserver::new(Duration::from_secs(5));
+    let run = Scenario::builder(Protocol::AvaHotStuff, config)
+        .run_for(run_len)
+        .tick_every(Duration::from_secs(5))
+        .build()
+        .run_observed(&mut [&mut throughput]);
+
+    let completed: Vec<_> = run
+        .outputs
         .iter()
         .filter_map(|o| match o {
             Output::TxCompleted { issued_at, completed_at, is_write, .. } => {
@@ -27,7 +35,7 @@ fn main() {
             _ => None,
         })
         .collect();
-    let rounds = outputs.iter().filter(|o| matches!(o, Output::RoundExecuted { .. })).count();
+    let rounds = run.outputs.iter().filter(|o| matches!(o, Output::RoundExecuted { .. })).count();
     let writes = completed.iter().filter(|(_, w)| *w).count();
     let avg_ms = completed.iter().map(|(l, _)| l).sum::<f64>() / completed.len().max(1) as f64;
 
@@ -40,11 +48,14 @@ fn main() {
     );
     println!(
         "throughput: {:.1} txn/s, average latency: {avg_ms:.1} ms",
-        completed.len() as f64 / (Time::ZERO + run).as_secs_f64()
+        completed.len() as f64 / (Time::ZERO + run_len).as_secs_f64()
     );
+    println!("throughput over time (5 s buckets):");
+    for (t, tps) in throughput.series() {
+        println!("  t <= {t:>4.0} s: {tps:>8.1} txn/s");
+    }
     println!(
         "network: {} intra-cluster and {} inter-cluster messages",
-        deployment.sim.stats().local_messages,
-        deployment.sim.stats().global_messages
+        run.stats.local_messages, run.stats.global_messages
     );
 }

@@ -1,29 +1,32 @@
 //! Reconfiguration: replicas join and leave clusters while transactions keep being
-//! processed (the scenario of the paper's experiment E5).
+//! processed (the scenario of the paper's experiment E5), declared as a schedule of
+//! join/leave events.
 //!
 //! Run with: `cargo run --release --example reconfiguration`
 
-use hamava_repro::hamava::harness::{hotstuff_deployment, DeploymentOptions};
-use hamava_repro::types::{ClusterId, Duration, Output, Region, SystemConfig};
+use hamava_repro::scenario::{Protocol, Scenario};
+use hamava_repro::types::{ClusterId, Duration, Output, Region, SystemConfig, Time};
 
 fn main() {
     let mut config = SystemConfig::homogeneous_regions(&[(7, Region::UsWest), (7, Region::Europe)]);
     config.params.batch_size = 50;
-    let mut deployment = hotstuff_deployment(config, DeploymentOptions::default());
+    let leaver = config.clusters[0].replicas[2].0;
 
-    println!("phase 1: steady state (10 s)...");
-    deployment.run_for(Duration::from_secs(10));
+    println!("declaring the scenario: steady state, then churn at t = 10 s...");
+    let run = Scenario::builder(Protocol::AvaHotStuff, config)
+        .run_for(Duration::from_secs(30))
+        // At 10 s one replica joins each cluster and one original member of
+        // cluster 0 requests to leave — the runner applies these at their times.
+        .join_at(Time::from_secs(10), ClusterId(0), Region::UsWest)
+        .join_at(Time::from_secs(10), ClusterId(1), Region::Europe)
+        .leave_at(Time::from_secs(10), leaver)
+        .build()
+        .run();
 
-    println!("phase 2: one replica joins each cluster, one replica leaves cluster 0...");
-    let new_us = deployment.add_joining_replica(ClusterId(0), Region::UsWest);
-    let new_eu = deployment.add_joining_replica(ClusterId(1), Region::Europe);
-    let leaver = deployment.config.clusters[0].replicas[2].0;
-    deployment.request_leave(leaver);
-    deployment.run_for(Duration::from_secs(20));
-
+    let (new_us, new_eu) = (run.joined[0], run.joined[1]);
     let mut joins = 0;
     let mut leaves = 0;
-    for o in deployment.outputs() {
+    for o in &run.outputs {
         if let Output::ReconfigApplied { replica, joined, round, .. } = o {
             if *joined {
                 joins += 1;
@@ -38,8 +41,7 @@ fn main() {
             }
         }
     }
-    let completed =
-        deployment.outputs().iter().filter(|o| matches!(o, Output::TxCompleted { .. })).count();
+    let completed = run.outputs.iter().filter(|o| matches!(o, Output::TxCompleted { .. })).count();
     println!("join events applied (across replicas): {joins}");
     println!("leave events applied (across replicas): {leaves}");
     println!("transactions completed while reconfiguring: {completed}");

@@ -15,6 +15,7 @@ pub use ava_crypto as crypto;
 pub use ava_geobft as geobft;
 pub use ava_hamava as hamava;
 pub use ava_hotstuff as hotstuff;
+pub use ava_scenario as scenario;
 pub use ava_simnet as simnet;
 pub use ava_types as types;
 pub use ava_workload as workload;

@@ -1,10 +1,11 @@
 //! Determinism golden tests.
 //!
-//! A fixed-seed two-cluster deployment must produce a byte-identical `Output` stream
-//! and identical `NetStats` on every run — and, crucially, across hot-path refactors
-//! (`Arc` sharing, digest caching, broadcast batching must not change scheduling
-//! order). The fingerprints below were captured before the PR 2 zero-copy refactor;
-//! any change to event ordering, payload sizes, or RNG draw order fails loudly here.
+//! A fixed-seed two-cluster scenario must produce a byte-identical `Output` stream
+//! and identical `NetStats` on every run — and, crucially, across refactors: the
+//! PR 2 zero-copy work and the PR 3 scenario-API redesign must not change
+//! scheduling order. The fingerprints below were captured before the PR 2 zero-copy
+//! refactor; the scenario runner reproducing them proves the declarative API is
+//! behavior-preserving with respect to the hand-driven harness it replaced.
 //!
 //! If a change *intentionally* alters scheduling (new message kinds, different
 //! timers), re-capture the constants by running
@@ -12,7 +13,8 @@
 //! and say so in the PR.
 
 use hamava_repro::crypto::sha256::Sha256;
-use hamava_repro::hamava::harness::{bftsmart_deployment, hotstuff_deployment, DeploymentOptions};
+use hamava_repro::hamava::harness::DeploymentOptions;
+use hamava_repro::scenario::{Protocol, Scenario};
 use hamava_repro::simnet::{CostModel, LatencyModel, NetStats};
 use hamava_repro::types::{Duration, Output, Region, SystemConfig};
 use hamava_repro::workload::WorkloadSpec;
@@ -64,35 +66,52 @@ fn fingerprint(outputs: &[Output], stats: &NetStats) -> String {
     h.finalize().iter().map(|b| format!("{b:02x}")).collect()
 }
 
-fn run_hotstuff() -> String {
-    let mut dep = hotstuff_deployment(golden_config(), golden_opts());
-    dep.run_for(Duration::from_secs(8));
-    let outputs = dep.sim.take_outputs();
-    fingerprint(&outputs, dep.sim.stats())
-}
-
-fn run_bftsmart() -> String {
-    let mut dep = bftsmart_deployment(golden_config(), golden_opts());
-    dep.run_for(Duration::from_secs(8));
-    let outputs = dep.sim.take_outputs();
-    fingerprint(&outputs, dep.sim.stats())
+fn run_protocol(protocol: Protocol) -> String {
+    let run = Scenario::builder(protocol, golden_config())
+        .options(golden_opts())
+        .run_for(Duration::from_secs(8))
+        .build()
+        .run();
+    fingerprint(&run.outputs, &run.stats)
 }
 
 #[test]
 fn hotstuff_golden_fingerprint_is_stable() {
-    let fp = run_hotstuff();
+    let fp = run_protocol(Protocol::AvaHotStuff);
     println!("hotstuff fingerprint: {fp}");
     assert_eq!(fp, HOTSTUFF_GOLDEN, "AVA-HOTSTUFF golden run diverged from PR 2 capture");
 }
 
 #[test]
 fn bftsmart_golden_fingerprint_is_stable() {
-    let fp = run_bftsmart();
+    let fp = run_protocol(Protocol::AvaBftSmart);
     println!("bftsmart fingerprint: {fp}");
     assert_eq!(fp, BFTSMART_GOLDEN, "AVA-BFTSMART golden run diverged from PR 2 capture");
 }
 
 #[test]
 fn fingerprint_is_reproducible_within_a_process() {
-    assert_eq!(run_hotstuff(), run_hotstuff());
+    assert_eq!(run_protocol(Protocol::AvaHotStuff), run_protocol(Protocol::AvaHotStuff));
+}
+
+#[test]
+fn observers_and_ticks_do_not_perturb_the_run() {
+    // Attaching observers chunks the run into tick-bounded `run_until` segments;
+    // scheduling must be bit-identical to the unobserved run.
+    struct Counter(usize);
+    impl hamava_repro::scenario::RunObserver for Counter {
+        fn on_output(&mut self, _output: &Output) {
+            self.0 += 1;
+        }
+    }
+    let mut counter = Counter(0);
+    let observed = Scenario::builder(Protocol::AvaHotStuff, golden_config())
+        .options(golden_opts())
+        .run_for(Duration::from_secs(8))
+        .tick_every(Duration::from_millis(500))
+        .build()
+        .run_observed(&mut [&mut counter]);
+    let fp = fingerprint(&observed.outputs, &observed.stats);
+    assert_eq!(fp, HOTSTUFF_GOLDEN, "tick-chunked run diverged from the golden capture");
+    assert_eq!(counter.0, observed.outputs.len(), "observer must see every output exactly once");
 }

@@ -1,10 +1,11 @@
 //! Cross-crate integration tests: full simulated deployments of AVA-HOTSTUFF and
 //! AVA-BFTSMART processing transactions across heterogeneous geo-distributed
-//! clusters.
+//! clusters, driven through the declarative scenario API.
 
-use hamava_repro::hamava::harness::{bftsmart_deployment, hotstuff_deployment, DeploymentOptions};
+use hamava_repro::hamava::harness::DeploymentOptions;
+use hamava_repro::scenario::{Protocol, Scenario, ScenarioBuilder, ScenarioRun};
 use hamava_repro::simnet::{CostModel, LatencyModel};
-use hamava_repro::types::{ClusterId, Duration, Output, Region, StageKind, SystemConfig};
+use hamava_repro::types::{ClusterId, Duration, Output, Region, StageKind, SystemConfig, Time};
 use hamava_repro::workload::WorkloadSpec;
 
 fn quick_opts(seed: u64) -> DeploymentOptions {
@@ -18,6 +19,10 @@ fn quick_opts(seed: u64) -> DeploymentOptions {
     }
 }
 
+fn scenario(protocol: Protocol, config: SystemConfig, seed: u64, secs: u64) -> ScenarioBuilder {
+    Scenario::builder(protocol, config).options(quick_opts(seed)).run_for(Duration::from_secs(secs))
+}
+
 fn completed_writes(outputs: &[Output]) -> usize {
     outputs.iter().filter(|o| matches!(o, Output::TxCompleted { is_write: true, .. })).count()
 }
@@ -27,9 +32,8 @@ fn hotstuff_two_heterogeneous_clusters_process_transactions() {
     let mut config =
         SystemConfig::heterogeneous(&[vec![Region::UsWest; 4], vec![Region::Europe; 7]]);
     config.params.batch_size = 25;
-    let mut dep = hotstuff_deployment(config, quick_opts(1));
-    dep.run_for(Duration::from_secs(15));
-    let outputs = dep.outputs();
+    let run = scenario(Protocol::AvaHotStuff, config, 1, 15).build().run();
+    let outputs = &run.outputs;
     let rounds = outputs.iter().filter(|o| matches!(o, Output::RoundExecuted { .. })).count();
     assert!(rounds > 0, "no rounds executed");
     assert!(completed_writes(outputs) > 0, "no writes completed");
@@ -60,20 +64,18 @@ fn bftsmart_deployment_also_processes_transactions() {
     let mut config =
         SystemConfig::homogeneous_regions(&[(4, Region::UsWest), (4, Region::AsiaSouth)]);
     config.params.batch_size = 25;
-    let mut dep = bftsmart_deployment(config, quick_opts(2));
-    dep.run_for(Duration::from_secs(15));
-    assert!(completed_writes(dep.outputs()) > 0);
+    let run = scenario(Protocol::AvaBftSmart, config, 2, 15).build().run();
+    assert!(completed_writes(&run.outputs) > 0);
 }
 
 #[test]
 fn all_three_stages_are_reported_per_round() {
     let mut config = SystemConfig::homogeneous_regions(&[(4, Region::UsWest), (4, Region::Europe)]);
     config.params.batch_size = 20;
-    let mut dep = hotstuff_deployment(config, quick_opts(3));
-    dep.run_for(Duration::from_secs(12));
+    let run = scenario(Protocol::AvaHotStuff, config, 3, 12).build().run();
     for stage in StageKind::ALL {
         assert!(
-            dep.outputs()
+            run.outputs
                 .iter()
                 .any(|o| matches!(o, Output::StageCompleted { stage: s, .. } if *s == stage)),
             "missing stage report for {stage:?}"
@@ -91,27 +93,24 @@ fn clustering_reduces_inter_cluster_traffic_share() {
         &[Region::UsWest, Region::Europe, Region::AsiaSouth],
     );
     config.params.batch_size = 20;
-    let mut dep = hotstuff_deployment(config, quick_opts(4));
-    dep.run_for(Duration::from_secs(12));
-    let stats = dep.sim.stats();
-    assert!(stats.local_messages > 0 && stats.global_messages > 0);
+    let run = scenario(Protocol::AvaHotStuff, config, 4, 12).build().run();
+    assert!(run.stats.local_messages > 0 && run.stats.global_messages > 0);
     assert!(
-        stats.local_messages > stats.global_messages * 3,
+        run.stats.local_messages > run.stats.global_messages * 3,
         "local {} vs global {}",
-        stats.local_messages,
-        stats.global_messages
+        run.stats.local_messages,
+        run.stats.global_messages
     );
 }
 
 #[test]
 fn same_seed_is_deterministic_and_different_seeds_differ() {
-    let run = |seed: u64| {
+    let run = |seed: u64| -> (u64, usize) {
         let mut config =
             SystemConfig::homogeneous_regions(&[(4, Region::UsWest), (4, Region::Europe)]);
         config.params.batch_size = 20;
-        let mut dep = hotstuff_deployment(config, quick_opts(seed));
-        dep.run_for(Duration::from_secs(8));
-        (dep.sim.stats().total_messages(), completed_writes(dep.outputs()))
+        let r: ScenarioRun = scenario(Protocol::AvaHotStuff, config, seed, 8).build().run();
+        (r.stats.total_messages(), completed_writes(&r.outputs))
     };
     assert_eq!(run(7), run(7));
     assert_ne!(run(7).0, run(8).0);
@@ -121,22 +120,22 @@ fn same_seed_is_deterministic_and_different_seeds_differ() {
 fn non_leader_crashes_within_f_are_tolerated() {
     let mut config = SystemConfig::homogeneous_regions(&[(7, Region::UsWest), (7, Region::Europe)]);
     config.params.batch_size = 20;
-    let mut dep = hotstuff_deployment(config.clone(), quick_opts(5));
     // Crash f = 2 non-leader replicas in cluster 0 five seconds in.
+    let mut builder = scenario(Protocol::AvaHotStuff, config.clone(), 5, 20);
     for (id, _) in config.clusters[0].replicas.iter().skip(1).take(2) {
-        dep.crash_at(*id, hamava_repro::types::Time::from_secs(5));
+        builder = builder.crash_at(Time::from_secs(5), *id);
     }
-    dep.run_for(Duration::from_secs(20));
-    let before = dep
-        .outputs()
+    let run = builder.build().run();
+    let before = run
+        .outputs
         .iter()
         .filter(|o| {
             matches!(o, Output::TxCompleted { completed_at, is_write: true, .. }
             if completed_at.as_secs_f64() < 5.0)
         })
         .count();
-    let after = dep
-        .outputs()
+    let after = run
+        .outputs
         .iter()
         .filter(|o| {
             matches!(o, Output::TxCompleted { completed_at, is_write: true, .. }
@@ -151,12 +150,37 @@ fn non_leader_crashes_within_f_are_tolerated() {
 fn geobft_baseline_and_hotstuff_both_commit_under_identical_workload() {
     let mut config = SystemConfig::even_split_single_region(8, 2, Region::UsWest);
     config.params.batch_size = 20;
-    let mut geo = hamava_repro::geobft::geobft_deployment(config.clone(), quick_opts(6));
-    geo.run_for(Duration::from_secs(10));
-    let mut ava = hotstuff_deployment(config, quick_opts(6));
-    ava.run_for(Duration::from_secs(10));
-    assert!(completed_writes(geo.outputs()) > 0);
-    assert!(completed_writes(ava.outputs()) > 0);
+    let geo = scenario(Protocol::GeoBft, config.clone(), 6, 10).build().run();
+    let ava = scenario(Protocol::AvaHotStuff, config, 6, 10).build().run();
+    assert!(completed_writes(&geo.outputs) > 0);
+    assert!(completed_writes(&ava.outputs) > 0);
+}
+
+#[test]
+fn a_partition_blocks_inter_cluster_progress_until_healed() {
+    // New scenario shape: an inter-region partition in the middle third of the run.
+    // Writes need both clusters, so write completions stall while the clusters are
+    // severed and resume after the heal.
+    let mut config = SystemConfig::homogeneous_regions(&[(4, Region::UsWest), (4, Region::Europe)]);
+    config.params.batch_size = 20;
+    config.params.remote_leader_timeout = Duration::from_secs(4);
+    config.params.brd_timeout = Duration::from_secs(4);
+    config.params.local_timeout = Duration::from_secs(4);
+    let run = scenario(Protocol::AvaHotStuff, config, 7, 24)
+        .partition_at(Time::from_secs(8), ClusterId(0), ClusterId(1))
+        .heal_at(Time::from_secs(16), ClusterId(0), ClusterId(1))
+        .build()
+        .run();
+    assert!(run.stats.dropped_messages > 0, "the partition must drop traffic");
+    let after_heal = run
+        .outputs
+        .iter()
+        .filter(|o| {
+            matches!(o, Output::TxCompleted { completed_at, is_write: true, .. }
+            if completed_at.as_secs_f64() > 17.0)
+        })
+        .count();
+    assert!(after_heal > 0, "writes must resume after the heal");
 }
 
 #[test]

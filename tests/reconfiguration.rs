@@ -1,7 +1,9 @@
 //! Integration tests of the reconfiguration path: joins, leaves, and the Byzantine
-//! remote-leader-change scenario, exercised end to end through the simulator.
+//! remote-leader-change scenario, exercised end to end through declarative
+//! scenarios.
 
-use hamava_repro::hamava::harness::{bftsmart_deployment, hotstuff_deployment, DeploymentOptions};
+use hamava_repro::hamava::harness::DeploymentOptions;
+use hamava_repro::scenario::{Protocol, Scenario, ScenarioBuilder};
 use hamava_repro::simnet::{CostModel, LatencyModel};
 use hamava_repro::types::{ClusterId, Duration, Output, Region, SystemConfig, Time};
 use hamava_repro::workload::WorkloadSpec;
@@ -17,22 +19,27 @@ fn quick_opts(seed: u64) -> DeploymentOptions {
     }
 }
 
+fn scenario(protocol: Protocol, config: SystemConfig, seed: u64, secs: u64) -> ScenarioBuilder {
+    Scenario::builder(protocol, config).options(quick_opts(seed)).run_for(Duration::from_secs(secs))
+}
+
 #[test]
 fn a_replica_can_join_a_running_cluster() {
     let mut config = SystemConfig::homogeneous_regions(&[(4, Region::UsWest), (4, Region::Europe)]);
     config.params.batch_size = 20;
-    let mut dep = hotstuff_deployment(config, quick_opts(11));
-    dep.run_for(Duration::from_secs(5));
-    let new_replica = dep.add_joining_replica(ClusterId(0), Region::UsWest);
-    dep.run_for(Duration::from_secs(20));
-    let joined = dep.outputs().iter().any(|o| {
+    let run = scenario(Protocol::AvaHotStuff, config, 11, 25)
+        .join_at(Time::from_secs(5), ClusterId(0), Region::UsWest)
+        .build()
+        .run();
+    let new_replica = run.joined[0];
+    let joined = run.outputs.iter().any(|o| {
         matches!(o, Output::ReconfigApplied { replica, joined: true, cluster, .. }
             if *replica == new_replica && *cluster == ClusterId(0))
     });
     assert!(joined, "the joining replica was never added to the configuration");
     // Processing continues after the join.
-    let late_commits = dep
-        .outputs()
+    let late_commits = run
+        .outputs
         .iter()
         .filter(|o| {
             matches!(o, Output::TxCompleted { completed_at, .. }
@@ -46,17 +53,17 @@ fn a_replica_can_join_a_running_cluster() {
 fn a_replica_can_leave_a_running_cluster() {
     let mut config = SystemConfig::homogeneous_regions(&[(5, Region::UsWest), (5, Region::Europe)]);
     config.params.batch_size = 20;
-    let mut dep = bftsmart_deployment(config.clone(), quick_opts(12));
-    dep.run_for(Duration::from_secs(5));
     let leaver = config.clusters[0].replicas[3].0;
-    dep.request_leave(leaver);
-    dep.run_for(Duration::from_secs(20));
-    let left = dep.outputs().iter().any(|o| {
+    let run = scenario(Protocol::AvaBftSmart, config, 12, 25)
+        .leave_at(Time::from_secs(5), leaver)
+        .build()
+        .run();
+    let left = run.outputs.iter().any(|o| {
         matches!(o, Output::ReconfigApplied { replica, joined: false, .. } if *replica == leaver)
     });
     assert!(left, "the leave request was never applied");
-    let late_commits = dep
-        .outputs()
+    let late_commits = run
+        .outputs
         .iter()
         .filter(|o| {
             matches!(o, Output::TxCompleted { completed_at, .. }
@@ -74,20 +81,20 @@ fn byzantine_leader_withholding_inter_messages_is_replaced() {
     config.params.remote_leader_timeout = Duration::from_secs(4);
     config.params.brd_timeout = Duration::from_secs(4);
     config.params.local_timeout = Duration::from_secs(4);
-    let mut dep = hotstuff_deployment(config, quick_opts(13));
-    let byzantine = dep.initial_leader(ClusterId(0));
-    dep.run_for(Duration::from_secs(5));
-    dep.mute_inter_cluster(byzantine);
-    dep.run_for(Duration::from_secs(30));
+    let byzantine = config.initial_leader(ClusterId(0));
+    let run = scenario(Protocol::AvaHotStuff, config, 13, 35)
+        .mute_inter_cluster_at(Time::from_secs(5), byzantine)
+        .build()
+        .run();
     // Cluster 0 must have moved to a different leader.
-    let changed = dep.outputs().iter().any(|o| {
+    let changed = run.outputs.iter().any(|o| {
         matches!(o, Output::LeaderChanged { cluster, new_leader, .. }
             if *cluster == ClusterId(0) && *new_leader != byzantine)
     });
     assert!(changed, "remote leader change never replaced the Byzantine leader");
     // And throughput recovers afterwards.
-    let recovery_commits = dep
-        .outputs()
+    let recovery_commits = run
+        .outputs
         .iter()
         .filter(|o| {
             matches!(o, Output::TxCompleted { completed_at, is_write: true, .. }
@@ -104,17 +111,18 @@ fn crashed_local_leader_is_replaced_by_election() {
     config.params.remote_leader_timeout = Duration::from_secs(4);
     config.params.brd_timeout = Duration::from_secs(4);
     config.params.local_timeout = Duration::from_secs(4);
-    let mut dep = bftsmart_deployment(config, quick_opts(14));
-    let leader = dep.initial_leader(ClusterId(1));
-    dep.crash_at(leader, Time::from_secs(5));
-    dep.run_for(Duration::from_secs(35));
-    let changed = dep.outputs().iter().any(|o| {
+    let leader = config.initial_leader(ClusterId(1));
+    let run = scenario(Protocol::AvaBftSmart, config, 14, 35)
+        .crash_initial_leader_at(Time::from_secs(5), ClusterId(1))
+        .build()
+        .run();
+    let changed = run.outputs.iter().any(|o| {
         matches!(o, Output::LeaderChanged { cluster, new_leader, .. }
             if *cluster == ClusterId(1) && *new_leader != leader)
     });
     assert!(changed, "cluster 1 never elected a replacement leader");
-    let recovery_commits = dep
-        .outputs()
+    let recovery_commits = run
+        .outputs
         .iter()
         .filter(|o| {
             matches!(o, Output::TxCompleted { completed_at, is_write: true, .. }
