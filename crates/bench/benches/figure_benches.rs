@@ -21,6 +21,7 @@ fn opts(seed: u64) -> DeploymentOptions {
         workload: WorkloadSpec { key_space: 1_000, ..WorkloadSpec::default() },
         clients_per_cluster: 1,
         client_concurrency: 32,
+        store: None,
     }
 }
 

@@ -1,0 +1,12 @@
+//! E10: crash → restart → catch-up recovery curves (crash duration × checkpoint
+//! interval), built on the `ava-store` durable round log + state transfer.
+//!
+//! Usage: `e10_recovery` (reduced scale) or `AVA_FULL=1 e10_recovery` (paper-style
+//! scale). Prints the slowest time-to-caught-up, the rounds/bytes transferred
+//! during catch-up, and end-of-run throughput relative to the pre-crash rate.
+use ava_bench::experiments::{e10_recovery, ExperimentScale};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    e10_recovery(&scale);
+}

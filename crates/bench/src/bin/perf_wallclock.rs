@@ -1,5 +1,6 @@
 //! Wall-clock perf harness CLI — times the end-to-end `figure_benches` shapes
-//! (E0/E1/E3 pipelines + GeoBFT baseline) and emits `BENCH_PR2.json`.
+//! (E0/E1/E3 pipelines + GeoBFT baseline + the store-enabled E10 shapes) and emits
+//! `BENCH_PR5.json`.
 //!
 //! ```text
 //! perf_wallclock [--quick|--full] [--iters N] [--out FILE] \
@@ -15,19 +16,22 @@
 //! * `--emit-tsv`: write this run's timings in the baseline format.
 //! * `--check`: compare this run against the per-shape `wall_ms` of a committed
 //!   `BENCH_PR*.json` and exit non-zero if any shape regressed by more than
-//!   `--check-threshold` percent (default 25). CI runs this against the repo-root
-//!   baseline so hot-path regressions fail the build.
+//!   `--check-threshold` percent (default 25). Only shapes present on both sides
+//!   are gated; baseline-only (retired) and run-only (new) shapes are reported
+//!   informationally, so adding or removing a shape cannot fail the gate
+//!   spuriously. CI runs this against the repo-root baseline so hot-path
+//!   regressions fail the build.
 
 use ava_bench::perf::{
     check_regressions, parse_baseline, parse_bench_json, peak_rss_kb, render_json, render_tsv,
-    run_full_e0, run_quick_shapes,
+    run_full_e0, run_quick_shapes, unmatched_shapes,
 };
 use std::collections::BTreeMap;
 
 fn main() {
     let mut full = false;
     let mut iters = 3u32;
-    let mut out = String::from("BENCH_PR2.json");
+    let mut out = String::from("BENCH_PR5.json");
     let mut baseline_path: Option<String> = None;
     let mut tsv_path: Option<String> = None;
     let mut check_path: Option<String> = None;
@@ -104,6 +108,13 @@ fn main() {
         let text = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("cannot read check baseline {path}: {e}"));
         let committed = parse_bench_json(&text);
+        let (missing_from_run, new_in_run) = unmatched_shapes(&records, &committed);
+        for name in &missing_from_run {
+            eprintln!("note: baseline shape {name} did not run (retired/renamed); not gated");
+        }
+        for name in &new_in_run {
+            eprintln!("note: shape {name} has no baseline yet (new); not gated");
+        }
         let failures = check_regressions(&records, &committed, check_threshold / 100.0);
         if failures.is_empty() {
             eprintln!(

@@ -1,4 +1,4 @@
-//! Experiment runners for E0–E9.
+//! Experiment runners for E0–E10.
 //!
 //! Every function regenerates one of the paper's figures/tables as a printed table
 //! of rows (and returns the rows so tests and EXPERIMENTS.md generation can assert on
@@ -16,9 +16,11 @@
 use crate::report::{fmt, print_table, summarize, RunMetrics};
 use ava_hamava::harness::DeploymentOptions;
 use ava_scenario::{
-    ReconfigTraceObserver, Scenario, ScenarioBuilder, StageBreakdownObserver, ThroughputObserver,
+    ReconfigTraceObserver, RecoveryObserver, Scenario, ScenarioBuilder, StageBreakdownObserver,
+    ThroughputObserver,
 };
 use ava_simnet::{CostModel, LatencyModel};
+use ava_store::StoreConfig;
 use ava_types::{ClusterId, Duration, Output, Region, SystemConfig, Time};
 use ava_workload::WorkloadSpec;
 
@@ -91,6 +93,7 @@ fn default_opts(seed: u64, scale: &ExperimentScale) -> DeploymentOptions {
         },
         clients_per_cluster: 1,
         client_concurrency: if scale.full { 128 } else { 64 },
+        store: None,
     }
 }
 
@@ -684,6 +687,95 @@ pub fn e9_partitions(scale: &ExperimentScale) -> Vec<Vec<String>> {
         "E9: messages dropped by the partition",
         &["system", "shape", "dropped messages"],
         &dropped,
+    );
+    rows
+}
+
+// ---------------------------------------------------------------------------------
+// E10: crash → restart → catch-up recovery (the ava-store subsystem)
+// ---------------------------------------------------------------------------------
+
+/// E10: recovery-time curves for the crash → restart → catch-up path. Sweeps crash
+/// duration × checkpoint interval on the E4.1 shape (f non-leader replicas per
+/// cluster crash, then restart with only their persisted store): for each cell the
+/// table reports the slowest time-to-caught-up, the rounds/bytes transferred from
+/// peers, and end-of-run throughput relative to the pre-crash rate. The
+/// `RecoveryObserver` supplies the recovery columns; the acceptance bar of the
+/// subsystem is the recovery ratio returning to ≥ 80% at quick scale.
+pub fn e10_recovery(scale: &ExperimentScale) -> Vec<Vec<String>> {
+    let nodes_per_cluster = if scale.full { 10 } else { 7 };
+    let crash_at = Time(scale.run.as_micros() / 3);
+    let crash_durations: Vec<u64> = if scale.full { vec![5, 20, 60] } else { vec![1, 4] };
+    let checkpoint_intervals: Vec<u64> = if scale.full { vec![4, 16, 64] } else { vec![4, 16] };
+    let bucket = Duration::from_secs(2);
+    let mut rows = Vec::new();
+    for protocol in Protocol::AVA {
+        for &crash_secs in &crash_durations {
+            for &interval in &checkpoint_intervals {
+                let mut config = SystemConfig::homogeneous_regions(&[
+                    (nodes_per_cluster, Region::UsWest),
+                    (nodes_per_cluster, Region::Europe),
+                ]);
+                adjust_batch(&mut config, scale);
+                adjust_timeouts(&mut config, scale);
+                let restart_at = crash_at + Duration::from_secs(crash_secs);
+                let mut builder =
+                    scenario(protocol, config.clone(), default_opts(13, scale), scale)
+                        .store(StoreConfig::every(interval));
+                for cluster in &config.clusters {
+                    let f = (cluster.replicas.len() - 1) / 3;
+                    for (id, _) in cluster.replicas.iter().skip(1).take(f) {
+                        builder = builder.crash_at(crash_at, *id).restart_at(restart_at, *id);
+                    }
+                }
+                let mut throughput = ThroughputObserver::new(bucket);
+                let mut recovery = RecoveryObserver::new();
+                builder.build().run_observed(&mut [&mut throughput, &mut recovery]);
+
+                let series = throughput.series();
+                let pre_crash = series
+                    .iter()
+                    .filter(|(t, _)| *t <= crash_at.as_secs_f64())
+                    .map(|(_, tps)| *tps)
+                    .fold(0.0f64, f64::max);
+                let end_rate =
+                    series.iter().rev().take(3).map(|(_, tps)| *tps).fold(0.0f64, f64::max);
+                let ratio = if pre_crash > 0.0 { 100.0 * end_rate / pre_crash } else { 0.0 };
+                let ttc = recovery
+                    .max_time_to_caught_up()
+                    .map(|d| fmt(d.as_millis_f64(), 1))
+                    .unwrap_or_else(|| "stalled".into());
+                rows.push(vec![
+                    protocol.label().to_string(),
+                    crash_secs.to_string(),
+                    interval.to_string(),
+                    ttc,
+                    recovery.total_rounds_transferred().to_string(),
+                    recovery.total_bytes_transferred().to_string(),
+                    fmt(pre_crash, 1),
+                    fmt(end_rate, 1),
+                    fmt(ratio, 1),
+                ]);
+            }
+        }
+    }
+    print_table(
+        &format!(
+            "E10: crash→restart recovery, crash at {}s (crash duration × checkpoint interval)",
+            crash_at.as_secs_f64()
+        ),
+        &[
+            "system",
+            "crash dur (s)",
+            "ckpt every (rounds)",
+            "time-to-caught-up (ms)",
+            "rounds transferred",
+            "bytes transferred",
+            "pre-crash tput",
+            "end tput",
+            "recovery %",
+        ],
+        &rows,
     );
     rows
 }

@@ -1,7 +1,7 @@
 //! # ava-bench
 //!
 //! The experiment harness that regenerates every table and figure of the paper's
-//! evaluation (E0–E8, Table I, Table II) on top of the simulated deployments, plus
+//! evaluation (E0–E10, Table I, Table II) on top of the simulated deployments, plus
 //! Criterion micro-benchmarks of the hot protocol paths.
 //!
 //! Each experiment has a binary (`src/bin/e*.rs`) that prints the same rows/series

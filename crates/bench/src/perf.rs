@@ -1,8 +1,9 @@
 //! Wall-clock performance harness for the simulation hot path.
 //!
 //! While the Criterion benches track micro-costs, this module times the *end-to-end*
-//! deployment shapes from `benches/figure_benches.rs` (E0/E1/E3 pipelines plus the
-//! GeoBFT baseline) in real wall-clock time and emits a machine-readable
+//! deployment shapes from `benches/figure_benches.rs` (E0/E1/E3 pipelines, the
+//! GeoBFT baseline, plus the store-enabled E10 shapes) in real wall-clock time
+//! and emits a machine-readable
 //! `BENCH_PR*.json` trajectory so hot-path refactors can prove (and later PRs cannot
 //! silently regress) their speedups. The `perf_wallclock` binary is the CLI front
 //! end; CI runs it at quick scale as a bench smoke test.
@@ -10,7 +11,8 @@
 use crate::experiments::{e0_single_region, ExperimentScale, Protocol};
 use ava_hamava::harness::DeploymentOptions;
 use ava_simnet::{CostModel, LatencyModel};
-use ava_types::{Duration, Output, Region, SystemConfig};
+use ava_store::StoreConfig;
+use ava_types::{Duration, Output, Region, ReplicaId, SystemConfig, Time};
 use ava_workload::WorkloadSpec;
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -38,6 +40,7 @@ fn opts(seed: u64) -> DeploymentOptions {
         workload: WorkloadSpec { key_space: 1_000, ..WorkloadSpec::default() },
         clients_per_cluster: 1,
         client_concurrency: 32,
+        store: None,
     }
 }
 
@@ -120,6 +123,26 @@ pub fn run_quick_shapes(iters: u32) -> Vec<PerfRecord> {
     hetero.params.batch_size = 20;
     records.push(time_deploy("e3/heterogeneous_9asia_5eu_5s", Protocol::AvaHotStuff, hetero, 3));
     records.push(time_deploy("e6/geobft_2clusters_5s", Protocol::GeoBft, small_config(2), 4));
+    // Store-enabled hot path: the same E0 shape with the ava-store round log +
+    // checkpoints on (every append pays the fsync cost model), and a
+    // crash→restart→catch-up variant exercising the recovery path end to end.
+    let store_opts = |seed: u64| {
+        let mut o = opts(seed);
+        o.store = Some(StoreConfig::every(8));
+        o
+    };
+    records.push(time_shape("e10/hotstuff_2clusters_store_5s", iters, || {
+        let mut dep = Protocol::AvaHotStuff.deploy(small_config(2), store_opts(6));
+        dep.run_for(run_secs);
+        (dep.net_stats().events_processed, completed(dep.outputs()))
+    }));
+    records.push(time_shape("e10/hotstuff_crash_restart_5s", iters, || {
+        let mut dep = Protocol::AvaHotStuff.deploy(small_config(2), store_opts(7));
+        dep.crash_at(ReplicaId(1), Time::from_secs(1));
+        dep.restart_at(ReplicaId(1), Time::from_secs(3));
+        dep.run_for(run_secs);
+        (dep.net_stats().events_processed, completed(dep.outputs()))
+    }));
     records
 }
 
@@ -148,7 +171,7 @@ pub fn peak_rss_kb() -> Option<u64> {
     line.split_whitespace().nth(1)?.parse().ok()
 }
 
-/// Serialize records (with optional per-shape baselines) into the `BENCH_PR2.json`
+/// Serialize records (with optional per-shape baselines) into the `BENCH_PR5.json`
 /// document. `baseline` maps shape name to the pre-refactor wall-clock milliseconds.
 pub fn render_json(
     mode: &str,
@@ -157,7 +180,7 @@ pub fn render_json(
     baseline: &BTreeMap<String, f64>,
 ) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"pr\": 2,\n");
+    out.push_str("  \"pr\": 5,\n");
     out.push_str("  \"harness\": \"perf_wallclock\",\n");
     out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
     out.push_str(&format!("  \"iters\": {iters},\n"));
@@ -207,10 +230,32 @@ pub fn parse_bench_json(text: &str) -> BTreeMap<String, f64> {
     map
 }
 
+/// Shapes that exist on only one side of a run/baseline comparison, as
+/// `(missing_from_run, new_in_run)`. Neither direction is a regression: a shape
+/// present only in the baseline was removed or renamed (the gate cannot time what
+/// did not run), and a shape present only in the run is new and has no baseline
+/// yet. `perf_wallclock --check` reports both informationally so adding or
+/// retiring a shape can never fail the CI gate spuriously — the next baseline
+/// regeneration re-syncs the sets.
+pub fn unmatched_shapes(
+    records: &[PerfRecord],
+    baseline: &BTreeMap<String, f64>,
+) -> (Vec<String>, Vec<String>) {
+    let run_names: Vec<&str> = records.iter().map(|r| r.name.as_str()).collect();
+    let missing_from_run =
+        baseline.keys().filter(|name| !run_names.contains(&name.as_str())).cloned().collect();
+    let new_in_run = records
+        .iter()
+        .filter(|r| !baseline.contains_key(&r.name))
+        .map(|r| r.name.clone())
+        .collect();
+    (missing_from_run, new_in_run)
+}
+
 /// Compare `records` against committed per-shape baselines: any shape slower than
 /// `baseline × (1 + threshold)` is a regression. Returns one human-readable line
-/// per offending shape (empty = gate passes). Shapes missing from the baseline are
-/// ignored (new shapes are not regressions).
+/// per offending shape (empty = gate passes). Only shapes present on both sides
+/// are compared — see [`unmatched_shapes`] for the tolerated leftovers.
 pub fn check_regressions(
     records: &[PerfRecord],
     baseline: &BTreeMap<String, f64>,
@@ -311,6 +356,20 @@ mod tests {
         let failures = check_regressions(&records, &baseline, 0.25);
         assert_eq!(failures.len(), 1);
         assert!(failures[0].starts_with("slow:"), "{failures:?}");
+    }
+
+    #[test]
+    fn unmatched_shapes_are_tolerated_in_both_directions() {
+        // A baseline-only shape (retired) and a run-only shape (new, e.g. the
+        // e10/store shapes) must be reported without failing the gate.
+        let mut baseline = BTreeMap::new();
+        baseline.insert("both".to_string(), 100.0);
+        baseline.insert("retired".to_string(), 50.0);
+        let records = vec![record("both", 90.0), record("e10/new_shape", 10.0)];
+        let (missing, new) = unmatched_shapes(&records, &baseline);
+        assert_eq!(missing, vec!["retired".to_string()]);
+        assert_eq!(new, vec!["e10/new_shape".to_string()]);
+        assert!(check_regressions(&records, &baseline, 0.25).is_empty());
     }
 
     #[test]

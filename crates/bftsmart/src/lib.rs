@@ -107,6 +107,11 @@ pub struct BftSmart {
     next_deliver_height: u64,
     /// Whether the leader currently has an undecided proposal outstanding.
     proposal_outstanding: bool,
+    /// Set by [`TotalOrderBroadcast::reset`]: the delivery cursor re-bases on the
+    /// height of the first pre-prepare seen after a restart (the restarted replica
+    /// learns the missed heights' effects via checkpoint/state transfer, not by
+    /// re-running consensus for them).
+    resync_delivery: bool,
 }
 
 impl BftSmart {
@@ -124,6 +129,7 @@ impl BftSmart {
             next_propose_height: 0,
             next_deliver_height: 0,
             proposal_outstanding: false,
+            resync_delivery: false,
         }
     }
 
@@ -161,8 +167,14 @@ impl BftSmart {
         regency: u64,
         out: &mut Vec<TobAction<BftSmartMsg>>,
     ) {
-        if from != self.leader || regency != self.regency || block.height < self.next_deliver_height
-        {
+        if from != self.leader || regency != self.regency {
+            return;
+        }
+        if self.resync_delivery {
+            self.resync_delivery = false;
+            self.next_deliver_height = self.next_deliver_height.max(block.height);
+        }
+        if block.height < self.next_deliver_height {
             return;
         }
         out.push(TobAction::Consume(self.cfg.verify_cost));
@@ -350,6 +362,17 @@ impl TotalOrderBroadcast for BftSmart {
 
     fn set_fault_mode(&mut self, mode: FaultMode) {
         self.fault = mode;
+    }
+
+    fn reset(&mut self) {
+        self.regency = 0;
+        self.fault = FaultMode::Correct;
+        self.pool = PendingPool::new();
+        self.instances.clear();
+        self.next_propose_height = 0;
+        self.next_deliver_height = 0;
+        self.proposal_outstanding = false;
+        self.resync_delivery = true;
     }
 }
 

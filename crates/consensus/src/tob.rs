@@ -134,6 +134,14 @@ pub trait TotalOrderBroadcast {
 
     /// Inject a fault behaviour (tests and failure experiments only).
     fn set_fault_mode(&mut self, mode: FaultMode);
+
+    /// Discard all volatile protocol state, as a process that crashed and lost its
+    /// memory would: pending operations, in-flight decisions, vote bookkeeping and
+    /// delivery cursors. Configuration (cluster, membership view, cost parameters)
+    /// is retained; the caller re-installs leader context via
+    /// [`TotalOrderBroadcast::new_leader`] once recovery establishes it. After a
+    /// reset the instance must accept whatever height the cluster proposes next.
+    fn reset(&mut self);
 }
 
 #[cfg(test)]

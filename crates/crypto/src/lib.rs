@@ -24,4 +24,4 @@ pub mod sha256;
 pub use cert::{QuorumCert, SigSet};
 pub use hmac::hmac_sha256;
 pub use keys::{KeyRegistry, Keypair, Signature};
-pub use sha256::{sha256, Digest};
+pub use sha256::{sha256, Digest, Sha256};

@@ -18,8 +18,6 @@
 //! Both baselines are driven through the same [`ava_hamava::Deployment`] harness so
 //! that the benchmark crate can sweep them with identical workloads.
 
-use ava_bftsmart::BftSmart;
-use ava_hamava::harness::{bftsmart_factory, Deployment, DeploymentOptions};
 use ava_types::{Region, SystemConfig};
 
 /// Adjust `config` for a GeoBFT-style run: clustered, PBFT local ordering, certified
@@ -37,17 +35,6 @@ pub fn geobft_config(mut config: SystemConfig) -> SystemConfig {
     config
 }
 
-/// Build a GeoBFT-style deployment (see [`geobft_config`]).
-#[deprecated(
-    since = "0.1.0",
-    note = "use `ava_scenario::Protocol::GeoBft.deploy(config, opts)` (or \
-            `Scenario::builder` for scheduled events and observers); this shim will \
-            be removed next PR cycle"
-)]
-pub fn geobft_deployment(config: SystemConfig, opts: DeploymentOptions) -> Deployment<BftSmart> {
-    Deployment::build(geobft_config(config), opts, bftsmart_factory())
-}
-
 /// Configuration for the classical non-clustered baseline: every replica in a single
 /// cluster, spread over `regions` round-robin.
 pub fn non_clustered_config(total: usize, regions: &[Region]) -> SystemConfig {
@@ -59,6 +46,7 @@ pub fn non_clustered_config(total: usize, regions: &[Region]) -> SystemConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ava_hamava::harness::{bftsmart_factory, Deployment, DeploymentOptions};
     use ava_simnet::{CostModel, LatencyModel};
     use ava_types::{ClusterId, Duration, Output};
     use ava_workload::WorkloadSpec;
@@ -71,6 +59,7 @@ mod tests {
             workload: WorkloadSpec { key_space: 1000, ..WorkloadSpec::default() },
             clients_per_cluster: 1,
             client_concurrency: 32,
+            store: None,
         }
     }
 

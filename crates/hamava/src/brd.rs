@@ -164,6 +164,19 @@ pub enum BrdMsg {
 }
 
 impl BrdMsg {
+    /// The dissemination round the message belongs to (BRD instances are
+    /// per-round; the replica uses this to stash messages that arrive for a round
+    /// it has not reached yet).
+    pub fn round(&self) -> Round {
+        match self {
+            BrdMsg::Recs(c) => c.round,
+            BrdMsg::Agg { round, .. }
+            | BrdMsg::Echo { round, .. }
+            | BrdMsg::Ready { round, .. }
+            | BrdMsg::Valid { round, .. } => *round,
+        }
+    }
+
     /// Approximate wire size in bytes.
     pub fn wire_size(&self) -> usize {
         let recs_size = |recs: &Vec<Reconfig>| recs.len() * 64 + 48;

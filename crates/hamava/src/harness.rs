@@ -8,6 +8,7 @@ use crate::replica::{Replica, ReplicaConfig};
 use ava_consensus::{TobConfig, TotalOrderBroadcast, WireSize};
 use ava_crypto::{KeyRegistry, Keypair};
 use ava_simnet::{client_node_id, CostModel, LatencyModel, NetStats, SimMessage, Simulation};
+use ava_store::StoreConfig;
 use ava_types::{ClientId, ClusterId, Duration, Output, Region, ReplicaId, SystemConfig, Time};
 use ava_workload::{ClientWorkload, WorkloadSpec};
 
@@ -26,6 +27,11 @@ pub struct DeploymentOptions {
     pub clients_per_cluster: usize,
     /// Outstanding requests per client ("client threads").
     pub client_concurrency: usize,
+    /// Durable-store configuration for every replica. `None` (the default) runs
+    /// without persistence — behavior is bit-identical to pre-store builds (the
+    /// determinism golden tests pin this); `Some` enables the round log +
+    /// checkpoints that crash→restart recovery (`restart_at`) catches up from.
+    pub store: Option<StoreConfig>,
 }
 
 impl Default for DeploymentOptions {
@@ -37,6 +43,7 @@ impl Default for DeploymentOptions {
             workload: WorkloadSpec::default(),
             clients_per_cluster: 1,
             client_concurrency: 128,
+            store: None,
         }
     }
 }
@@ -81,8 +88,9 @@ where
                 tob_cfg.max_block_size = config.params.batch_size;
                 tob_cfg.timeout = config.params.local_timeout;
                 let tob = factory(tob_cfg, keypair.clone(), registry.clone(), leader);
-                let rcfg =
+                let mut rcfg =
                     ReplicaConfig::new(id, region, spec.id, config.params, membership.clone());
+                rcfg.store = opts.store;
                 let replica = Replica::new(rcfg, keypair, registry.clone(), tob);
                 sim.add_node(id, region, spec.id.0, Box::new(replica));
             }
@@ -167,6 +175,7 @@ where
         let tob = (self.factory)(tob_cfg, keypair.clone(), self.registry.clone(), leader);
         let mut rcfg = ReplicaConfig::new(id, region, cluster, self.config.params, membership);
         rcfg.joining = true;
+        rcfg.store = self.opts.store;
         let replica = Replica::new(rcfg, keypair, self.registry.clone(), tob);
         self.sim.add_node(id, region, cluster.0, Box::new(replica));
         id
@@ -199,6 +208,14 @@ where
     /// Crash `replica` at `at`.
     pub fn crash_at(&mut self, replica: ReplicaId, at: Time) {
         self.sim.crash_at(replica, at);
+    }
+
+    /// Restart a crashed `replica` at `at`: it comes back with only its persisted
+    /// store (see [`DeploymentOptions::store`]) and catches up from its peers via
+    /// the checkpoint + log-suffix state transfer. Restarting a replica that is
+    /// not crashed at `at` is a no-op.
+    pub fn restart_at(&mut self, replica: ReplicaId, at: Time) {
+        self.sim.restart_at(replica, at);
     }
 
     /// Partition clusters `a` and `b` from each other, starting now: all
@@ -272,32 +289,4 @@ pub fn bftsmart_factory() -> TobFactory<ava_bftsmart::BftSmart> {
     Box::new(|cfg, keypair, registry, leader| {
         ava_bftsmart::BftSmart::new(cfg, keypair, registry, leader)
     })
-}
-
-/// Build an AVA-HOTSTUFF deployment (Hamava instantiated with the HotStuff TOB).
-#[deprecated(
-    since = "0.1.0",
-    note = "use `ava_scenario::Protocol::AvaHotStuff.deploy(config, opts)` (or \
-            `Scenario::builder` for scheduled events and observers); this shim will \
-            be removed next PR cycle"
-)]
-pub fn hotstuff_deployment(
-    config: SystemConfig,
-    opts: DeploymentOptions,
-) -> Deployment<ava_hotstuff::HotStuff> {
-    Deployment::build(config, opts, hotstuff_factory())
-}
-
-/// Build an AVA-BFTSMART deployment (Hamava instantiated with the BFT-SMaRt TOB).
-#[deprecated(
-    since = "0.1.0",
-    note = "use `ava_scenario::Protocol::AvaBftSmart.deploy(config, opts)` (or \
-            `Scenario::builder` for scheduled events and observers); this shim will \
-            be removed next PR cycle"
-)]
-pub fn bftsmart_deployment(
-    config: SystemConfig,
-    opts: DeploymentOptions,
-) -> Deployment<ava_bftsmart::BftSmart> {
-    Deployment::build(config, opts, bftsmart_factory())
 }

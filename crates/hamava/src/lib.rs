@@ -50,10 +50,8 @@ pub mod replica;
 
 pub use brd::{Brd, BrdAction, BrdCert, BrdMsg};
 pub use client::{Client, ClientConfig};
-#[allow(deprecated)]
-pub use harness::{bftsmart_deployment, hotstuff_deployment};
 pub use harness::{bftsmart_factory, hotstuff_factory, Deployment, DeploymentOptions, TobFactory};
 pub use leader_election::{ElectionAction, ElectionMsg, LeaderElection};
-pub use messages::{AvaMsg, ClientCtl, ControlCmd, RoundPackage};
+pub use messages::{AvaMsg, ClientCtl, ControlCmd, RoundPackage, RoundRecord};
 pub use remote_leader::{RemoteLeaderAction, RemoteLeaderChange, RemoteLeaderMsg};
 pub use replica::{Replica, ReplicaConfig, ReplicaStatus};

@@ -12,6 +12,7 @@ use crate::remote_leader::RemoteLeaderMsg;
 use ava_consensus::{CommittedBlock, WireSize};
 use ava_crypto::KeyRegistry;
 use ava_simnet::SimMessage;
+use ava_store::{Checkpoint, StoredEntry};
 use ava_types::{
     ClientId, ClusterId, Membership, Reconfig, Region, ReplicaId, Round, Transaction, TxId,
 };
@@ -101,6 +102,63 @@ impl RoundPackage {
     }
 }
 
+/// Everything one executed round consumed, across all clusters: the per-cluster
+/// certified [`RoundPackage`]s Stage 3 ordered and applied. This is the unit the
+/// `ava-store` round log persists (write-ahead, before execution) and the unit the
+/// catch-up protocol transfers — a restarted replica re-executes records instead of
+/// re-running consensus for missed rounds.
+///
+/// Packages are `Arc`-shared with the messages they arrived in, so persisting a
+/// round or shipping a catch-up suffix costs pointer bumps, not block copies.
+#[derive(Clone, Debug)]
+pub struct RoundRecord {
+    /// The executed round.
+    pub round: Round,
+    /// The round's packages, in ascending cluster order (the paper's predefined
+    /// execution order).
+    pub packages: Vec<Arc<RoundPackage>>,
+    /// Memoised approximate wire size.
+    wire_size_cache: OnceLock<usize>,
+}
+
+impl RoundRecord {
+    /// Build a record from the packages of one executed round.
+    pub fn new(round: Round, packages: Vec<Arc<RoundPackage>>) -> Self {
+        RoundRecord { round, packages, wire_size_cache: OnceLock::new() }
+    }
+
+    /// Approximate serialized size in bytes. Computed once and memoised (each
+    /// package's size is itself memoised).
+    pub fn wire_size(&self) -> usize {
+        *self
+            .wire_size_cache
+            .get_or_init(|| 16 + self.packages.iter().map(|p| p.wire_size()).sum::<usize>())
+    }
+
+    /// Verify every package in the record against the verifier's membership view
+    /// *as of the record's round*. Total signature count is returned alongside so
+    /// the caller can charge verification cost.
+    pub fn verify(&self, registry: &KeyRegistry, membership: &Membership) -> (bool, u64) {
+        let sigs = self
+            .packages
+            .iter()
+            .flat_map(|p| p.blocks.iter())
+            .map(|b| b.cert.signature_count() as u64)
+            .sum();
+        (self.packages.iter().all(|p| p.verify(registry, membership)), sigs)
+    }
+}
+
+impl StoredEntry for RoundRecord {
+    fn round(&self) -> Round {
+        self.round
+    }
+
+    fn wire_size(&self) -> usize {
+        RoundRecord::wire_size(self)
+    }
+}
+
 /// Commands injected by experiments and examples (not part of the protocol: they model
 /// an operator or adversary acting on a specific replica).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -176,6 +234,32 @@ pub enum AvaMsg<TM> {
         /// The sender's current leader timestamp for the cluster.
         leader_ts: u64,
     },
+    /// Catch-up: a restarted (or lagging) replica asks a cluster peer for the
+    /// state it missed while down.
+    CatchUpRequest {
+        /// The recovering replica.
+        replica: ReplicaId,
+        /// The first round the requester cannot cover from its own durable store
+        /// (everything below is already recovered locally).
+        from_round: Round,
+    },
+    /// Catch-up: a peer's state transfer — its latest checkpoint plus the round-log
+    /// suffix after it. The requester adopts a checkpoint only once `f + 1`
+    /// distinct peers report the same digest, and verifies every suffix package's
+    /// certificates before replaying it.
+    CatchUpReply {
+        /// The sender's latest checkpoint (synthesized from current state when the
+        /// sender runs without a store).
+        checkpoint: Arc<Checkpoint>,
+        /// Round records after the checkpoint, ascending (empty for synthesized
+        /// checkpoints, which already cover everything executed).
+        suffix: Vec<Arc<RoundRecord>>,
+        /// The sender's current (in-progress) round — the round the requester
+        /// rejoins at when it adopts this reply.
+        round: Round,
+        /// The sender's current leader timestamp for the cluster.
+        leader_ts: u64,
+    },
     /// A client transaction request.
     ClientRequest {
         /// The transaction.
@@ -211,6 +295,10 @@ where
             AvaMsg::Ack { members, .. } => 64 + members.len() * 8,
             AvaMsg::CurrState { state, membership, .. } => {
                 128 + state.len() * 16 + membership.total_replicas() * 12
+            }
+            AvaMsg::CatchUpRequest { .. } => 72,
+            AvaMsg::CatchUpReply { checkpoint, suffix, .. } => {
+                80 + checkpoint.wire_size() + suffix.iter().map(|r| r.wire_size()).sum::<usize>()
             }
             AvaMsg::ClientRequest { tx, .. } => tx.payload_size as usize + 64,
             AvaMsg::ClientResponse { .. } => 64,

@@ -3,11 +3,12 @@
 
 use crate::brd::{Brd, BrdAction, BrdCert};
 use crate::leader_election::{ElectionAction, LeaderElection};
-use crate::messages::{AvaMsg, ControlCmd, RoundPackage};
+use crate::messages::{AvaMsg, ControlCmd, RoundPackage, RoundRecord};
 use crate::remote_leader::{RemoteLeaderAction, RemoteLeaderChange};
 use ava_consensus::{CommittedBlock, FaultMode, TobAction, TotalOrderBroadcast};
 use ava_crypto::{KeyRegistry, Keypair};
 use ava_simnet::{Actor, Context, SimMessage};
+use ava_store::{Checkpoint, CheckpointCollector, ReplicaStore, StoreConfig};
 use ava_types::{
     ClientId, ClusterId, Duration, Membership, Operation, Output, ProtocolParams, Reconfig, Region,
     ReplicaId, Round, StageKind, Time, Timestamp, Transaction, TxId, TxKind,
@@ -17,6 +18,11 @@ use std::sync::Arc;
 
 /// Timer kind used for the replica's periodic tick.
 const TICK: u64 = 1;
+
+/// How often a recovering replica re-broadcasts its `CatchUpRequest` until the
+/// catch-up completes (peers may themselves be down, or a checkpoint boundary may
+/// need to pass before enough digests match). 500 ms.
+const RECOVERY_RESEND: Duration = Duration(500_000);
 
 /// Lifecycle status of a replica.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -34,6 +40,9 @@ pub enum ReplicaStatus {
     },
     /// Has left the system (stops processing).
     Left,
+    /// Restarted after a crash and catching up via checkpoint + log-suffix state
+    /// transfer (the recovery bookkeeping lives in `Replica::recovery`).
+    Recovering,
 }
 
 /// Per-round bookkeeping.
@@ -80,6 +89,11 @@ pub struct ReplicaConfig {
     pub stage1_max_wait: Duration,
     /// If true, start in joining mode (the replica is not yet a member).
     pub joining: bool,
+    /// Durable-store configuration. `None` (the default) runs the replica without
+    /// persistence: nothing is logged, no fsync cost is charged, and a crashed
+    /// replica can only rejoin via a full current-state transfer — behaviour is
+    /// bit-identical to pre-store builds.
+    pub store: Option<StoreConfig>,
 }
 
 impl ReplicaConfig {
@@ -100,6 +114,60 @@ impl ReplicaConfig {
             tick_interval: Duration::from_millis(10),
             stage1_max_wait: Duration::from_millis(1500),
             joining: false,
+            store: None,
+        }
+    }
+}
+
+/// One peer's catch-up reply, kept until enough peers agree on a checkpoint.
+struct CatchUpOffer {
+    checkpoint: Arc<Checkpoint>,
+    suffix: Vec<Arc<RoundRecord>>,
+    round: Round,
+    leader_ts: u64,
+}
+
+/// Upper bound on protocol messages buffered while catching up (the window is
+/// normally a local round trip; the cap only matters if every peer is down).
+const RECOVERY_BUFFER_CAP: usize = 10_000;
+
+/// How many rounds ahead of the current one BRD messages are stashed for replay.
+/// Healthy skews are a round or two; the window bounds the stash and keeps a
+/// forged far-future round number from lingering as fake straggler evidence.
+const FUTURE_BRD_WINDOW: u64 = 8;
+
+/// Bookkeeping of an in-progress catch-up (post-restart recovery or an active
+/// replica's straggler escape).
+struct RecoveryState<TM> {
+    /// When the catch-up began (for time-to-caught-up accounting).
+    started_at: Time,
+    /// The round covered locally (store checkpoint + log replay, or the straggler's
+    /// current round); peers only need to cover rounds from here on.
+    recovered_round: Round,
+    /// Collects peer checkpoints until `f + 1` digests match.
+    collector: CheckpointCollector,
+    /// Latest reply per peer.
+    offers: BTreeMap<ReplicaId, CatchUpOffer>,
+    /// When the catch-up request was last (re-)broadcast.
+    last_request_at: Time,
+    /// Suffix records rejected because a certificate failed verification against
+    /// the membership of its round (corrupted or stale transfers).
+    rejected_records: u64,
+    /// Protocol traffic (TOB, BRD, packages) that arrived while catching up,
+    /// replayed once the replica rejoins so in-flight decisions are not lost.
+    buffered: Vec<(ReplicaId, AvaMsg<TM>)>,
+}
+
+impl<TM> RecoveryState<TM> {
+    fn new(now: Time, recovered_round: Round, threshold: usize) -> Self {
+        RecoveryState {
+            started_at: now,
+            recovered_round,
+            collector: CheckpointCollector::new(threshold),
+            offers: BTreeMap::new(),
+            last_request_at: now,
+            rejected_records: 0,
+            buffered: Vec::new(),
         }
     }
 }
@@ -143,6 +211,17 @@ pub struct Replica<T: TotalOrderBroadcast> {
     leave_requested: bool,
     /// Rounds executed so far (exposed for tests/benches).
     executed_rounds: u64,
+    /// The durable store (round log + checkpoints). This is the one field a
+    /// restart does not wipe — it models the on-disk state of the process.
+    store: Option<ReplicaStore<Arc<RoundRecord>>>,
+    /// In-progress crash recovery, present iff `status == Recovering`.
+    recovery: Option<RecoveryState<T::Msg>>,
+    /// BRD messages that arrived for rounds this replica has not reached yet
+    /// (BRD instances are per-round); replayed when the round starts, so a replica
+    /// entering a round late still completes the round's dissemination. Members
+    /// only disseminate for their current round, so a non-empty stash is also the
+    /// straggler-escape evidence that this replica fell behind its own cluster.
+    future_brd: BTreeMap<Round, Vec<(ReplicaId, crate::brd::BrdMsg)>>,
 }
 
 impl<T: TotalOrderBroadcast> Replica<T> {
@@ -179,7 +258,7 @@ impl<T: TotalOrderBroadcast> Replica<T> {
         } else {
             ReplicaStatus::Active
         };
-        Replica {
+        let mut replica = Replica {
             membership: cfg.membership.clone(),
             cfg,
             keypair,
@@ -203,7 +282,12 @@ impl<T: TotalOrderBroadcast> Replica<T> {
             mute_inter: false,
             leave_requested: false,
             executed_rounds: 0,
-        }
+            store: None,
+            recovery: None,
+            future_brd: BTreeMap::new(),
+        };
+        replica.store = replica.cfg.store.map(ReplicaStore::new);
+        replica
     }
 
     /// The replica's current round (for tests).
@@ -257,6 +341,40 @@ impl<T: TotalOrderBroadcast> Replica<T> {
                 TobAction::Deliver(block) => self.on_local_block(block, ctx),
             }
         }
+    }
+
+    /// Route a BRD message: deliver to the current round's instance, stash
+    /// messages for rounds this replica has not reached yet (replayed by
+    /// `start_round`), drop messages for past rounds or beyond the stash window.
+    fn on_brd_msg(
+        &mut self,
+        from: ReplicaId,
+        msg: crate::brd::BrdMsg,
+        ctx: &mut Context<'_, AvaMsg<T::Msg>>,
+    ) {
+        let round = msg.round();
+        if round > self.round {
+            if round.0 <= self.round.0 + FUTURE_BRD_WINDOW {
+                self.future_brd.entry(round).or_default().push((from, msg));
+            }
+            return;
+        }
+        let actions = self.brd.on_message(from, msg, ctx.now());
+        self.apply_brd_actions(actions, ctx);
+    }
+
+    /// Straggler evidence: `f + 1` distinct members disseminating for the same
+    /// future round. Members only run BRD for their current round, and with at
+    /// most `f` Byzantine members at least one of `f + 1` senders is correct —
+    /// so a single forged message can never demote a healthy replica.
+    fn cluster_moved_past_this_round(&self) -> bool {
+        let f = self.membership.f(self.cfg.cluster);
+        self.future_brd.values().any(|msgs| {
+            let mut senders: Vec<ReplicaId> = msgs.iter().map(|(from, _)| *from).collect();
+            senders.sort();
+            senders.dedup();
+            senders.len() >= f + 1
+        })
     }
 
     fn apply_brd_actions(
@@ -568,10 +686,20 @@ impl<T: TotalOrderBroadcast> Replica<T> {
 
     // ---- stage 3: execution (Alg. 10) -------------------------------------------
 
+    // NOTE: the state mutations below (kv writes, membership updates) are
+    // mirrored by `apply_record_contents` for log replay and state transfer —
+    // keep the two in sync or recovered replicas diverge (see its doc comment).
     fn execute(&mut self, ctx: &mut Context<'_, AvaMsg<T::Msg>>) {
         let now = ctx.now();
         let stage_start = now;
         let packages = std::mem::take(&mut self.round_state.packages);
+        // Write-ahead persistence: log the round's certified inputs before applying
+        // them, so a post-crash restart can replay this round from its own store.
+        if self.store.is_some() {
+            let record =
+                Arc::new(RoundRecord::new(self.round, packages.values().cloned().collect()));
+            self.persist_record(record, ctx);
+        }
         let mut executed_txns = 0usize;
         let mut all_recs: Vec<(ClusterId, Vec<Reconfig>)> = Vec::new();
 
@@ -664,10 +792,43 @@ impl<T: TotalOrderBroadcast> Replica<T> {
             self.collected_recs.remove(rc);
         }
 
+        // Checkpoint cadence: snapshot executed state at interval boundaries so the
+        // log can be truncated (every replica checkpoints at the same rounds, so
+        // checkpoint digests match across the cluster).
+        self.maybe_checkpoint(ctx);
+
         if self.status == ReplicaStatus::Left {
             return;
         }
         self.start_round(next_round, ctx);
+    }
+
+    fn persist_record(&mut self, record: Arc<RoundRecord>, ctx: &mut Context<'_, AvaMsg<T::Msg>>) {
+        let Some(store) = &mut self.store else {
+            return;
+        };
+        let bytes = store.append_round(record);
+        if bytes > 0 {
+            ctx.consume(ctx.costs().persist_cost(bytes));
+        }
+    }
+
+    fn maybe_checkpoint(&mut self, ctx: &mut Context<'_, AvaMsg<T::Msg>>) {
+        let should = self.store.as_ref().is_some_and(|s| s.should_checkpoint(self.round));
+        if !should {
+            return;
+        }
+        let checkpoint = Arc::new(Checkpoint::new(
+            self.round,
+            self.kv.clone(),
+            self.membership.clone(),
+            self.leader_ts.0,
+        ));
+        let store = self.store.as_mut().expect("checked above");
+        let bytes = store.install_checkpoint(checkpoint);
+        if bytes > 0 {
+            ctx.consume(ctx.costs().persist_cost(bytes));
+        }
     }
 
     fn apply_transaction(&mut self, tx: &Transaction, ctx: &mut Context<'_, AvaMsg<T::Msg>>) {
@@ -707,10 +868,17 @@ impl<T: TotalOrderBroadcast> Replica<T> {
             round,
             self.cfg.params.brd_timeout,
         );
-        // Re-deliver packages that arrived early for this round.
+        // Re-deliver packages and BRD messages that arrived early for this round.
         let future = std::mem::take(&mut self.future_packages);
         for package in future {
             self.on_local_share(package, ctx);
+        }
+        self.future_brd = self.future_brd.split_off(&round);
+        if let Some(msgs) = self.future_brd.remove(&round) {
+            for (from, msg) in msgs {
+                let actions = self.brd.on_message(from, msg, ctx.now());
+                self.apply_brd_actions(actions, ctx);
+            }
         }
     }
 
@@ -794,6 +962,423 @@ impl<T: TotalOrderBroadcast> Replica<T> {
         });
     }
 
+    // ---- crash restart & catch-up (state transfer) --------------------------------
+
+    /// Rebuild the replica after a simulated process restart: every sub-protocol is
+    /// reconstructed from static configuration, volatile state is discarded, and
+    /// the durable store (the one surviving field) seeds local recovery before the
+    /// catch-up protocol fills the gap from peers.
+    fn restart(&mut self, ctx: &mut Context<'_, AvaMsg<T::Msg>>) {
+        let members = self.cfg.membership.member_ids(self.cfg.cluster);
+        self.membership = self.cfg.membership.clone();
+        self.round = Round(1);
+        self.round_state = RoundState { started_at: ctx.now(), ..Default::default() };
+        self.tob.reset();
+        self.election = LeaderElection::new(self.cfg.me, members.clone());
+        self.leader = members.first().copied().unwrap_or(self.cfg.me);
+        self.leader_ts = Timestamp(0);
+        self.brd = Brd::new(
+            self.cfg.me,
+            members,
+            self.keypair.clone(),
+            self.registry.clone(),
+            self.leader,
+            self.leader_ts,
+            self.round,
+            self.cfg.params.brd_timeout,
+        );
+        self.rlc = RemoteLeaderChange::new(
+            self.cfg.me,
+            self.cfg.cluster,
+            self.membership.clone(),
+            self.keypair.clone(),
+            self.registry.clone(),
+            self.cfg.params.remote_leader_timeout,
+            self.cfg.params.leader_change_grace,
+        );
+        self.collected_recs.clear();
+        self.join_regions.clear();
+        self.pending_clients.clear();
+        self.kv.clear();
+        self.prev_package = None;
+        self.future_packages.clear();
+        self.ordered_reconfig_sets.clear();
+        self.mute_inter = false;
+        self.leave_requested = false;
+        self.future_brd.clear();
+
+        let (recovered_round, replayed) = self.recover_from_store();
+        self.round = recovered_round;
+
+        ctx.set_timer(self.cfg.tick_interval, TICK);
+        ctx.emit(Output::ReplicaRestarted {
+            replica: self.cfg.me,
+            cluster: self.cfg.cluster,
+            recovered_round,
+            log_rounds_replayed: replayed,
+            at: ctx.now(),
+        });
+        let f = self.membership.f(self.cfg.cluster);
+        self.recovery = Some(RecoveryState::new(ctx.now(), recovered_round, f + 1));
+        self.status = ReplicaStatus::Recovering;
+        self.send_catch_up_request(ctx);
+    }
+
+    /// Straggler escape: this replica fell behind its own cluster (a verified or
+    /// claimed remote package proves a later round is in progress) and its current
+    /// round can no longer complete — the round's BRD exchange and package
+    /// forwarding are over at its peers. Re-run the catch-up protocol *without*
+    /// wiping state: fetch the missed rounds' certified records, then rejoin.
+    fn begin_straggler_catch_up(&mut self, ctx: &mut Context<'_, AvaMsg<T::Msg>>) {
+        let f = self.membership.f(self.cfg.cluster);
+        self.recovery = Some(RecoveryState::new(ctx.now(), self.round, f + 1));
+        self.status = ReplicaStatus::Recovering;
+        ctx.emit(Output::Custom {
+            name: "straggler_catch_up",
+            value: self.round.0 as f64,
+            at: ctx.now(),
+        });
+        self.send_catch_up_request(ctx);
+    }
+
+    /// Local durable recovery: adopt the store's checkpoint, replay the log suffix,
+    /// and refresh the leader view for the recovered membership. Returns the first
+    /// round the store cannot cover and how many log rounds were replayed.
+    fn recover_from_store(&mut self) -> (Round, u64) {
+        let Some(store) = &self.store else {
+            return (Round(1), 0);
+        };
+        let (checkpoint, suffix) = store.recover();
+        let mut round = Round(1);
+        if let Some(cp) = checkpoint {
+            self.kv = cp.state.clone();
+            self.membership = cp.membership.clone();
+            self.leader_ts = Timestamp(cp.leader_ts);
+            round = cp.round.next();
+        }
+        let mut replayed = 0u64;
+        for record in suffix {
+            if record.round < round {
+                continue;
+            }
+            Self::apply_record_contents(&record, &mut self.kv, &mut self.membership);
+            round = record.round.next();
+            replayed += 1;
+        }
+        let members = self.membership.member_ids(self.cfg.cluster);
+        self.leader = LeaderElection::leader_for(&members, self.leader_ts.0);
+        self.election = LeaderElection::new(self.cfg.me, members.clone());
+        self.tob.set_membership(members);
+        (round, replayed)
+    }
+
+    fn send_catch_up_request(&mut self, ctx: &mut Context<'_, AvaMsg<T::Msg>>) {
+        let Some(rec) = &mut self.recovery else {
+            return;
+        };
+        rec.last_request_at = ctx.now();
+        let from_round = rec.recovered_round;
+        let me = self.cfg.me;
+        let members: Vec<ReplicaId> =
+            self.membership.member_ids(self.cfg.cluster).into_iter().filter(|m| *m != me).collect();
+        ctx.broadcast(members, AvaMsg::CatchUpRequest { replica: me, from_round });
+    }
+
+    /// Member side of catch-up: ship the latest checkpoint plus the log suffix
+    /// after it. A storeless replica synthesizes a checkpoint of its current state
+    /// (rounds advance in lockstep, so concurrent synthesized snapshots still
+    /// match digest-wise whenever the senders are in the same round).
+    fn on_catch_up_request(
+        &mut self,
+        from: ReplicaId,
+        _from_round: Round,
+        ctx: &mut Context<'_, AvaMsg<T::Msg>>,
+    ) {
+        let (checkpoint, suffix) = match &self.store {
+            Some(store) => match store.latest_checkpoint() {
+                Some(cp) => {
+                    let suffix = store.suffix(cp.round);
+                    (cp, suffix)
+                }
+                None => {
+                    // No checkpoint yet: the whole history is in the log; anchor it
+                    // with the empty round-0 snapshot every replica agrees on.
+                    let cp = Arc::new(Checkpoint::new(
+                        Round(0),
+                        BTreeMap::new(),
+                        self.cfg.membership.clone(),
+                        0,
+                    ));
+                    let suffix = store.suffix(Round(0));
+                    (cp, suffix)
+                }
+            },
+            None => {
+                let last_executed = Round(self.round.0.saturating_sub(1));
+                let cp = Arc::new(Checkpoint::new(
+                    last_executed,
+                    self.kv.clone(),
+                    self.membership.clone(),
+                    self.leader_ts.0,
+                ));
+                (cp, Vec::new())
+            }
+        };
+        ctx.send(
+            from,
+            AvaMsg::CatchUpReply {
+                checkpoint,
+                suffix,
+                round: self.round,
+                leader_ts: self.leader_ts.0,
+            },
+        );
+    }
+
+    fn on_catch_up_reply(
+        &mut self,
+        from: ReplicaId,
+        checkpoint: Arc<Checkpoint>,
+        suffix: Vec<Arc<RoundRecord>>,
+        round: Round,
+        leader_ts: u64,
+        ctx: &mut Context<'_, AvaMsg<T::Msg>>,
+    ) {
+        let Some(rec) = &mut self.recovery else {
+            return;
+        };
+        // Corrupted snapshots (digest ≠ content) are dropped before they can vote.
+        if !rec.collector.offer(from, Arc::clone(&checkpoint)) {
+            return;
+        }
+        rec.offers.insert(from, CatchUpOffer { checkpoint, suffix, round, leader_ts });
+        self.try_complete_recovery(ctx);
+    }
+
+    /// Once `f + 1` peers agree on a checkpoint digest, try to adopt it plus one
+    /// agreeing peer's log suffix (newest peer first). Every transferred record's
+    /// certificates are verified against the membership of its round; a candidate
+    /// with a gap or an unverifiable record is rejected and the next one is tried.
+    fn try_complete_recovery(&mut self, ctx: &mut Context<'_, AvaMsg<T::Msg>>) {
+        struct Adoption {
+            state: BTreeMap<u64, u64>,
+            membership: Membership,
+            round: Round,
+            leader_ts: u64,
+            checkpoint: Option<Arc<Checkpoint>>,
+            records: Vec<Arc<RoundRecord>>,
+            rounds_transferred: u64,
+            bytes_transferred: u64,
+        }
+        let adoption = {
+            let Some(rec) = &mut self.recovery else {
+                return;
+            };
+            let Some(agreed) = rec.collector.agreed() else {
+                return;
+            };
+            let mut candidates: Vec<ReplicaId> = rec
+                .offers
+                .iter()
+                .filter(|(_, o)| {
+                    o.checkpoint.round == agreed.round && o.checkpoint.digest == agreed.digest
+                })
+                .map(|(id, _)| *id)
+                .collect();
+            candidates.sort_by_key(|id| std::cmp::Reverse(rec.offers[id].round));
+            let mut sig_cost = 0u64;
+            let mut adoption = None;
+            for id in candidates {
+                let offer = &rec.offers[&id];
+                // Base: the agreed checkpoint if it is ahead of local recovery,
+                // else the locally recovered state.
+                let use_checkpoint = agreed.round.next() > rec.recovered_round;
+                let (mut state, mut membership, mut next, mut bytes) = if use_checkpoint {
+                    (
+                        agreed.state.clone(),
+                        agreed.membership.clone(),
+                        agreed.round.next(),
+                        agreed.wire_size() as u64,
+                    )
+                } else {
+                    (self.kv.clone(), self.membership.clone(), rec.recovered_round, 0)
+                };
+                let gap_rounds =
+                    if use_checkpoint { agreed.round.next().0 - rec.recovered_round.0 } else { 0 };
+                let mut records = Vec::new();
+                let mut ok = true;
+                for record in &offer.suffix {
+                    if record.round < next {
+                        continue;
+                    }
+                    if record.round > next {
+                        ok = false; // gap: this peer cannot cover our range
+                        break;
+                    }
+                    let (valid, sigs) = record.verify(&self.registry, &membership);
+                    sig_cost += sigs;
+                    if !valid {
+                        rec.rejected_records += 1;
+                        ok = false;
+                        break;
+                    }
+                    Self::apply_record_contents(record, &mut state, &mut membership);
+                    bytes += record.wire_size() as u64;
+                    next = record.round.next();
+                    records.push(Arc::clone(record));
+                }
+                // The suffix must reach the peer's current round, else we would
+                // rejoin behind the cluster with no way to fetch the missing rounds.
+                if ok && next >= offer.round {
+                    adoption = Some(Adoption {
+                        state,
+                        membership,
+                        round: next,
+                        leader_ts: offer.leader_ts,
+                        checkpoint: use_checkpoint.then(|| Arc::clone(&agreed)),
+                        rounds_transferred: gap_rounds + records.len() as u64,
+                        records,
+                        bytes_transferred: bytes,
+                    });
+                    break;
+                }
+            }
+            if sig_cost > 0 {
+                ctx.consume(ctx.costs().per_sig_verify.saturating_mul(sig_cost));
+            }
+            let Some(adoption) = adoption else {
+                return;
+            };
+            adoption
+        };
+
+        // Commit: adopt the transferred state and make it durable in one batch.
+        self.kv = adoption.state;
+        self.membership = adoption.membership;
+        self.leader_ts = Timestamp(adoption.leader_ts);
+        let mut persist_bytes = 0usize;
+        if let Some(store) = &mut self.store {
+            if let Some(cp) = &adoption.checkpoint {
+                persist_bytes += store.install_checkpoint(Arc::clone(cp));
+            }
+            for record in &adoption.records {
+                persist_bytes += store.append_round(Arc::clone(record));
+            }
+        }
+        if persist_bytes > 0 {
+            ctx.consume(ctx.costs().persist_cost(persist_bytes));
+        }
+        // Transactions pending at this replica that executed inside transferred
+        // rounds get their responses now (a straggler kept its client bookkeeping).
+        for record in &adoption.records {
+            for package in &record.packages {
+                for block in &package.blocks {
+                    for op in &block.block.ops {
+                        if let Operation::Trans(tx) = op {
+                            if let Some((client_node, _)) = self.pending_clients.remove(&tx.id) {
+                                ctx.send(
+                                    client_node,
+                                    AvaMsg::ClientResponse {
+                                        tx: tx.id,
+                                        is_write: tx.kind.is_write(),
+                                    },
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let buffered = self.recovery.take().map(|r| r.buffered).unwrap_or_default();
+        self.status = ReplicaStatus::Active;
+        ctx.emit(Output::RecoveryCompleted {
+            replica: self.cfg.me,
+            cluster: self.cfg.cluster,
+            round: adoption.round,
+            rounds_transferred: adoption.rounds_transferred,
+            bytes_transferred: adoption.bytes_transferred,
+            at: ctx.now(),
+        });
+        self.resume_active(adoption.round, ctx);
+        self.dispatch_buffered(buffered, ctx);
+    }
+
+    /// Replay protocol traffic buffered while catching up, in arrival order.
+    fn dispatch_buffered(
+        &mut self,
+        buffered: Vec<(ReplicaId, AvaMsg<T::Msg>)>,
+        ctx: &mut Context<'_, AvaMsg<T::Msg>>,
+    ) {
+        for (from, msg) in buffered {
+            match msg {
+                AvaMsg::Tob(m) => {
+                    let actions = self.tob.on_message(from, m, ctx.now());
+                    self.apply_tob_actions(actions, ctx);
+                }
+                AvaMsg::Brd(m) => self.on_brd_msg(from, m, ctx),
+                AvaMsg::Inter(package) => self.on_inter(package, ctx),
+                AvaMsg::LocalShare(package) => self.on_local_share(package, ctx),
+                _ => {}
+            }
+        }
+    }
+
+    /// Apply one round record to a state/membership pair, mirroring `execute`:
+    /// transactions first (cluster by cluster in package order), then every
+    /// reconfiguration uniformly. Used for local log replay and for replaying
+    /// transferred suffixes — no client responses, no outputs.
+    ///
+    /// INVARIANT: this must stay semantically identical to the state mutations
+    /// of [`Replica::execute`] (write-counter increments; recs from both
+    /// block-carried `ReconfigSet` ops and package-level sets). If the two ever
+    /// diverge, replayed replicas compute different checkpoint digests than
+    /// live ones and f+1 agreement breaks — change both together.
+    fn apply_record_contents(
+        record: &RoundRecord,
+        state: &mut BTreeMap<u64, u64>,
+        membership: &mut Membership,
+    ) {
+        let mut all_recs: Vec<(ClusterId, Vec<Reconfig>)> = Vec::new();
+        for package in &record.packages {
+            for block in &package.blocks {
+                for op in &block.block.ops {
+                    match op {
+                        Operation::Trans(tx) => {
+                            if let TxKind::Write { key, .. } = tx.kind {
+                                *state.entry(key).or_insert(0) += 1;
+                            }
+                        }
+                        Operation::ReconfigSet { recs, .. } => {
+                            all_recs.push((package.cluster, recs.clone()));
+                        }
+                    }
+                }
+            }
+            if !package.recs.is_empty() {
+                all_recs.push((package.cluster, package.recs.clone()));
+            }
+        }
+        for (cluster, recs) in &all_recs {
+            membership.apply_set(*cluster, recs);
+        }
+    }
+
+    /// Rejoin local ordering and inter-cluster forwarding at `round` with the
+    /// already-adopted membership and leader timestamp (shared by peer-driven
+    /// catch-up and the solo fallback).
+    fn resume_active(&mut self, round: Round, ctx: &mut Context<'_, AvaMsg<T::Msg>>) {
+        let members = self.my_members();
+        self.election = LeaderElection::new(self.cfg.me, members.clone());
+        self.leader = LeaderElection::leader_for(&members, self.leader_ts.0);
+        self.tob.set_membership(members);
+        let leader = self.leader;
+        let ts = self.leader_ts;
+        let now = ctx.now();
+        let actions = self.tob.new_leader(leader, ts, now);
+        self.apply_tob_actions(actions, ctx);
+        self.start_round(round, ctx);
+    }
+
     // ---- client requests ---------------------------------------------------------
 
     fn on_client_request(
@@ -853,8 +1438,15 @@ where
                 self.rlc.start_round(self.round, ctx.now());
             }
             ReplicaStatus::Joining { .. } => self.send_join_request(ctx),
-            ReplicaStatus::Left => {}
+            ReplicaStatus::Left | ReplicaStatus::Recovering => {}
         }
+    }
+
+    fn on_restart(&mut self, ctx: &mut Context<'_, AvaMsg<T::Msg>>) {
+        if self.status == ReplicaStatus::Left {
+            return;
+        }
+        self.restart(ctx);
     }
 
     fn on_message(
@@ -864,6 +1456,26 @@ where
         ctx: &mut Context<'_, AvaMsg<T::Msg>>,
     ) {
         if self.status == ReplicaStatus::Left {
+            return;
+        }
+        if self.status == ReplicaStatus::Recovering {
+            // A recovering replica only acts on state transfers; in-flight protocol
+            // traffic is buffered and replayed once it rejoins, so decisions made
+            // while it caught up are not lost.
+            match msg {
+                AvaMsg::CatchUpReply { checkpoint, suffix, round, leader_ts } => {
+                    self.on_catch_up_reply(from, checkpoint, suffix, round, leader_ts, ctx);
+                }
+                m
+                @ (AvaMsg::Tob(_) | AvaMsg::Brd(_) | AvaMsg::Inter(_) | AvaMsg::LocalShare(_)) => {
+                    if let Some(rec) = &mut self.recovery {
+                        if rec.buffered.len() < RECOVERY_BUFFER_CAP {
+                            rec.buffered.push((from, m));
+                        }
+                    }
+                }
+                _ => {}
+            }
             return;
         }
         if let ReplicaStatus::Joining { .. } = self.status {
@@ -885,10 +1497,7 @@ where
                 let actions = self.tob.on_message(from, m, ctx.now());
                 self.apply_tob_actions(actions, ctx);
             }
-            AvaMsg::Brd(m) => {
-                let actions = self.brd.on_message(from, m, ctx.now());
-                self.apply_brd_actions(actions, ctx);
-            }
+            AvaMsg::Brd(m) => self.on_brd_msg(from, m, ctx),
             AvaMsg::Election(m) => {
                 let actions = self.election.on_message(from, m);
                 self.apply_election_actions(actions, ctx);
@@ -905,6 +1514,10 @@ where
             AvaMsg::RequestLeave { replica, .. } => self.on_request_leave(replica, ctx),
             AvaMsg::Ack { .. } => {}
             AvaMsg::CurrState { .. } => {}
+            AvaMsg::CatchUpRequest { replica, from_round } => {
+                self.on_catch_up_request(replica, from_round, ctx)
+            }
+            AvaMsg::CatchUpReply { .. } => {}
             AvaMsg::ClientRequest { tx, client } => self.on_client_request(from, tx, client, ctx),
             AvaMsg::ClientResponse { .. } => {}
             AvaMsg::Control(cmd) => self.on_control(cmd, ctx),
@@ -918,6 +1531,39 @@ where
             return;
         }
         ctx.set_timer(self.cfg.tick_interval, TICK);
+        if self.status == ReplicaStatus::Recovering {
+            let now = ctx.now();
+            let (resend, give_up) = match &self.recovery {
+                Some(rec) => (
+                    now.since(rec.last_request_at) >= RECOVERY_RESEND,
+                    now.since(rec.started_at) >= self.cfg.params.local_timeout,
+                ),
+                None => (false, false),
+            };
+            if give_up {
+                // Solo fallback: no quorum of peers answered within the local
+                // timeout (e.g. the whole cluster restarted). Resume from the
+                // locally recovered state; live rounds re-align the stragglers.
+                // This is NOT a completed catch-up — `RecoveryCompleted` stays
+                // reserved for a real state transfer (the `RecoveryObserver`
+                // keeps the replica marked not-caught-up until one happens).
+                let (round, buffered) = match self.recovery.take() {
+                    Some(r) => (r.recovered_round, r.buffered),
+                    None => (self.round, Vec::new()),
+                };
+                self.status = ReplicaStatus::Active;
+                ctx.emit(Output::Custom {
+                    name: "recovery_solo_fallback",
+                    value: round.0 as f64,
+                    at: now,
+                });
+                self.resume_active(round, ctx);
+                self.dispatch_buffered(buffered, ctx);
+            } else if resend {
+                self.send_catch_up_request(ctx);
+            }
+            return;
+        }
         if let ReplicaStatus::Joining { acks, .. } = &self.status {
             // Alg. 3's client timer: keep re-sending the join request until a quorum
             // acknowledged it.
@@ -936,5 +1582,17 @@ where
         self.apply_rlc_actions(rlc_actions, ctx);
         // Drive Stage 1 completion under light load (partial batches).
         self.check_stage1(ctx);
+        // Straggler escape: f+1 cluster members disseminating for a later round
+        // (stashed in `future_brd`) prove the cluster executed this round without
+        // us — a round still open after the stage-1 grace can never complete here,
+        // because its BRD exchange and package forwarding are over at the peers.
+        // Catch the missed rounds up from a peer's store instead. (A whole cluster
+        // stuck in one round — e.g. under a partition — shows no future BRD and
+        // correctly keeps waiting: peers have nothing newer to transfer.)
+        if now.since(self.round_state.started_at) >= self.cfg.stage1_max_wait
+            && self.cluster_moved_past_this_round()
+        {
+            self.begin_straggler_catch_up(ctx);
+        }
     }
 }

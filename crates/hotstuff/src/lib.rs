@@ -399,6 +399,19 @@ impl TotalOrderBroadcast for HotStuff {
     fn set_fault_mode(&mut self, mode: FaultMode) {
         self.fault = mode;
     }
+
+    fn reset(&mut self) {
+        self.ts = 0;
+        self.fault = FaultMode::Correct;
+        self.pool = PendingPool::new();
+        self.in_flight = None;
+        self.known_blocks.clear();
+        // Height 0 accepts any next proposal (`height < next_height` rejects);
+        // `delivered_height` re-seeds from the first post-restart delivery.
+        self.next_height = 0;
+        self.delivered_height = None;
+        self.voted.clear();
+    }
 }
 
 #[cfg(test)]

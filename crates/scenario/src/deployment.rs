@@ -110,6 +110,11 @@ pub trait DynDeployment {
     /// timers).
     fn crash_at(&mut self, replica: ReplicaId, at: Time);
 
+    /// Restart a crashed `replica` at `at`: it comes back with only its persisted
+    /// store (see `DeploymentOptions::store`) and catches up from its peers.
+    /// Restarting a replica that is not crashed at `at` is a no-op.
+    fn restart_at(&mut self, replica: ReplicaId, at: Time);
+
     /// Turn `replica` Byzantine in the E4.3 sense: it keeps behaving correctly in
     /// its cluster but withholds all inter-cluster messages.
     fn mute_inter_cluster(&mut self, replica: ReplicaId);
@@ -192,6 +197,10 @@ where
 
     fn crash_at(&mut self, replica: ReplicaId, at: Time) {
         self.inner.crash_at(replica, at);
+    }
+
+    fn restart_at(&mut self, replica: ReplicaId, at: Time) {
+        self.inner.restart_at(replica, at);
     }
 
     fn mute_inter_cluster(&mut self, replica: ReplicaId) {

@@ -54,6 +54,7 @@ pub mod scenario;
 
 pub use deployment::{DynDeployment, Protocol};
 pub use observer::{
-    ReconfigTraceObserver, RoundTrace, RunObserver, StageBreakdownObserver, ThroughputObserver,
+    ReconfigTraceObserver, RecoveryObserver, RecoveryTrace, RoundTrace, RunObserver,
+    StageBreakdownObserver, ThroughputObserver,
 };
 pub use scenario::{Scenario, ScenarioBuilder, ScenarioEvent, ScenarioRun, Schedule};

@@ -245,6 +245,117 @@ impl RunObserver for ReconfigTraceObserver {
     }
 }
 
+/// One replica's crash-recovery trajectory, collected by [`RecoveryObserver`].
+#[derive(Clone, Debug)]
+pub struct RecoveryTrace {
+    /// When the replica restarted.
+    pub restarted_at: Time,
+    /// The round its durable store recovered to locally.
+    pub recovered_round: Round,
+    /// Rounds replayed from the local round log.
+    pub log_rounds_replayed: u64,
+    /// When catch-up completed (None = still catching up at run end).
+    pub completed_at: Option<Time>,
+    /// The round the replica rejoined at.
+    pub caught_up_round: Option<Round>,
+    /// Rounds obtained from peers (checkpoint gap + transferred log suffix).
+    pub rounds_transferred: u64,
+    /// Bytes of checkpoint + log-suffix payload adopted from peers.
+    pub bytes_transferred: u64,
+}
+
+impl RecoveryTrace {
+    /// Time from restart to caught-up, if the recovery completed.
+    pub fn time_to_caught_up(&self) -> Option<Duration> {
+        self.completed_at.map(|done| done.since(self.restarted_at))
+    }
+}
+
+/// Collects crash-recovery probes: per restarted replica, the time-to-caught-up,
+/// the rounds transferred and the bytes transferred (the `e10_recovery` series).
+/// A replica that restarts more than once keeps the latest trajectory.
+#[derive(Clone, Debug, Default)]
+pub struct RecoveryObserver {
+    traces: BTreeMap<ReplicaId, RecoveryTrace>,
+}
+
+impl RecoveryObserver {
+    /// A fresh observer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The recovery trajectories seen so far, keyed by replica.
+    pub fn traces(&self) -> &BTreeMap<ReplicaId, RecoveryTrace> {
+        &self.traces
+    }
+
+    /// Whether every observed restart completed its catch-up.
+    pub fn all_caught_up(&self) -> bool {
+        !self.traces.is_empty() && self.traces.values().all(|t| t.completed_at.is_some())
+    }
+
+    /// The slowest time-to-caught-up across replicas (None until every observed
+    /// restart completed).
+    pub fn max_time_to_caught_up(&self) -> Option<Duration> {
+        if !self.all_caught_up() {
+            return None;
+        }
+        self.traces.values().filter_map(RecoveryTrace::time_to_caught_up).max()
+    }
+
+    /// Total rounds transferred from peers across all recoveries.
+    pub fn total_rounds_transferred(&self) -> u64 {
+        self.traces.values().map(|t| t.rounds_transferred).sum()
+    }
+
+    /// Total bytes transferred from peers across all recoveries.
+    pub fn total_bytes_transferred(&self) -> u64 {
+        self.traces.values().map(|t| t.bytes_transferred).sum()
+    }
+}
+
+impl RunObserver for RecoveryObserver {
+    fn on_output(&mut self, output: &Output) {
+        match output {
+            Output::ReplicaRestarted {
+                replica, recovered_round, log_rounds_replayed, at, ..
+            } => {
+                self.traces.insert(
+                    *replica,
+                    RecoveryTrace {
+                        restarted_at: *at,
+                        recovered_round: *recovered_round,
+                        log_rounds_replayed: *log_rounds_replayed,
+                        completed_at: None,
+                        caught_up_round: None,
+                        rounds_transferred: 0,
+                        bytes_transferred: 0,
+                    },
+                );
+            }
+            Output::RecoveryCompleted {
+                replica,
+                round,
+                rounds_transferred,
+                bytes_transferred,
+                at,
+                ..
+            } => {
+                if let Some(trace) = self.traces.get_mut(replica) {
+                    if trace.completed_at.is_none() {
+                        trace.completed_at = Some(*at);
+                        trace.caught_up_round = Some(*round);
+                        trace.rounds_transferred = *rounds_transferred;
+                        trace.bytes_transferred = *bytes_transferred;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -293,6 +404,34 @@ mod tests {
         assert!((b[0] - 200.0).abs() < 1e-9);
         assert!((b[1] - 50.0).abs() < 1e-9);
         assert_eq!(b[2], 0.0);
+    }
+
+    #[test]
+    fn recovery_observer_tracks_restart_to_caught_up() {
+        let mut obs = RecoveryObserver::new();
+        obs.on_output(&Output::ReplicaRestarted {
+            replica: ReplicaId(3),
+            cluster: ClusterId(0),
+            recovered_round: Round(9),
+            log_rounds_replayed: 1,
+            at: Time::from_secs(4),
+        });
+        assert!(!obs.all_caught_up());
+        obs.on_output(&Output::RecoveryCompleted {
+            replica: ReplicaId(3),
+            cluster: ClusterId(0),
+            round: Round(14),
+            rounds_transferred: 5,
+            bytes_transferred: 10_000,
+            at: Time::from_secs(6),
+        });
+        assert!(obs.all_caught_up());
+        assert_eq!(obs.max_time_to_caught_up(), Some(Duration::from_secs(2)));
+        assert_eq!(obs.total_rounds_transferred(), 5);
+        assert_eq!(obs.total_bytes_transferred(), 10_000);
+        let trace = &obs.traces()[&ReplicaId(3)];
+        assert_eq!(trace.caught_up_round, Some(Round(14)));
+        assert_eq!(trace.log_rounds_replayed, 1);
     }
 
     #[test]

@@ -16,6 +16,13 @@ pub enum ScenarioEvent {
         /// The replica to crash.
         replica: ReplicaId,
     },
+    /// Restart a previously crashed replica: it comes back with only its persisted
+    /// store and catches up via checkpoint + log-suffix state transfer. The
+    /// schedule must hold an earlier `Crash` of the same replica.
+    Restart {
+        /// The replica to restart.
+        replica: ReplicaId,
+    },
     /// Turn a replica Byzantine in the E4.3 sense: correct locally, but it
     /// withholds all inter-cluster messages.
     MuteInterCluster {
@@ -98,6 +105,9 @@ impl ScenarioEvent {
             ScenarioEvent::Partition { a, b } => (7, a.0.min(b.0) as u64, a.0.max(b.0) as u64),
             ScenarioEvent::Heal { a, b } => (8, a.0.min(b.0) as u64, a.0.max(b.0) as u64),
             ScenarioEvent::LatencyShift { .. } => (9, 0, 0),
+            // Appended after the original keys so pre-existing schedules keep
+            // their canonical order bit-for-bit.
+            ScenarioEvent::Restart { replica } => (10, replica.0 as u64, 0),
         }
     }
 }
@@ -215,6 +225,20 @@ impl ScenarioBuilder {
         self.crash_at(at, leader)
     }
 
+    /// Schedule a restart of the (crashed) `replica` at `at`. The builder rejects
+    /// restarts without an earlier crash of the same replica at build time.
+    pub fn restart_at(self, at: Time, replica: ReplicaId) -> Self {
+        self.at(at, ScenarioEvent::Restart { replica })
+    }
+
+    /// Enable the durable store on every replica (round log + checkpoints every
+    /// `store.checkpoint_interval` rounds) — the substrate crash→restart recovery
+    /// catches up from.
+    pub fn store(mut self, store: ava_store::StoreConfig) -> Self {
+        self.opts.store = Some(store);
+        self
+    }
+
     /// Schedule `replica` to start withholding inter-cluster messages at `at`.
     pub fn mute_inter_cluster_at(self, at: Time, replica: ReplicaId) -> Self {
         self.at(at, ScenarioEvent::MuteInterCluster { replica })
@@ -264,6 +288,21 @@ impl ScenarioBuilder {
         // stop immediately, so none of its effects could ever be processed.
         if let Some((at, ev)) = self.schedule.entries.iter().find(|(at, _)| *at >= end) {
             panic!("event {ev:?} scheduled at {at}, at or after the end of the run ({end})");
+        }
+        // A restart without a strictly earlier crash of the same replica would be
+        // silently ignored by the simulator; reject it while the schedule is still
+        // being assembled.
+        for (at, ev) in &self.schedule.entries {
+            let ScenarioEvent::Restart { replica } = ev else {
+                continue;
+            };
+            let crashed_before = self.schedule.entries.iter().any(|(crash_at, e)| {
+                matches!(e, ScenarioEvent::Crash { replica: r } if r == replica) && crash_at < at
+            });
+            assert!(
+                crashed_before,
+                "Restart of {replica} at {at} has no earlier Crash of the same replica"
+            );
         }
         Scenario {
             protocol: self.protocol,
@@ -427,6 +466,7 @@ fn apply_event(
 ) {
     match event {
         ScenarioEvent::Crash { replica } => dep.crash_at(*replica, dep.now()),
+        ScenarioEvent::Restart { replica } => dep.restart_at(*replica, dep.now()),
         ScenarioEvent::MuteInterCluster { replica } => dep.mute_inter_cluster(*replica),
         ScenarioEvent::SilenceLocalLeader { replica } => dep.silence_local_leader(*replica),
         ScenarioEvent::Join { cluster, region } => {

@@ -37,6 +37,17 @@ pub trait Actor<M: SimMessage> {
     fn on_timer(&mut self, kind: u64, ctx: &mut Context<'_, M>) {
         let _ = (kind, ctx);
     }
+
+    /// Called when the node restarts after a crash (see `Simulation::restart_at`).
+    ///
+    /// A restarting actor models a process that lost its memory: implementations
+    /// must discard all volatile state and rebuild from whatever they treat as
+    /// persistent (e.g. an `ava-store` round log). Timers armed before the crash
+    /// were dropped with the crash, so the hook must re-arm any periodic tick it
+    /// needs. The default treats the restart as a fresh boot.
+    fn on_restart(&mut self, ctx: &mut Context<'_, M>) {
+        self.on_start(ctx);
+    }
 }
 
 /// One buffered send request: either a point-to-point message or a fan-out sharing

@@ -23,12 +23,21 @@ pub struct CostModel {
     pub per_sign: Duration,
     /// Cost of executing one transaction against the state machine in Stage 3.
     pub per_tx_execute: Duration,
+    /// Latency of one durable write barrier (fsync). Replicas with an `ava-store`
+    /// round log charge this once per log append / checkpoint, so persistence has
+    /// a measurable price; deployments without a store never pay it.
+    pub per_fsync: Duration,
+    /// Cost per byte persisted to the store, in nanoseconds (serialization + page
+    /// writes), charged on top of `per_fsync`.
+    pub persist_byte_ns: u64,
 }
 
 impl CostModel {
     /// Defaults calibrated to a small cloud VM: ~10 µs per message, 1 ns per byte,
     /// ~40 µs per signature verification, ~20 µs per signing, ~5 µs per executed
-    /// transaction.
+    /// transaction, ~100 µs per fsync barrier (NVMe-class flush with group
+    /// commit — one barrier covers a whole round record) at 1 ns per persisted
+    /// byte.
     pub fn cloud_vm() -> Self {
         CostModel {
             per_event: Duration::from_micros(10),
@@ -36,6 +45,8 @@ impl CostModel {
             per_sig_verify: Duration::from_micros(40),
             per_sign: Duration::from_micros(20),
             per_tx_execute: Duration::from_micros(5),
+            per_fsync: Duration::from_micros(100),
+            persist_byte_ns: 1,
         }
     }
 
@@ -48,6 +59,8 @@ impl CostModel {
             per_sig_verify: Duration::ZERO,
             per_sign: Duration::ZERO,
             per_tx_execute: Duration::ZERO,
+            per_fsync: Duration::ZERO,
+            persist_byte_ns: 0,
         }
     }
 
@@ -55,6 +68,12 @@ impl CostModel {
     /// explicitly consumed cost.
     pub fn event_cost(&self, bytes: usize) -> Duration {
         self.per_event + Duration::from_micros((bytes as u64 * self.per_byte_ns) / 1_000)
+    }
+
+    /// Service time of durably writing `bytes` to the store: one fsync barrier
+    /// plus the per-byte persistence cost.
+    pub fn persist_cost(&self, bytes: usize) -> Duration {
+        self.per_fsync + Duration::from_micros((bytes as u64 * self.persist_byte_ns) / 1_000)
     }
 }
 
@@ -79,6 +98,14 @@ mod tests {
     fn zero_model_costs_nothing() {
         let c = CostModel::zero();
         assert_eq!(c.event_cost(4096), Duration::ZERO);
+        assert_eq!(c.persist_cost(4096), Duration::ZERO);
+    }
+
+    #[test]
+    fn persist_cost_charges_fsync_plus_bytes() {
+        let c = CostModel::cloud_vm();
+        assert_eq!(c.persist_cost(0), c.per_fsync);
+        assert!(c.persist_cost(1_000_000) > c.persist_cost(100));
     }
 
     #[test]

@@ -21,7 +21,14 @@ pub enum EventKind<M> {
     Timer {
         /// The timer kind the node passed to `set_timer`.
         kind: u64,
+        /// The node's lifecycle epoch when the timer was armed. A restart bumps
+        /// the node's epoch, so timers armed before a crash die with it instead
+        /// of firing into the restarted actor.
+        epoch: u64,
     },
+    /// A crashed node restarts (its `on_restart` hook runs with only whatever
+    /// state the actor treats as persistent).
+    Restart,
 }
 
 /// A scheduled event.

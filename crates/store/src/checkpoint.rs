@@ -1,0 +1,222 @@
+//! Checkpoints: digest-certified snapshots of executed state at a round boundary.
+//!
+//! Every replica of a cluster executes the same rounds in the same order, so the
+//! state after round `r` is identical at every correct replica and a checkpoint's
+//! digest is a cluster-wide commitment. A restarted replica does not trust any
+//! single peer's checkpoint: the [`CheckpointCollector`] requires `f + 1` distinct
+//! senders to report the *same* `(round, digest)` before a checkpoint is adopted —
+//! with at most `f` Byzantine replicas, at least one of the matching senders is
+//! correct (BFT-SMaRt's collaborative state transfer uses the same argument).
+
+use ava_crypto::{Digest, Sha256};
+use ava_types::{Membership, ReplicaId, Round};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// A snapshot of the replicated state after executing round [`Checkpoint::round`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Checkpoint {
+    /// The last executed round the snapshot covers.
+    pub round: Round,
+    /// The replicated key-value state (key → write counter) after `round`.
+    pub state: BTreeMap<u64, u64>,
+    /// The membership map after applying every reconfiguration up to `round`.
+    pub membership: Membership,
+    /// The cluster's leader timestamp as of `round` (so a replica recovering
+    /// from its *own* store rejoins with a consistent leader view). Not part of
+    /// the digest: leader changes land at different instants at different
+    /// replicas, so committing the timestamp would split otherwise-identical
+    /// same-round snapshots below the `f + 1` agreement threshold. Peer-driven
+    /// catch-up takes its leader context from the reply, not the snapshot.
+    pub leader_ts: u64,
+    /// Canonical digest over the round-deterministic content (round, state,
+    /// membership), computed at construction time.
+    pub digest: Digest,
+}
+
+impl Checkpoint {
+    /// Build a checkpoint, computing its canonical digest.
+    pub fn new(
+        round: Round,
+        state: BTreeMap<u64, u64>,
+        membership: Membership,
+        leader_ts: u64,
+    ) -> Self {
+        let digest = Self::digest_of(round, &state, &membership);
+        Checkpoint { round, state, membership, leader_ts, digest }
+    }
+
+    /// The canonical digest of a checkpoint's round-deterministic content.
+    /// `BTreeMap` iteration and the membership map's sorted per-cluster member
+    /// lists make the byte stream deterministic across replicas.
+    pub fn digest_of(round: Round, state: &BTreeMap<u64, u64>, membership: &Membership) -> Digest {
+        let mut h = Sha256::new();
+        h.update(&round.0.to_le_bytes());
+        h.update(&(state.len() as u64).to_le_bytes());
+        for (k, v) in state {
+            h.update(&k.to_le_bytes());
+            h.update(&v.to_le_bytes());
+        }
+        for (cluster, info) in membership.iter() {
+            h.update(&cluster.0.to_le_bytes());
+            h.update(&info.id.0.to_le_bytes());
+            h.update(&[info.region.index() as u8]);
+        }
+        Digest(h.finalize())
+    }
+
+    /// Whether the stored digest matches the content (detects a corrupted or
+    /// tampered snapshot).
+    pub fn verify(&self) -> bool {
+        self.digest == Self::digest_of(self.round, &self.state, &self.membership)
+    }
+
+    /// Approximate wire size of the snapshot in bytes (state pairs + membership
+    /// entries + header), used for transfer-size accounting.
+    pub fn wire_size(&self) -> usize {
+        64 + self.state.len() * 16 + self.membership.total_replicas() * 12
+    }
+}
+
+/// Collects peer-reported checkpoints during catch-up until `threshold` distinct
+/// senders agree on the same `(round, digest)`.
+///
+/// Offers carrying a corrupted snapshot (stored digest ≠ content digest) are
+/// rejected outright and counted, so a Byzantine peer cannot poison the vote with a
+/// snapshot that would fail verification after adoption.
+#[derive(Clone, Debug, Default)]
+pub struct CheckpointCollector {
+    threshold: usize,
+    votes: BTreeMap<(Round, Digest), BTreeSet<ReplicaId>>,
+    snapshots: BTreeMap<(Round, Digest), Arc<Checkpoint>>,
+    rejected: usize,
+}
+
+impl CheckpointCollector {
+    /// A collector requiring `threshold` matching reports (use `f + 1` for the
+    /// cluster being rejoined).
+    pub fn new(threshold: usize) -> Self {
+        CheckpointCollector { threshold: threshold.max(1), ..Self::default() }
+    }
+
+    /// Record `sender`'s checkpoint. Returns `false` (and counts the rejection) when
+    /// the snapshot fails integrity verification; duplicate reports by the same
+    /// sender for the same `(round, digest)` are idempotent.
+    pub fn offer(&mut self, sender: ReplicaId, checkpoint: Arc<Checkpoint>) -> bool {
+        if !checkpoint.verify() {
+            self.rejected += 1;
+            return false;
+        }
+        let key = (checkpoint.round, checkpoint.digest);
+        self.votes.entry(key).or_default().insert(sender);
+        self.snapshots.entry(key).or_insert(checkpoint);
+        true
+    }
+
+    /// The highest-round checkpoint that `threshold` distinct senders agree on, if
+    /// any.
+    pub fn agreed(&self) -> Option<Arc<Checkpoint>> {
+        self.votes
+            .iter()
+            .rev()
+            .find(|(_, senders)| senders.len() >= self.threshold)
+            .and_then(|(key, _)| self.snapshots.get(key).cloned())
+    }
+
+    /// Number of corrupted offers rejected so far.
+    pub fn rejected(&self) -> usize {
+        self.rejected
+    }
+
+    /// Number of distinct `(round, digest)` candidates seen.
+    pub fn candidates(&self) -> usize {
+        self.votes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ava_types::{ClusterId, Region, ReplicaInfo};
+
+    fn membership(n: u32) -> Membership {
+        let mut m = Membership::new();
+        for i in 0..n {
+            m.add(ClusterId(0), ReplicaInfo { id: ReplicaId(i), region: Region::UsWest });
+        }
+        m
+    }
+
+    fn checkpoint(round: u64, writes: u64) -> Checkpoint {
+        let state: BTreeMap<u64, u64> = (0..writes).map(|k| (k, k + 1)).collect();
+        Checkpoint::new(Round(round), state, membership(4), 2)
+    }
+
+    #[test]
+    fn digest_commits_to_round_deterministic_content() {
+        let base = checkpoint(8, 3);
+        assert_ne!(base.digest, checkpoint(9, 3).digest, "round must be committed");
+        assert_ne!(base.digest, checkpoint(8, 4).digest, "state must be committed");
+        let grown = Checkpoint::new(Round(8), base.state.clone(), membership(5), 2);
+        assert_ne!(base.digest, grown.digest, "membership must be committed");
+        assert_eq!(base.digest, checkpoint(8, 3).digest, "equal content, equal digest");
+        // Leader timestamps land at different instants at different replicas, so
+        // they must NOT split same-round digests (the f+1 agreement depends on it).
+        let other_ts = Checkpoint::new(Round(8), base.state.clone(), membership(4), 3);
+        assert_eq!(base.digest, other_ts.digest, "leader_ts must not be committed");
+    }
+
+    #[test]
+    fn tampered_checkpoint_fails_verification() {
+        let mut cp = checkpoint(8, 3);
+        assert!(cp.verify());
+        cp.state.insert(99, 1); // corrupt the snapshot after digest computation
+        assert!(!cp.verify());
+    }
+
+    #[test]
+    fn collector_requires_threshold_matching_reports() {
+        let mut c = CheckpointCollector::new(2);
+        assert!(c.offer(ReplicaId(1), Arc::new(checkpoint(8, 3))));
+        assert!(c.agreed().is_none(), "one report is not agreement");
+        // A duplicate report by the same sender must not count twice.
+        assert!(c.offer(ReplicaId(1), Arc::new(checkpoint(8, 3))));
+        assert!(c.agreed().is_none());
+        assert!(c.offer(ReplicaId(2), Arc::new(checkpoint(8, 3))));
+        assert_eq!(c.agreed().expect("agreed").round, Round(8));
+    }
+
+    #[test]
+    fn collector_rejects_corrupted_offers() {
+        let mut c = CheckpointCollector::new(1);
+        let mut bad = checkpoint(8, 3);
+        bad.state.insert(99, 7); // forged state under the old digest
+        assert!(!c.offer(ReplicaId(1), Arc::new(bad)));
+        assert_eq!(c.rejected(), 1);
+        assert!(c.agreed().is_none());
+    }
+
+    #[test]
+    fn collector_prefers_the_highest_agreed_round() {
+        let mut c = CheckpointCollector::new(2);
+        for sender in [1, 2, 3] {
+            assert!(c.offer(ReplicaId(sender), Arc::new(checkpoint(8, 3))));
+        }
+        // A newer checkpoint reaches the threshold later; it must win.
+        assert!(c.offer(ReplicaId(4), Arc::new(checkpoint(16, 5))));
+        assert_eq!(c.agreed().expect("agreed").round, Round(8), "r16 has one vote");
+        assert!(c.offer(ReplicaId(5), Arc::new(checkpoint(16, 5))));
+        assert_eq!(c.agreed().expect("agreed").round, Round(16));
+        assert_eq!(c.candidates(), 2);
+    }
+
+    #[test]
+    fn mismatched_digests_do_not_pool_votes() {
+        // Two senders at different rounds (e.g. one straddling a checkpoint
+        // boundary) must not be counted as agreeing.
+        let mut c = CheckpointCollector::new(2);
+        assert!(c.offer(ReplicaId(1), Arc::new(checkpoint(8, 3))));
+        assert!(c.offer(ReplicaId(2), Arc::new(checkpoint(16, 3))));
+        assert!(c.agreed().is_none());
+    }
+}

@@ -1,0 +1,171 @@
+//! The append-only round log.
+//!
+//! One entry per executed round, appended write-ahead (before the round's effects
+//! are applied) and truncated when a checkpoint covers it. The log is generic over
+//! the entry payload so this crate stays free of protocol types; `ava-hamava`
+//! instantiates it with its `RoundRecord` (the `Arc`-shared certified round
+//! packages of all clusters for one round).
+
+use ava_types::Round;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A payload the round log can store: anything with a round number and an
+/// accountable wire size (persist costs and state-transfer byte counts are derived
+/// from it).
+pub trait StoredEntry: Clone {
+    /// The round the entry belongs to.
+    fn round(&self) -> Round;
+    /// Approximate serialized size of the entry in bytes.
+    fn wire_size(&self) -> usize;
+}
+
+/// Shared entries qualify wherever their payload does (protocol crates log
+/// `Arc`-shared records so appending and transferring cost pointer bumps).
+impl<P: StoredEntry> StoredEntry for Arc<P> {
+    fn round(&self) -> Round {
+        self.as_ref().round()
+    }
+
+    fn wire_size(&self) -> usize {
+        self.as_ref().wire_size()
+    }
+}
+
+/// An append-only, checkpoint-truncatable log of per-round entries.
+#[derive(Clone, Debug)]
+pub struct RoundLog<P> {
+    entries: BTreeMap<u64, P>,
+    /// Rounds at or below this are covered by a checkpoint and no longer accepted.
+    truncated_through: u64,
+}
+
+impl<P: StoredEntry> RoundLog<P> {
+    /// An empty log.
+    pub fn new() -> Self {
+        RoundLog { entries: BTreeMap::new(), truncated_through: 0 }
+    }
+
+    /// Append the entry for its round. Returns the number of bytes persisted, or
+    /// `None` when the append is rejected: the round is already present (an append
+    /// is immutable) or already covered by a checkpoint (stale).
+    pub fn append(&mut self, entry: P) -> Option<usize> {
+        let round = entry.round().0;
+        if round <= self.truncated_through || self.entries.contains_key(&round) {
+            return None;
+        }
+        let bytes = entry.wire_size();
+        self.entries.insert(round, entry);
+        Some(bytes)
+    }
+
+    /// Drop every entry with round ≤ `through` (a checkpoint now covers them).
+    /// Returns how many entries were removed.
+    pub fn truncate_through(&mut self, through: Round) -> usize {
+        self.truncated_through = self.truncated_through.max(through.0);
+        let keep = self.entries.split_off(&(through.0 + 1));
+        let removed = self.entries.len();
+        self.entries = keep;
+        removed
+    }
+
+    /// The entries with round > `after`, in ascending round order (the catch-up
+    /// "log suffix").
+    pub fn suffix(&self, after: Round) -> Vec<P> {
+        self.entries.range(after.0 + 1..).map(|(_, e)| e.clone()).collect()
+    }
+
+    /// The entry for `round`, if present.
+    pub fn get(&self, round: Round) -> Option<&P> {
+        self.entries.get(&round.0)
+    }
+
+    /// Number of entries currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the log holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The lowest and highest rounds currently held.
+    pub fn bounds(&self) -> Option<(Round, Round)> {
+        let first = self.entries.keys().next()?;
+        let last = self.entries.keys().next_back()?;
+        Some((Round(*first), Round(*last)))
+    }
+
+    /// The highest round covered by a truncating checkpoint (0 = none).
+    pub fn truncated_through(&self) -> Round {
+        Round(self.truncated_through)
+    }
+}
+
+impl<P: StoredEntry> Default for RoundLog<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct Entry(u64, usize);
+
+    impl StoredEntry for Entry {
+        fn round(&self) -> Round {
+            Round(self.0)
+        }
+        fn wire_size(&self) -> usize {
+            self.1
+        }
+    }
+
+    #[test]
+    fn append_is_immutable_per_round() {
+        let mut log = RoundLog::new();
+        assert_eq!(log.append(Entry(1, 100)), Some(100));
+        assert_eq!(log.append(Entry(1, 999)), None, "a round appends once");
+        assert_eq!(log.get(Round(1)), Some(&Entry(1, 100)));
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn truncation_at_checkpoint_boundary_drops_covered_rounds_only() {
+        let mut log = RoundLog::new();
+        for r in 1..=10 {
+            log.append(Entry(r, 10));
+        }
+        assert_eq!(log.truncate_through(Round(8)), 8);
+        assert_eq!(log.bounds(), Some((Round(9), Round(10))));
+        // Entries at or below the checkpoint are stale and no longer accepted.
+        assert_eq!(log.append(Entry(8, 10)), None);
+        assert_eq!(log.append(Entry(3, 10)), None);
+        assert_eq!(log.append(Entry(11, 10)), Some(10));
+        assert_eq!(log.truncated_through(), Round(8));
+    }
+
+    #[test]
+    fn suffix_returns_rounds_after_the_cut_in_order() {
+        let mut log = RoundLog::new();
+        for r in [5u64, 3, 9, 7] {
+            log.append(Entry(r, 1));
+        }
+        let suffix = log.suffix(Round(5));
+        assert_eq!(suffix, vec![Entry(7, 1), Entry(9, 1)]);
+        assert!(log.suffix(Round(9)).is_empty());
+        assert_eq!(log.suffix(Round(0)).len(), 4);
+    }
+
+    #[test]
+    fn truncating_an_empty_range_is_a_no_op() {
+        let mut log: RoundLog<Entry> = RoundLog::new();
+        assert_eq!(log.truncate_through(Round(5)), 0);
+        assert!(log.is_empty());
+        assert_eq!(log.bounds(), None);
+    }
+}

@@ -105,6 +105,37 @@ pub enum Output {
         /// The replica reporting the change.
         replica: ReplicaId,
     },
+    /// A crashed replica restarted with only its persisted store and began
+    /// catching up.
+    ReplicaRestarted {
+        /// The restarting replica.
+        replica: ReplicaId,
+        /// Its cluster.
+        cluster: ClusterId,
+        /// The round its durable store recovered to (checkpoint + local log
+        /// replay); catch-up must cover everything after this.
+        recovered_round: Round,
+        /// Rounds replayed from the local round log during local recovery.
+        log_rounds_replayed: u64,
+        /// When the restart happened.
+        at: Time,
+    },
+    /// A restarted (or stateless) replica finished state-transfer catch-up and
+    /// rejoined ordering.
+    RecoveryCompleted {
+        /// The recovered replica.
+        replica: ReplicaId,
+        /// Its cluster.
+        cluster: ClusterId,
+        /// The round it rejoined at (current round of the cluster).
+        round: Round,
+        /// Rounds obtained from peers (checkpoint gap + transferred log suffix).
+        rounds_transferred: u64,
+        /// Bytes of checkpoint + log-suffix payload adopted from peers.
+        bytes_transferred: u64,
+        /// When catch-up completed.
+        at: Time,
+    },
     /// Free-form named measurement (used by benches for auxiliary series).
     Custom {
         /// Metric name.
@@ -125,6 +156,8 @@ impl Output {
             Output::RoundExecuted { at, .. }
             | Output::ReconfigApplied { at, .. }
             | Output::LeaderChanged { at, .. }
+            | Output::ReplicaRestarted { at, .. }
+            | Output::RecoveryCompleted { at, .. }
             | Output::Custom { at, .. } => *at,
         }
     }

@@ -17,5 +17,6 @@ pub use ava_hamava as hamava;
 pub use ava_hotstuff as hotstuff;
 pub use ava_scenario as scenario;
 pub use ava_simnet as simnet;
+pub use ava_store as store;
 pub use ava_types as types;
 pub use ava_workload as workload;

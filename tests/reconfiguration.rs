@@ -16,6 +16,7 @@ fn quick_opts(seed: u64) -> DeploymentOptions {
         workload: WorkloadSpec { key_space: 1_000, ..WorkloadSpec::default() },
         clients_per_cluster: 1,
         client_concurrency: 48,
+        store: None,
     }
 }
 

@@ -1,0 +1,133 @@
+//! Crash → restart → catch-up integration tests: the `ava-store` round log +
+//! checkpoint subsystem, the `Restart` scenario event, and the `RecoveryObserver`
+//! probe working together.
+
+use hamava_repro::scenario::{
+    Protocol, RecoveryObserver, Scenario, ScenarioBuilder, ThroughputObserver,
+};
+use hamava_repro::store::StoreConfig;
+use hamava_repro::types::{Duration, Output, Region, SystemConfig, Time};
+use hamava_repro::workload::WorkloadSpec;
+
+fn config() -> SystemConfig {
+    let mut config = SystemConfig::homogeneous_regions(&[(7, Region::UsWest), (7, Region::Europe)]);
+    config.params.batch_size = 20;
+    config.params.remote_leader_timeout = Duration::from_secs(4);
+    config.params.brd_timeout = Duration::from_secs(4);
+    config.params.local_timeout = Duration::from_secs(4);
+    config
+}
+
+/// E4.1-style shape with recovery: crash f non-leader replicas per cluster at 4 s,
+/// restart them at `restart_secs`.
+fn crash_restart_scenario(restart_secs: u64, run_secs: u64) -> ScenarioBuilder {
+    let config = config();
+    let crash_at = Time::from_secs(4);
+    let restart_at = Time::from_secs(restart_secs);
+    let mut builder = Scenario::builder(Protocol::AvaHotStuff, config.clone())
+        .seed(11)
+        .workload(WorkloadSpec { key_space: 1_000, ..WorkloadSpec::default() })
+        .store(StoreConfig::every(4))
+        .run_for(Duration::from_secs(run_secs));
+    for cluster in &config.clusters {
+        let f = (cluster.replicas.len() - 1) / 3;
+        for (id, _) in cluster.replicas.iter().skip(1).take(f) {
+            builder = builder.crash_at(crash_at, *id).restart_at(restart_at, *id);
+        }
+    }
+    builder
+}
+
+#[test]
+fn restarted_replicas_catch_up_via_checkpoint_and_log_suffix() {
+    let mut recovery = RecoveryObserver::new();
+    let run = crash_restart_scenario(8, 24).build().run_observed(&mut [&mut recovery]);
+
+    // Four replicas (f=2 per cluster, two clusters) restarted and every one of
+    // them completed its catch-up well before the run ended.
+    assert_eq!(recovery.traces().len(), 4, "all four crashed replicas must restart");
+    assert!(recovery.all_caught_up(), "every restarted replica must catch up: {recovery:?}");
+    let ttc = recovery.max_time_to_caught_up().expect("all caught up");
+    assert!(ttc < Duration::from_secs(8), "catch-up should finish within seconds, took {ttc}");
+    // The crash window spans several rounds, so real state must have moved: a
+    // checkpoint and/or log suffix was transferred, not just an empty handshake.
+    assert!(recovery.total_rounds_transferred() > 0, "recovery must transfer rounds");
+    assert!(recovery.total_bytes_transferred() > 0, "recovery must transfer bytes");
+    // The restarted replicas rejoin ordering: they report executed rounds after
+    // their catch-up round.
+    for (replica, trace) in recovery.traces() {
+        let caught_up = trace.caught_up_round.expect("caught up");
+        assert!(
+            run.outputs.iter().any(|o| matches!(o, Output::RoundExecuted { replica: r, round, .. }
+                if r == replica && *round >= caught_up)),
+            "{replica} must execute rounds after rejoining at {caught_up}"
+        );
+    }
+}
+
+#[test]
+fn throughput_recovers_after_restart() {
+    // Acceptance gate for the crash path: with crashed replicas restarted and
+    // caught up, end-of-run throughput must recover to ≥ 80% of the pre-crash
+    // rate (quick scale).
+    let mut throughput = ThroughputObserver::new(Duration::from_secs(2));
+    let mut recovery = RecoveryObserver::new();
+    crash_restart_scenario(8, 24).build().run_observed(&mut [&mut throughput, &mut recovery]);
+    assert!(recovery.all_caught_up());
+
+    let series = throughput.series();
+    // Pre-crash rate: the 2–4 s bucket (warm, before the 4 s crash). Post-recovery
+    // rate: the best of the last three buckets (recovery ramp).
+    let rate_at = |t: f64| {
+        series
+            .iter()
+            .find(|(bucket_end, _)| (*bucket_end - t).abs() < 1e-9)
+            .map(|(_, tps)| *tps)
+            .unwrap_or(0.0)
+    };
+    let pre_crash = rate_at(4.0);
+    let post_recovery = series.iter().rev().take(3).map(|(_, tps)| *tps).fold(0.0f64, f64::max);
+    assert!(pre_crash > 0.0, "pre-crash throughput must be nonzero");
+    assert!(
+        post_recovery >= 0.8 * pre_crash,
+        "post-recovery throughput {post_recovery:.1} must reach 80% of pre-crash {pre_crash:.1}; \
+         series: {series:?}"
+    );
+}
+
+#[test]
+fn storeless_deployments_still_recover_via_synthesized_checkpoints() {
+    // Without a store, peers synthesize a current-state checkpoint; the restarted
+    // replica adopts it once f+1 digests match (rounds move in lockstep).
+    let config = config();
+    let mut recovery = RecoveryObserver::new();
+    Scenario::builder(Protocol::AvaBftSmart, config)
+        .seed(5)
+        .workload(WorkloadSpec { key_space: 1_000, ..WorkloadSpec::default() })
+        .run_for(Duration::from_secs(20))
+        .crash_at(Time::from_secs(4), hamava_repro::types::ReplicaId(1))
+        .restart_at(Time::from_secs(8), hamava_repro::types::ReplicaId(1))
+        .build()
+        .run_observed(&mut [&mut recovery]);
+    assert_eq!(recovery.traces().len(), 1);
+    assert!(recovery.all_caught_up(), "storeless catch-up must still complete: {recovery:?}");
+}
+
+#[test]
+#[should_panic(expected = "no earlier Crash")]
+fn restart_without_crash_is_rejected_at_build_time() {
+    let _ = Scenario::builder(Protocol::AvaHotStuff, config())
+        .run_for(Duration::from_secs(10))
+        .restart_at(Time::from_secs(5), hamava_repro::types::ReplicaId(1))
+        .build();
+}
+
+#[test]
+#[should_panic(expected = "no earlier Crash")]
+fn restart_before_its_crash_is_rejected_at_build_time() {
+    let _ = Scenario::builder(Protocol::AvaHotStuff, config())
+        .run_for(Duration::from_secs(10))
+        .crash_at(Time::from_secs(6), hamava_repro::types::ReplicaId(1))
+        .restart_at(Time::from_secs(4), hamava_repro::types::ReplicaId(1))
+        .build();
+}

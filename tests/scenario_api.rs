@@ -18,6 +18,7 @@ fn quick_opts() -> DeploymentOptions {
         workload: WorkloadSpec { key_space: 500, ..WorkloadSpec::default() },
         clients_per_cluster: 1,
         client_concurrency: 32,
+        store: None,
     }
 }
 
@@ -30,11 +31,12 @@ fn small_config() -> SystemConfig {
     config
 }
 
-/// A fixed `(time, event)` multiset covering every event category: fault, churn,
-/// client management, and network shaping.
+/// A fixed `(time, event)` multiset covering every event category: fault,
+/// recovery, churn, client management, and network shaping.
 fn event_multiset() -> Vec<(Time, ScenarioEvent)> {
     vec![
         (Time::from_secs(3), ScenarioEvent::Crash { replica: ReplicaId(1) }),
+        (Time::from_secs(6), ScenarioEvent::Restart { replica: ReplicaId(1) }),
         (Time::from_secs(3), ScenarioEvent::Join { cluster: ClusterId(0), region: Region::UsWest }),
         (Time::from_secs(3), ScenarioEvent::Leave { replica: ReplicaId(6) }),
         (Time::from_secs(5), ScenarioEvent::Partition { a: ClusterId(0), b: ClusterId(1) }),
@@ -61,6 +63,7 @@ fn run_with_insertion_order(order: &[usize]) -> Vec<Output> {
     let events = event_multiset();
     let mut builder: ScenarioBuilder = Scenario::builder(Protocol::AvaHotStuff, small_config())
         .options(quick_opts())
+        .store(hamava_repro::store::StoreConfig::every(4))
         .run_for(Duration::from_secs(12));
     for &i in order {
         let (at, ev) = events[i].clone();
@@ -71,7 +74,7 @@ fn run_with_insertion_order(order: &[usize]) -> Vec<Output> {
 
 fn canonical_outputs() -> &'static [Output] {
     static CANONICAL: std::sync::OnceLock<Vec<Output>> = std::sync::OnceLock::new();
-    CANONICAL.get_or_init(|| run_with_insertion_order(&[0, 1, 2, 3, 4, 5, 6, 7]))
+    CANONICAL.get_or_init(|| run_with_insertion_order(&[0, 1, 2, 3, 4, 5, 6, 7, 8]))
 }
 
 proptest! {
@@ -107,6 +110,16 @@ fn the_canonical_scenario_made_progress_through_every_event_kind() {
     assert!(
         outputs.iter().any(|o| matches!(o, Output::ReconfigApplied { joined: true, .. })),
         "the scheduled join must be applied"
+    );
+    assert!(
+        outputs.iter().any(|o| matches!(o, Output::ReplicaRestarted { replica, .. }
+            if *replica == ReplicaId(1))),
+        "the scheduled restart must fire"
+    );
+    assert!(
+        outputs.iter().any(|o| matches!(o, Output::RecoveryCompleted { replica, .. }
+            if *replica == ReplicaId(1))),
+        "the restarted replica must catch up"
     );
 }
 
