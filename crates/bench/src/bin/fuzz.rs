@@ -1,0 +1,172 @@
+//! VOPR-style scenario fuzzer CLI — generates seed-driven random schedules, runs
+//! them with the always-on invariant checkers, and on failure confirms
+//! reproducibility, shrinks the schedule to a 1-minimal core and prints a
+//! compilable `ScenarioBuilder` reproducer.
+//!
+//! ```text
+//! fuzz [--seeds N] [--start-seed S] [--quick|--full] [--seed X]
+//!      [--canaries] [--no-shrink] [--json FILE]
+//! ```
+//!
+//! * `--seeds N` (default 25): run seeds `S..S+N` (`S` from `--start-seed`,
+//!   default 0).
+//! * `--quick` (default): the CI smoke profile — short runs, small topologies.
+//!   `--full`: the overnight profile.
+//! * `--seed X`: run exactly one seed (prints its schedule digest and snippet —
+//!   the reproduction entry point for a seed reported by CI).
+//! * `--canaries`: run the canary suite instead of fuzzing — every deliberate
+//!   bug injection must be detected by its expected checker.
+//! * `--json FILE`: also write the machine-readable summary to `FILE`
+//!   (always printed to stdout).
+//!
+//! Exit code: 0 iff every seed passed (or every canary was detected).
+
+use ava_fuzz::{canary_suite, fuzz_many, run_case, shrink_with, FuzzConfig, ScheduleGenerator};
+
+fn main() {
+    let mut seeds = 25u64;
+    let mut start_seed = 0u64;
+    let mut full = false;
+    let mut one_seed: Option<u64> = None;
+    let mut canaries = false;
+    let mut shrink = true;
+    let mut json_path: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seeds" => seeds = next_value(&mut args, "--seeds").parse().expect("--seeds N"),
+            "--start-seed" => {
+                start_seed = next_value(&mut args, "--start-seed").parse().expect("--start-seed S")
+            }
+            "--quick" => full = false,
+            "--full" => full = true,
+            "--seed" => one_seed = Some(next_value(&mut args, "--seed").parse().expect("--seed X")),
+            "--canaries" => canaries = true,
+            "--no-shrink" => shrink = false,
+            "--json" => json_path = Some(next_value(&mut args, "--json")),
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if canaries {
+        run_canaries();
+        return;
+    }
+
+    let cfg = if full { FuzzConfig::full() } else { FuzzConfig::quick() };
+    let mode = if full { "full" } else { "quick" };
+    let (start, count) = match one_seed {
+        Some(seed) => (seed, 1),
+        None => (start_seed, seeds),
+    };
+    eprintln!("fuzz: mode={mode} seeds={start}..{}", start + count);
+
+    let summary = fuzz_many(cfg.clone(), start, count, |report| {
+        let verdict = if report.passed() { "ok" } else { "FAIL" };
+        eprintln!(
+            "  seed {:>6} {:<7} {:>2} events {:>6} txns  {}  {}",
+            report.seed,
+            report.protocol,
+            report.events,
+            report.completed_txns,
+            &report.schedule_digest[..12],
+            verdict
+        );
+        for v in &report.violations {
+            eprintln!("    {v}");
+        }
+    });
+
+    for &seed in &summary.failing_seeds() {
+        report_failure(&cfg, seed, shrink);
+    }
+
+    let json = summary.to_json(mode);
+    print!("{json}");
+    if let Some(path) = json_path.take() {
+        std::fs::write(&path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    }
+    if !summary.all_passed() {
+        std::process::exit(1);
+    }
+}
+
+/// On failure: re-run the seed to confirm the violation reproduces byte-for-byte
+/// (same output digest, same first violation), then shrink and print the minimal
+/// reproducer snippet.
+fn report_failure(cfg: &FuzzConfig, seed: u64, shrink: bool) {
+    let generator = ScheduleGenerator::new(cfg.clone());
+    let case = generator.case(seed);
+    let first = run_case(&case);
+    let second = run_case(&case);
+    let reproducible =
+        first.output_digest == second.output_digest && first.violations == second.violations;
+    eprintln!(
+        "\nseed {seed}: {} violation(s); reproducible: {reproducible}",
+        first.violations.len()
+    );
+    eprintln!("  schedule digest: {}", first.schedule_digest);
+    eprintln!("  output digest:   {}", first.output_digest);
+    if !shrink {
+        return;
+    }
+    let outcome =
+        shrink_with(&case, &mut |candidate| run_case(candidate).violations.into_iter().next());
+    if let Some(violation) = &outcome.violation {
+        eprintln!(
+            "  shrunk: {} -> {} events ({} judge runs); still violating: {violation}",
+            case.schedule.len(),
+            outcome.case.schedule.len(),
+            outcome.attempts
+        );
+        eprintln!("  minimal reproducer:\n{}", indent(&outcome.case.builder_snippet(), 4));
+    }
+}
+
+fn run_canaries() {
+    let (clean, results) = canary_suite();
+    let mut healthy = clean.is_empty();
+    if !clean.is_empty() {
+        eprintln!("canary fixture is not clean ({} violations):", clean.len());
+        for v in &clean {
+            eprintln!("  {v}");
+        }
+    }
+    for r in &results {
+        let verdict = if r.detected() { "detected" } else { "MISSED" };
+        healthy &= r.detected();
+        eprintln!(
+            "  {:<28} expected {:<22} fired [{}]  {}",
+            r.canary.label(),
+            r.canary.expected_checker(),
+            r.detected_by.join(", "),
+            verdict
+        );
+    }
+    let detected = results.iter().filter(|r| r.detected()).count();
+    println!(
+        "{{\"canaries\": {}, \"detected\": {}, \"fixture_clean\": {}}}",
+        results.len(),
+        detected,
+        clean.is_empty()
+    );
+    if !healthy {
+        std::process::exit(1);
+    }
+}
+
+fn indent(text: &str, by: usize) -> String {
+    let pad = " ".repeat(by);
+    text.lines().map(|l| format!("{pad}{l}")).collect::<Vec<_>>().join("\n")
+}
+
+fn next_value(args: &mut impl Iterator<Item = String>, flag: &str) -> String {
+    args.next().unwrap_or_else(|| {
+        eprintln!("{flag} needs a value");
+        std::process::exit(2);
+    })
+}

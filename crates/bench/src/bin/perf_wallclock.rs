@@ -1,6 +1,6 @@
 //! Wall-clock perf harness CLI — times the end-to-end `figure_benches` shapes
 //! (E0/E1/E3 pipelines + GeoBFT baseline + the store-enabled E10 shapes) and emits
-//! `BENCH_PR5.json`.
+//! `BENCH_PR6.json`.
 //!
 //! ```text
 //! perf_wallclock [--quick|--full] [--iters N] [--out FILE] \
@@ -31,7 +31,7 @@ use std::collections::BTreeMap;
 fn main() {
     let mut full = false;
     let mut iters = 3u32;
-    let mut out = String::from("BENCH_PR5.json");
+    let mut out = String::from("BENCH_PR6.json");
     let mut baseline_path: Option<String> = None;
     let mut tsv_path: Option<String> = None;
     let mut check_path: Option<String> = None;

@@ -171,7 +171,7 @@ pub fn peak_rss_kb() -> Option<u64> {
     line.split_whitespace().nth(1)?.parse().ok()
 }
 
-/// Serialize records (with optional per-shape baselines) into the `BENCH_PR5.json`
+/// Serialize records (with optional per-shape baselines) into the `BENCH_PR6.json`
 /// document. `baseline` maps shape name to the pre-refactor wall-clock milliseconds.
 pub fn render_json(
     mode: &str,

@@ -72,6 +72,7 @@ impl WireSize for BftSmartMsg {
             BftSmartMsg::Forward(op) => match op {
                 Operation::Trans(t) => t.payload_size as usize + 48,
                 Operation::ReconfigSet { recs, .. } => recs.len() * 64 + 56,
+                Operation::RoundCut { .. } => 32,
             },
             BftSmartMsg::PrePrepare { block, .. } => block.wire_size(),
             BftSmartMsg::Prepare { .. } | BftSmartMsg::Commit { .. } => 120,

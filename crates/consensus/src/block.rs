@@ -54,9 +54,10 @@ impl Block {
         *self.digest_cache.get_or_init(|| Digest::of(self))
     }
 
-    /// Number of transactions (non-reconfiguration operations) in the block.
+    /// Number of transactions in the block (control operations — reconfiguration
+    /// sets, round-cut markers — are not counted).
     pub fn tx_count(&self) -> usize {
-        self.ops.iter().filter(|o| !o.is_reconfig()).count()
+        self.ops.iter().filter(|o| matches!(o, Operation::Trans(_))).count()
     }
 
     /// Approximate wire size of the block in bytes. Computed once and memoised.
@@ -68,6 +69,7 @@ impl Block {
                 .map(|o| match o {
                     Operation::Trans(t) => t.payload_size as usize + 32,
                     Operation::ReconfigSet { recs, .. } => recs.len() * 64 + 40,
+                    Operation::RoundCut { .. } => 16,
                 })
                 .sum::<usize>()
         })

@@ -1,0 +1,37 @@
+//! `ava-fuzz`: a VOPR-style scenario fuzzer for the Hamava simulation.
+//!
+//! The pieces, in the order a fuzz run uses them:
+//!
+//! 1. **[`ScheduleGenerator`]** derives a complete [`FuzzCase`] — protocol,
+//!    topology, deployment options, event schedule — deterministically from a
+//!    single `u64` seed. Same seed ⇒ byte-identical case ⇒ identical run, so a
+//!    failing seed printed in a CI log reproduces the failure from nothing else.
+//! 2. **[`CheckerSet`]** wires the always-on invariant checkers into the run as
+//!    a scenario `RunObserver`: cross-replica agreement on executed rounds, the
+//!    prefix property, checkpoint-chain integrity, same-round reconfig-set
+//!    agreement, and catch-up liveness.
+//! 3. **[`run_case`]** executes a case and reports violations plus schedule and
+//!    output fingerprints.
+//! 4. **[`shrink_with`]** reduces a violating schedule to a 1-minimal core and
+//!    [`FuzzCase::builder_snippet`] renders it as a compilable reproducer.
+//! 5. **[`canary_suite`]** proves the harness can fail: each [`Canary`] plants
+//!    a specific bug in a recorded output stream, and the matching checker must
+//!    detect it.
+//!
+//! The `fuzz` binary in `ava-bench` drives all of this from the command line
+//! (`cargo run --release --bin fuzz -- --seeds 100 --quick`).
+
+pub mod canary;
+pub mod checkers;
+pub mod generate;
+pub mod runner;
+pub mod shrink;
+
+pub use canary::{canary_suite, fixture_scenario, Canary, CanaryResult};
+pub use checkers::{
+    CatchUpChecker, CheckerSet, CheckpointChecker, ExecutionAgreementChecker, InvariantChecker,
+    PrefixChecker, ReconfigAgreementChecker, Violation,
+};
+pub use generate::{FuzzCase, FuzzConfig, ScheduleGenerator};
+pub use runner::{fingerprint_outputs, fuzz_many, run_case, CampaignSummary, CaseReport};
+pub use shrink::{shrink_with, ShrinkOutcome};

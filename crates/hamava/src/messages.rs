@@ -85,6 +85,41 @@ impl RoundPackage {
         blocks_ok && recs_ok
     }
 
+    /// Verify against the verifier's current membership view, falling back **per
+    /// component** to the immediately-previous view (`prev`). Around a
+    /// reconfiguration boundary a round's package legitimately mixes epochs:
+    /// its head blocks were certified by the outgoing membership (they
+    /// committed before the boundary and stranded past the previous round's
+    /// cut), while its tail blocks and its BRD delivery certificate are signed
+    /// by the new one — so an all-or-nothing check against either single view
+    /// rejects a perfectly valid package.
+    pub fn verify_either(
+        &self,
+        registry: &KeyRegistry,
+        current: &Membership,
+        prev: &Membership,
+    ) -> bool {
+        let cur_members = current.member_ids(self.cluster);
+        let cur_quorum = current.quorum(self.cluster);
+        let prev_members = prev.member_ids(self.cluster);
+        let prev_quorum = prev.quorum(self.cluster);
+        if cur_members.is_empty() && prev_members.is_empty() {
+            return false;
+        }
+        let blocks_ok = self.blocks.iter().all(|b| {
+            (!cur_members.is_empty() && b.verify(registry, &cur_members, cur_quorum))
+                || (!prev_members.is_empty() && b.verify(registry, &prev_members, prev_quorum))
+        });
+        let recs_ok = match &self.recs_cert {
+            Some(cert) => {
+                cert.verify_delivery(registry, &self.recs, &cur_members, cur_quorum)
+                    || cert.verify_delivery(registry, &self.recs, &prev_members, prev_quorum)
+            }
+            None => self.recs.is_empty(),
+        };
+        blocks_ok && recs_ok
+    }
+
     /// Number of transactions carried by the package.
     pub fn tx_count(&self) -> usize {
         self.blocks.iter().map(|b| b.block.tx_count()).sum()
@@ -146,6 +181,25 @@ impl RoundRecord {
             .map(|b| b.cert.signature_count() as u64)
             .sum();
         (self.packages.iter().all(|p| p.verify(registry, membership)), sigs)
+    }
+
+    /// Like [`RoundRecord::verify`] but with the per-component previous-view
+    /// fallback of [`RoundPackage::verify_either`] — records written at a
+    /// reconfiguration boundary carry the same mixed-epoch packages live
+    /// verifiers see.
+    pub fn verify_either(
+        &self,
+        registry: &KeyRegistry,
+        current: &Membership,
+        prev: &Membership,
+    ) -> (bool, u64) {
+        let sigs = self
+            .packages
+            .iter()
+            .flat_map(|p| p.blocks.iter())
+            .map(|b| b.cert.signature_count() as u64)
+            .sum();
+        (self.packages.iter().all(|p| p.verify_either(registry, current, prev)), sigs)
     }
 }
 
@@ -233,6 +287,10 @@ pub enum AvaMsg<TM> {
         round: Round,
         /// The sender's current leader timestamp for the cluster.
         leader_ts: u64,
+        /// The first local-log height not yet packed into an executed round —
+        /// where the joiner must anchor its own block-stream consumption so its
+        /// round packages match the cluster's (see `Checkpoint::next_height`).
+        next_height: u64,
     },
     /// Catch-up: a restarted (or lagging) replica asks a cluster peer for the
     /// state it missed while down.

@@ -58,6 +58,11 @@ struct RoundState {
     sent_recs: bool,
     /// Whether Stage 1 is complete at this replica.
     stage1_done: bool,
+    /// A committed `RoundCut` marker for this round asked to close the batch.
+    cut_requested: bool,
+    /// Whether this replica (as leader) already ordered a `RoundCut` marker for
+    /// this round.
+    sent_cut_marker: bool,
     /// Whether this replica (as leader) already ran the inter-cluster broadcast.
     inter_broadcast_done: bool,
     /// Packages received per cluster (the paper's `operations_j`), Arc-shared with
@@ -179,6 +184,13 @@ pub struct Replica<T: TotalOrderBroadcast> {
     registry: KeyRegistry,
     status: ReplicaStatus,
     membership: Membership,
+    /// Membership as it stood immediately before the most recent reconfiguration
+    /// (equal to `membership` until one applies). Blocks committed by the TOB
+    /// just before a reconfiguration boundary legitimately strand past the cut
+    /// and pack into the *next* round (see `consume_ready_blocks`), so a round's
+    /// package can carry certificates signed by the previous membership — remote
+    /// verification accepts either view (see `verify_package`).
+    prev_membership: Membership,
     round: Round,
     round_state: RoundState,
     tob: T,
@@ -195,6 +207,25 @@ pub struct Replica<T: TotalOrderBroadcast> {
     pending_clients: HashMap<TxId, (ReplicaId, ClientId)>,
     /// The replicated key-value state (key → write counter).
     kv: BTreeMap<u64, u64>,
+    /// Blocks delivered by the local TOB but not yet packed into a round, keyed
+    /// by height. Rounds consume this queue in contiguous height order (see
+    /// `consume_ready_blocks`), so the block→round partition is a pure function
+    /// of the cluster's totally-ordered block stream rather than of each
+    /// replica's delivery timing.
+    pending_blocks: BTreeMap<u64, CommittedBlock>,
+    /// The next local-log height to pack into a round. Blocks below it are
+    /// already covered (executed locally, or applied via checkpoint / record
+    /// transfer) and are dropped on delivery; a delivered height above it parks
+    /// in `pending_blocks` until the gap fills (or a catch-up moves the anchor
+    /// past it). Recovery paths re-anchor this from `Checkpoint::next_height`,
+    /// transferred round records, or `CurrState`.
+    next_local_height: u64,
+    /// `next_local_height` as of the current round's start — the height boundary
+    /// after the last *executed* round. A storeless catch-up reply synthesizes a
+    /// checkpoint of executed state and must report this boundary (not the live
+    /// anchor, which may already include blocks packed into the in-flight
+    /// round), or same-round senders' synthesized digests would split.
+    round_base_height: u64,
     /// Package of the previous round (re-sent by a new leader, Alg. 8 line 17).
     prev_package: Option<Arc<RoundPackage>>,
     /// Packages that arrived for future rounds (a remote cluster can be one round
@@ -260,6 +291,7 @@ impl<T: TotalOrderBroadcast> Replica<T> {
         };
         let mut replica = Replica {
             membership: cfg.membership.clone(),
+            prev_membership: cfg.membership.clone(),
             cfg,
             keypair,
             registry,
@@ -276,6 +308,9 @@ impl<T: TotalOrderBroadcast> Replica<T> {
             join_regions: HashMap::new(),
             pending_clients: HashMap::new(),
             kv: BTreeMap::new(),
+            pending_blocks: BTreeMap::new(),
+            next_local_height: 0,
+            round_base_height: 0,
             prev_package: None,
             future_packages: Vec::new(),
             ordered_reconfig_sets: BTreeMap::new(),
@@ -474,12 +509,83 @@ impl<T: TotalOrderBroadcast> Replica<T> {
 
     // ---- stage 1: local ordering + reconfiguration ------------------------------
 
+    /// A block committed by the local TOB. Delivery order is per-replica timing;
+    /// the round partition must not be. So blocks are parked in `pending_blocks`
+    /// and packed strictly in local-log height order from `next_local_height`,
+    /// making each round's `operations_i` a deterministic function of the
+    /// cluster's block stream — identical at every correct replica regardless of
+    /// when (or in what burst, e.g. a post-recovery replay) deliveries land.
     fn on_local_block(&mut self, block: CommittedBlock, ctx: &mut Context<'_, AvaMsg<T::Msg>>) {
-        // Reconfiguration sets ordered through the TOB (single-workflow mode).
+        // Single-workflow mode: a committed reconfiguration set is final the
+        // moment the TOB orders it, independent of which round its carrying
+        // block packs into. The set is broadcast near the batch tail, so its
+        // block routinely commits *after* the cut — with the batch closed it
+        // can no longer pack, and stage 1 would deadlock waiting on a set it
+        // will never see. Harvest at delivery; the block itself still packs
+        // normally (into the next round if it landed past the cut).
+        if !self.cfg.params.parallel_reconfig_workflow {
+            for op in &block.block.ops {
+                if let Operation::ReconfigSet { round, recs } = op {
+                    if *round >= self.round {
+                        self.ordered_reconfig_sets.entry(*round).or_insert_with(|| recs.clone());
+                    }
+                }
+            }
+        }
+        self.pending_blocks.entry(block.block.height).or_insert(block);
+        self.consume_ready_blocks(ctx);
+        if !self.cfg.params.parallel_reconfig_workflow
+            && matches!(self.status, ReplicaStatus::Active)
+        {
+            self.adopt_ordered_reconfig_set();
+            self.check_stage1(ctx);
+        }
+    }
+
+    /// Pack queued blocks into the current round while the next contiguous
+    /// height is available and the round is still collecting (stage 1 open).
+    /// Heights below the anchor were already covered by an executed round, a
+    /// checkpoint, or transferred records — drop them. A height above the anchor
+    /// is a gap: stall until the missing delivery arrives or a straggler
+    /// catch-up moves the anchor past it.
+    fn consume_ready_blocks(&mut self, ctx: &mut Context<'_, AvaMsg<T::Msg>>) {
+        while matches!(self.status, ReplicaStatus::Active)
+            && !self.round_state.stage1_done
+            && !self.batch_closed()
+        {
+            let Some((&height, _)) = self.pending_blocks.first_key_value() else {
+                return;
+            };
+            if height > self.next_local_height {
+                return;
+            }
+            let block = self.pending_blocks.pop_first().expect("peeked entry").1;
+            if height < self.next_local_height {
+                continue;
+            }
+            self.next_local_height = height + 1;
+            self.pack_block(block, ctx);
+        }
+    }
+
+    fn pack_block(&mut self, block: CommittedBlock, ctx: &mut Context<'_, AvaMsg<T::Msg>>) {
+        // Reconfiguration sets ordered through the TOB (single-workflow mode;
+        // normally already harvested at delivery in `on_local_block`, but
+        // recycled blocks re-enter through the pending queue alone, so this is
+        // the safety net — `or_insert` makes the double harvest idempotent),
+        // and round-cut markers closing the current round's batch. A marker for
+        // any other round raced a batch-full (or earlier-marker) cut and is
+        // stale — the block carrying it still packs into the round normally.
         let mut reconfig_sets = Vec::new();
         for op in &block.block.ops {
-            if let Operation::ReconfigSet { round, recs } = op {
-                reconfig_sets.push((*round, recs.clone()));
+            match op {
+                Operation::ReconfigSet { round, recs } => {
+                    reconfig_sets.push((*round, recs.clone()));
+                }
+                Operation::RoundCut { round } if *round == self.round => {
+                    self.round_state.cut_requested = true;
+                }
+                _ => {}
             }
         }
         self.round_state.tx_count += block.block.tx_count();
@@ -531,15 +637,25 @@ impl<T: TotalOrderBroadcast> Replica<T> {
         }
     }
 
+    /// Whether the current round's batch is closed: no more blocks may pack
+    /// into it. True once the batch filled or a committed `RoundCut` marker cut
+    /// it (see `Operation::RoundCut` — the cut is a point of the block stream,
+    /// never the local clock, so it is identical at every replica). Crucially
+    /// this is decided by the block stream alone: stage 1 may still be waiting
+    /// on the round's BRD reconfiguration set, whose arrival time is
+    /// per-replica, and blocks consumed during that wait must NOT slip into the
+    /// round or peers' packages diverge.
+    fn batch_closed(&self) -> bool {
+        self.round_state.tx_count >= self.cfg.params.batch_size
+            || (self.round_state.cut_requested && self.round_state.tx_count > 0)
+    }
+
     fn check_stage1(&mut self, ctx: &mut Context<'_, AvaMsg<T::Msg>>) {
         if self.round_state.stage1_done {
             return;
         }
         let now = ctx.now();
-        let batch_full = self.round_state.tx_count >= self.cfg.params.batch_size;
-        let waited_long_enough = now.since(self.round_state.started_at) >= self.cfg.stage1_max_wait
-            && self.round_state.tx_count > 0;
-        if !(batch_full || waited_long_enough) {
+        if !self.batch_closed() {
             return;
         }
         if !self.round_state.sent_recs {
@@ -618,6 +734,16 @@ impl<T: TotalOrderBroadcast> Replica<T> {
         }
     }
 
+    /// Verify a remote package against the current membership view, falling back
+    /// to the pre-reconfiguration view: around a reconfiguration boundary a
+    /// round's package carries head blocks that the TOB certified under the
+    /// outgoing membership (they committed before the boundary and stranded past
+    /// the previous round's cut), and rejecting those would wedge stage 2 at
+    /// every replica of the receiving cluster.
+    fn verify_package(&self, package: &RoundPackage) -> bool {
+        package.verify_either(&self.registry, &self.membership, &self.prev_membership)
+    }
+
     fn on_inter(&mut self, package: Arc<RoundPackage>, ctx: &mut Context<'_, AvaMsg<T::Msg>>) {
         if package.round < self.round || package.cluster == self.cfg.cluster {
             return;
@@ -627,7 +753,7 @@ impl<T: TotalOrderBroadcast> Replica<T> {
                 package.blocks.iter().map(|b| b.cert.signature_count() as u64).sum(),
             ),
         );
-        if !package.verify(&self.registry, &self.membership) {
+        if !self.verify_package(&package) {
             return;
         }
         // Alg. 1 line 16: re-broadcast as a Local message within the local cluster,
@@ -656,7 +782,7 @@ impl<T: TotalOrderBroadcast> Replica<T> {
                 package.blocks.iter().map(|b| b.cert.signature_count() as u64).sum(),
             ),
         );
-        if !package.verify(&self.registry, &self.membership) {
+        if !self.verify_package(&package) {
             return;
         }
         self.rlc.mark_received(package.cluster);
@@ -715,6 +841,7 @@ impl<T: TotalOrderBroadcast> Replica<T> {
                         Operation::ReconfigSet { recs, .. } => {
                             all_recs.push((*cluster, recs.clone()));
                         }
+                        Operation::RoundCut { .. } => {}
                     }
                 }
             }
@@ -725,6 +852,12 @@ impl<T: TotalOrderBroadcast> Replica<T> {
         ctx.consume(ctx.costs().per_tx_execute.saturating_mul(executed_txns as u64));
 
         // Then reconfigurations, uniformly, updating membership and thresholds.
+        // Keep the outgoing view around: blocks certified under it are still in
+        // flight (stranded past this round's cut) and will pack into the next
+        // round's package, which remote verifiers must accept.
+        if all_recs.iter().any(|(_, recs)| !recs.is_empty()) {
+            self.prev_membership = self.membership.clone();
+        }
         let mut local_recs: Vec<Reconfig> = Vec::new();
         for (cluster, recs) in &all_recs {
             self.membership.apply_set(*cluster, recs);
@@ -738,6 +871,7 @@ impl<T: TotalOrderBroadcast> Replica<T> {
                     joined: rc.is_join(),
                     round: self.round,
                     at: now,
+                    reporter: self.cfg.me,
                 });
             }
         }
@@ -754,6 +888,7 @@ impl<T: TotalOrderBroadcast> Replica<T> {
                             membership: self.membership.clone(),
                             round: next_round,
                             leader_ts: self.leader_ts.0,
+                            next_height: self.next_local_height,
                         },
                     );
                 }
@@ -823,11 +958,22 @@ impl<T: TotalOrderBroadcast> Replica<T> {
             self.kv.clone(),
             self.membership.clone(),
             self.leader_ts.0,
+            self.next_local_height,
         ));
         let store = self.store.as_mut().expect("checked above");
+        let digest = checkpoint.digest;
+        let round = checkpoint.round;
         let bytes = store.install_checkpoint(checkpoint);
         if bytes > 0 {
             ctx.consume(ctx.costs().persist_cost(bytes));
+            ctx.emit(Output::CheckpointInstalled {
+                replica: self.cfg.me,
+                cluster: self.cfg.cluster,
+                round,
+                digest: digest.0,
+                adopted: false,
+                at: ctx.now(),
+            });
         }
     }
 
@@ -845,6 +991,7 @@ impl<T: TotalOrderBroadcast> Replica<T> {
 
     fn start_round(&mut self, round: Round, ctx: &mut Context<'_, AvaMsg<T::Msg>>) {
         self.round = round;
+        self.round_base_height = self.next_local_height;
         self.round_state = RoundState { started_at: ctx.now(), ..Default::default() };
         if !self.cfg.params.parallel_reconfig_workflow {
             // Drop stale sets and adopt one that committed while the previous round
@@ -880,6 +1027,9 @@ impl<T: TotalOrderBroadcast> Replica<T> {
                 self.apply_brd_actions(actions, ctx);
             }
         }
+        // Blocks delivered after the previous round's cut carried over in
+        // `pending_blocks`; pack the contiguous prefix into this round now.
+        self.consume_ready_blocks(ctx);
     }
 
     // ---- reconfiguration collection (Alg. 3, member side) -----------------------
@@ -922,6 +1072,7 @@ impl<T: TotalOrderBroadcast> Replica<T> {
         membership: Membership,
         round: Round,
         leader_ts: u64,
+        next_height: u64,
         ctx: &mut Context<'_, AvaMsg<T::Msg>>,
     ) {
         let quorum_needed = {
@@ -937,11 +1088,17 @@ impl<T: TotalOrderBroadcast> Replica<T> {
         if !quorum_needed {
             return;
         }
-        // Adopt the state and become an active member starting at `round`.
+        // Adopt the state and become an active member starting at `round`. The
+        // sender's packing anchor comes with it: heights below `next_height` are
+        // already folded into `state`, and the joiner must cut its first rounds
+        // at the same height boundaries as its new peers.
         self.kv = state;
         self.membership = membership;
+        self.prev_membership = self.membership.clone();
         self.round = round;
         self.leader_ts = Timestamp(leader_ts);
+        self.next_local_height = next_height;
+        self.pending_blocks = self.pending_blocks.split_off(&next_height);
         let members = self.my_members();
         self.leader = LeaderElection::leader_for(&members, leader_ts);
         self.election = LeaderElection::new(self.cfg.me, members.clone());
@@ -959,6 +1116,7 @@ impl<T: TotalOrderBroadcast> Replica<T> {
             joined: true,
             round,
             at: ctx.now(),
+            reporter: self.cfg.me,
         });
     }
 
@@ -971,6 +1129,7 @@ impl<T: TotalOrderBroadcast> Replica<T> {
     fn restart(&mut self, ctx: &mut Context<'_, AvaMsg<T::Msg>>) {
         let members = self.cfg.membership.member_ids(self.cfg.cluster);
         self.membership = self.cfg.membership.clone();
+        self.prev_membership = self.cfg.membership.clone();
         self.round = Round(1);
         self.round_state = RoundState { started_at: ctx.now(), ..Default::default() };
         self.tob.reset();
@@ -1006,8 +1165,12 @@ impl<T: TotalOrderBroadcast> Replica<T> {
         self.mute_inter = false;
         self.leave_requested = false;
         self.future_brd.clear();
+        self.pending_blocks.clear();
+        self.next_local_height = 0;
+        self.round_base_height = 0;
 
         let (recovered_round, replayed) = self.recover_from_store();
+        self.round_base_height = self.next_local_height;
         self.round = recovered_round;
 
         ctx.set_timer(self.cfg.tick_interval, TICK);
@@ -1053,8 +1216,10 @@ impl<T: TotalOrderBroadcast> Replica<T> {
         if let Some(cp) = checkpoint {
             self.kv = cp.state.clone();
             self.membership = cp.membership.clone();
+            self.prev_membership = cp.membership.clone();
             self.leader_ts = Timestamp(cp.leader_ts);
             round = cp.round.next();
+            self.next_local_height = cp.next_height;
         }
         let mut replayed = 0u64;
         for record in suffix {
@@ -1062,6 +1227,9 @@ impl<T: TotalOrderBroadcast> Replica<T> {
                 continue;
             }
             Self::apply_record_contents(&record, &mut self.kv, &mut self.membership);
+            if let Some(h) = Self::record_next_height(&record, self.cfg.cluster) {
+                self.next_local_height = self.next_local_height.max(h);
+            }
             round = record.round.next();
             replayed += 1;
         }
@@ -1108,6 +1276,7 @@ impl<T: TotalOrderBroadcast> Replica<T> {
                         BTreeMap::new(),
                         self.cfg.membership.clone(),
                         0,
+                        0,
                     ));
                     let suffix = store.suffix(Round(0));
                     (cp, suffix)
@@ -1120,6 +1289,7 @@ impl<T: TotalOrderBroadcast> Replica<T> {
                     self.kv.clone(),
                     self.membership.clone(),
                     self.leader_ts.0,
+                    self.round_base_height,
                 ));
                 (cp, Vec::new())
             }
@@ -1169,6 +1339,7 @@ impl<T: TotalOrderBroadcast> Replica<T> {
             records: Vec<Arc<RoundRecord>>,
             rounds_transferred: u64,
             bytes_transferred: u64,
+            next_height: u64,
         }
         let adoption = {
             let Some(rec) = &mut self.recovery else {
@@ -1205,8 +1376,20 @@ impl<T: TotalOrderBroadcast> Replica<T> {
                 };
                 let gap_rounds =
                     if use_checkpoint { agreed.round.next().0 - rec.recovered_round.0 } else { 0 };
+                // Re-anchor block packing at the adopted base, then advance it
+                // past every own-cluster block the transferred records cover.
+                // The no-checkpoint base is the boundary after the last round
+                // this replica *executed* (not the live anchor): blocks it had
+                // consumed into its now-abandoned in-flight round are recycled
+                // into `pending_blocks` at commit and re-packed from here.
+                let mut next_height =
+                    if use_checkpoint { agreed.next_height } else { self.round_base_height };
                 let mut records = Vec::new();
                 let mut ok = true;
+                // Trails `membership` by one record: a record's head blocks may
+                // be certified under the view that preceded the previous
+                // record's reconfigurations (see `verify_package`).
+                let mut replay_prev = membership.clone();
                 for record in &offer.suffix {
                     if record.round < next {
                         continue;
@@ -1215,14 +1398,19 @@ impl<T: TotalOrderBroadcast> Replica<T> {
                         ok = false; // gap: this peer cannot cover our range
                         break;
                     }
-                    let (valid, sigs) = record.verify(&self.registry, &membership);
+                    let (valid, sigs) =
+                        record.verify_either(&self.registry, &membership, &replay_prev);
                     sig_cost += sigs;
                     if !valid {
                         rec.rejected_records += 1;
                         ok = false;
                         break;
                     }
+                    replay_prev = membership.clone();
                     Self::apply_record_contents(record, &mut state, &mut membership);
+                    if let Some(h) = Self::record_next_height(record, self.cfg.cluster) {
+                        next_height = next_height.max(h);
+                    }
                     bytes += record.wire_size() as u64;
                     next = record.round.next();
                     records.push(Arc::clone(record));
@@ -1239,6 +1427,7 @@ impl<T: TotalOrderBroadcast> Replica<T> {
                         rounds_transferred: gap_rounds + records.len() as u64,
                         records,
                         bytes_transferred: bytes,
+                        next_height,
                     });
                     break;
                 }
@@ -1255,11 +1444,32 @@ impl<T: TotalOrderBroadcast> Replica<T> {
         // Commit: adopt the transferred state and make it durable in one batch.
         self.kv = adoption.state;
         self.membership = adoption.membership;
+        self.prev_membership = self.membership.clone();
         self.leader_ts = Timestamp(adoption.leader_ts);
+        // Recycle blocks consumed into the abandoned in-flight round — the
+        // transferred records may stop short of them — then re-anchor. Covered
+        // heights fall below the new anchor and are pruned; the rest re-pack
+        // into the resumed round in height order.
+        for block in std::mem::take(&mut self.round_state.blocks) {
+            self.pending_blocks.entry(block.block.height).or_insert(block);
+        }
+        self.next_local_height = self.round_base_height.max(adoption.next_height);
+        self.pending_blocks = self.pending_blocks.split_off(&self.next_local_height);
         let mut persist_bytes = 0usize;
         if let Some(store) = &mut self.store {
             if let Some(cp) = &adoption.checkpoint {
-                persist_bytes += store.install_checkpoint(Arc::clone(cp));
+                let installed = store.install_checkpoint(Arc::clone(cp));
+                if installed > 0 {
+                    ctx.emit(Output::CheckpointInstalled {
+                        replica: self.cfg.me,
+                        cluster: self.cfg.cluster,
+                        round: cp.round,
+                        digest: cp.digest.0,
+                        adopted: true,
+                        at: ctx.now(),
+                    });
+                }
+                persist_bytes += installed;
             }
             for record in &adoption.records {
                 persist_bytes += store.append_round(Arc::clone(record));
@@ -1351,6 +1561,7 @@ impl<T: TotalOrderBroadcast> Replica<T> {
                         Operation::ReconfigSet { recs, .. } => {
                             all_recs.push((package.cluster, recs.clone()));
                         }
+                        Operation::RoundCut { .. } => {}
                     }
                 }
             }
@@ -1361,6 +1572,19 @@ impl<T: TotalOrderBroadcast> Replica<T> {
         for (cluster, recs) in &all_recs {
             membership.apply_set(*cluster, recs);
         }
+    }
+
+    /// The packing anchor implied by a round record for `cluster`'s own log:
+    /// one past the highest own-cluster block height the record packs, or `None`
+    /// when the record carries no own-cluster blocks (its round boundary then
+    /// adds nothing beyond the previous one).
+    fn record_next_height(record: &RoundRecord, cluster: ClusterId) -> Option<u64> {
+        record
+            .packages
+            .iter()
+            .filter(|p| p.cluster == cluster)
+            .flat_map(|p| p.blocks.iter().map(|b| b.block.height + 1))
+            .max()
     }
 
     /// Rejoin local ordering and inter-cluster forwarding at `round` with the
@@ -1485,8 +1709,8 @@ where
                         acks.insert(from);
                     }
                 }
-                AvaMsg::CurrState { state, membership, round, leader_ts } => {
-                    self.on_curr_state(from, state, membership, round, leader_ts, ctx);
+                AvaMsg::CurrState { state, membership, round, leader_ts, next_height } => {
+                    self.on_curr_state(from, state, membership, round, leader_ts, next_height, ctx);
                 }
                 _ => {}
             }
@@ -1557,6 +1781,13 @@ where
                     value: round.0 as f64,
                     at: now,
                 });
+                // Return any blocks consumed into the abandoned in-flight round
+                // to the queue and rewind the anchor to the round boundary, so
+                // the resumed round re-packs them in height order.
+                for block in std::mem::take(&mut self.round_state.blocks) {
+                    self.pending_blocks.entry(block.block.height).or_insert(block);
+                }
+                self.next_local_height = self.round_base_height;
                 self.resume_active(round, ctx);
                 self.dispatch_buffered(buffered, ctx);
             } else if resend {
@@ -1580,7 +1811,23 @@ where
         self.apply_brd_actions(brd_actions, ctx);
         let rlc_actions = self.rlc.on_tick(now);
         self.apply_rlc_actions(rlc_actions, ctx);
-        // Drive Stage 1 completion under light load (partial batches).
+        // Drive Stage 1 completion under light load (partial batches): after the
+        // stage-1 grace the leader orders a round-cut marker through the TOB, and
+        // the round closes wherever the marker commits — the same point of the
+        // block stream at every replica. (A new leader after a mid-round leader
+        // change sends its own marker; a raced duplicate lands stale and is
+        // skipped by `pack_block`.)
+        if matches!(self.status, ReplicaStatus::Active)
+            && self.is_leader()
+            && !self.round_state.stage1_done
+            && !self.round_state.sent_cut_marker
+            && self.round_state.tx_count > 0
+            && now.since(self.round_state.started_at) >= self.cfg.stage1_max_wait
+        {
+            self.round_state.sent_cut_marker = true;
+            let actions = self.tob.broadcast(Operation::RoundCut { round: self.round }, now);
+            self.apply_tob_actions(actions, ctx);
+        }
         self.check_stage1(ctx);
         // Straggler escape: f+1 cluster members disseminating for a later round
         // (stashed in `future_brd`) prove the cluster executed this round without

@@ -103,6 +103,7 @@ impl WireSize for HotStuffMsg {
             HotStuffMsg::Forward(op) => match op {
                 Operation::Trans(t) => t.payload_size as usize + 48,
                 Operation::ReconfigSet { recs, .. } => recs.len() * 64 + 56,
+                Operation::RoundCut { .. } => 32,
             },
             HotStuffMsg::Proposal { block, .. } => block.wire_size(),
             HotStuffMsg::PhaseCert { justify, .. } => 96 + justify.len() * 48,

@@ -450,6 +450,7 @@ mod tests {
             joined: true,
             round: Round(3),
             at: Time::from_secs(2),
+            reporter: ReplicaId(0),
         });
         obs.on_event(Time::from_secs(1), &ScenarioEvent::Leave { replica: ReplicaId(2) });
         let rows = obs.trace_rows();

@@ -88,6 +88,23 @@ impl ScenarioEvent {
         matches!(self, ScenarioEvent::Join { .. } | ScenarioEvent::Leave { .. })
     }
 
+    /// Short kind label (`"crash"`, `"partition"`, …) for reports and summaries.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ScenarioEvent::Crash { .. } => "crash",
+            ScenarioEvent::Restart { .. } => "restart",
+            ScenarioEvent::MuteInterCluster { .. } => "mute",
+            ScenarioEvent::SilenceLocalLeader { .. } => "silence",
+            ScenarioEvent::Join { .. } => "join",
+            ScenarioEvent::Leave { .. } => "leave",
+            ScenarioEvent::ClientJoin { .. } => "client-join",
+            ScenarioEvent::WorkloadSwitch { .. } => "workload-switch",
+            ScenarioEvent::Partition { .. } => "partition",
+            ScenarioEvent::Heal { .. } => "heal",
+            ScenarioEvent::LatencyShift { .. } => "latency-shift",
+        }
+    }
+
     /// Canonical within-timestamp ordering key. Two schedules holding the same
     /// `(time, event)` multiset sort identically regardless of insertion order, so
     /// scenario runs are insensitive to how the schedule was assembled (events with
@@ -153,6 +170,12 @@ impl Schedule {
         entries
     }
 
+    /// The scheduled events in insertion order (use [`Schedule::sorted`] for the
+    /// canonical execution order).
+    pub fn iter(&self) -> impl Iterator<Item = &(Time, ScenarioEvent)> {
+        self.entries.iter()
+    }
+
     /// The latest scheduled time, if any.
     pub fn last_time(&self) -> Option<Time> {
         self.entries.iter().map(|(at, _)| *at).max()
@@ -211,6 +234,16 @@ impl ScenarioBuilder {
     /// Schedule `event` at virtual time `at`.
     pub fn at(mut self, at: Time, event: ScenarioEvent) -> Self {
         self.schedule.add(at, event);
+        self
+    }
+
+    /// Merge every event of `schedule` into the builder's schedule (the entry
+    /// point for programmatically generated schedules, e.g. the `ava-fuzz`
+    /// `ScheduleGenerator`).
+    pub fn events(mut self, schedule: &Schedule) -> Self {
+        for (at, ev) in schedule.iter() {
+            self.schedule.add(*at, ev.clone());
+        }
         self
     }
 
@@ -275,19 +308,31 @@ impl ScenarioBuilder {
     /// Panics when the schedule is invalid for the chosen protocol (reconfiguration
     /// events on GeoBFT) or when an event is scheduled past the end of the run.
     pub fn build(self) -> Scenario {
+        match self.try_build() {
+            Ok(scenario) => scenario,
+            Err(reason) => panic!("{reason}"),
+        }
+    }
+
+    /// Finish building, returning the validation failure instead of panicking —
+    /// the entry point for generated schedules (the fuzzer's shrinker probes
+    /// candidate schedules without aborting the process).
+    pub fn try_build(self) -> Result<Scenario, String> {
         if !self.protocol.reconfigurable() {
             if let Some((at, ev)) = self.schedule.entries.iter().find(|(_, ev)| ev.is_reconfig()) {
-                panic!(
+                return Err(format!(
                     "{} has no reconfiguration path, but the schedule holds {ev:?} at {at}",
                     self.protocol
-                );
+                ));
             }
         }
         let end = Time::ZERO + self.run;
         // `at == end` is rejected too: the runner would apply the event and then
         // stop immediately, so none of its effects could ever be processed.
         if let Some((at, ev)) = self.schedule.entries.iter().find(|(at, _)| *at >= end) {
-            panic!("event {ev:?} scheduled at {at}, at or after the end of the run ({end})");
+            return Err(format!(
+                "event {ev:?} scheduled at {at}, at or after the end of the run ({end})"
+            ));
         }
         // A restart without a strictly earlier crash of the same replica would be
         // silently ignored by the simulator; reject it while the schedule is still
@@ -299,19 +344,20 @@ impl ScenarioBuilder {
             let crashed_before = self.schedule.entries.iter().any(|(crash_at, e)| {
                 matches!(e, ScenarioEvent::Crash { replica: r } if r == replica) && crash_at < at
             });
-            assert!(
-                crashed_before,
-                "Restart of {replica} at {at} has no earlier Crash of the same replica"
-            );
+            if !crashed_before {
+                return Err(format!(
+                    "Restart of {replica} at {at} has no earlier Crash of the same replica"
+                ));
+            }
         }
-        Scenario {
+        Ok(Scenario {
             protocol: self.protocol,
             config: self.config,
             opts: self.opts,
             schedule: self.schedule,
             run: self.run,
             tick: self.tick,
-        }
+        })
     }
 }
 

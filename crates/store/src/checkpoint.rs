@@ -29,8 +29,16 @@ pub struct Checkpoint {
     /// same-round snapshots below the `f + 1` agreement threshold. Peer-driven
     /// catch-up takes its leader context from the reply, not the snapshot.
     pub leader_ts: u64,
+    /// The first local-log height NOT yet packed into an executed round as of
+    /// `round`. Every correct replica packs its cluster's block stream into
+    /// rounds at the same height boundaries, so this is round-deterministic and
+    /// committed in the digest. A replica adopting the snapshot resumes packing
+    /// its local block stream exactly here — without the anchor, a recovered
+    /// replica would re-pack (or drop) blocks its peers already assigned to
+    /// earlier rounds and silently diverge.
+    pub next_height: u64,
     /// Canonical digest over the round-deterministic content (round, state,
-    /// membership), computed at construction time.
+    /// membership, next_height), computed at construction time.
     pub digest: Digest,
 }
 
@@ -41,17 +49,24 @@ impl Checkpoint {
         state: BTreeMap<u64, u64>,
         membership: Membership,
         leader_ts: u64,
+        next_height: u64,
     ) -> Self {
-        let digest = Self::digest_of(round, &state, &membership);
-        Checkpoint { round, state, membership, leader_ts, digest }
+        let digest = Self::digest_of(round, &state, &membership, next_height);
+        Checkpoint { round, state, membership, leader_ts, next_height, digest }
     }
 
     /// The canonical digest of a checkpoint's round-deterministic content.
     /// `BTreeMap` iteration and the membership map's sorted per-cluster member
     /// lists make the byte stream deterministic across replicas.
-    pub fn digest_of(round: Round, state: &BTreeMap<u64, u64>, membership: &Membership) -> Digest {
+    pub fn digest_of(
+        round: Round,
+        state: &BTreeMap<u64, u64>,
+        membership: &Membership,
+        next_height: u64,
+    ) -> Digest {
         let mut h = Sha256::new();
         h.update(&round.0.to_le_bytes());
+        h.update(&next_height.to_le_bytes());
         h.update(&(state.len() as u64).to_le_bytes());
         for (k, v) in state {
             h.update(&k.to_le_bytes());
@@ -68,7 +83,7 @@ impl Checkpoint {
     /// Whether the stored digest matches the content (detects a corrupted or
     /// tampered snapshot).
     pub fn verify(&self) -> bool {
-        self.digest == Self::digest_of(self.round, &self.state, &self.membership)
+        self.digest == Self::digest_of(self.round, &self.state, &self.membership, self.next_height)
     }
 
     /// Approximate wire size of the snapshot in bytes (state pairs + membership
@@ -149,7 +164,7 @@ mod tests {
 
     fn checkpoint(round: u64, writes: u64) -> Checkpoint {
         let state: BTreeMap<u64, u64> = (0..writes).map(|k| (k, k + 1)).collect();
-        Checkpoint::new(Round(round), state, membership(4), 2)
+        Checkpoint::new(Round(round), state, membership(4), 2, round * 3)
     }
 
     #[test]
@@ -157,12 +172,14 @@ mod tests {
         let base = checkpoint(8, 3);
         assert_ne!(base.digest, checkpoint(9, 3).digest, "round must be committed");
         assert_ne!(base.digest, checkpoint(8, 4).digest, "state must be committed");
-        let grown = Checkpoint::new(Round(8), base.state.clone(), membership(5), 2);
+        let grown = Checkpoint::new(Round(8), base.state.clone(), membership(5), 2, 24);
         assert_ne!(base.digest, grown.digest, "membership must be committed");
+        let moved = Checkpoint::new(Round(8), base.state.clone(), membership(4), 2, 25);
+        assert_ne!(base.digest, moved.digest, "next_height must be committed");
         assert_eq!(base.digest, checkpoint(8, 3).digest, "equal content, equal digest");
         // Leader timestamps land at different instants at different replicas, so
         // they must NOT split same-round digests (the f+1 agreement depends on it).
-        let other_ts = Checkpoint::new(Round(8), base.state.clone(), membership(4), 3);
+        let other_ts = Checkpoint::new(Round(8), base.state.clone(), membership(4), 3, 24);
         assert_eq!(base.digest, other_ts.digest, "leader_ts must not be committed");
     }
 

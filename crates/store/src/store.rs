@@ -2,6 +2,7 @@
 
 use crate::checkpoint::Checkpoint;
 use crate::log::{RoundLog, StoredEntry};
+use ava_crypto::Digest;
 use ava_types::Round;
 use std::sync::Arc;
 
@@ -51,13 +52,25 @@ pub struct ReplicaStore<P> {
     cfg: StoreConfig,
     log: RoundLog<P>,
     checkpoint: Option<Arc<Checkpoint>>,
+    /// `(round, digest)` of every checkpoint ever installed, in installation
+    /// order — the checkpoint *chain*. The snapshots themselves are dropped when
+    /// superseded; the digests are kept so post-hoc integrity checks (the fuzzer's
+    /// checkpoint-chain checker, forensic debugging) can audit the full history
+    /// cheaply.
+    chain: Vec<(Round, Digest)>,
     stats: StoreStats,
 }
 
 impl<P: StoredEntry> ReplicaStore<P> {
     /// An empty store with the given config.
     pub fn new(cfg: StoreConfig) -> Self {
-        ReplicaStore { cfg, log: RoundLog::new(), checkpoint: None, stats: StoreStats::default() }
+        ReplicaStore {
+            cfg,
+            log: RoundLog::new(),
+            checkpoint: None,
+            chain: Vec::new(),
+            stats: StoreStats::default(),
+        }
     }
 
     /// The store's configuration.
@@ -100,6 +113,7 @@ impl<P: StoredEntry> ReplicaStore<P> {
         self.stats.checkpoints += 1;
         self.stats.bytes_persisted += bytes as u64;
         self.stats.truncated_entries += self.log.truncate_through(checkpoint.round) as u64;
+        self.chain.push((checkpoint.round, checkpoint.digest));
         self.checkpoint = Some(checkpoint);
         bytes
     }
@@ -107,6 +121,13 @@ impl<P: StoredEntry> ReplicaStore<P> {
     /// The most recent checkpoint, if any.
     pub fn latest_checkpoint(&self) -> Option<Arc<Checkpoint>> {
         self.checkpoint.clone()
+    }
+
+    /// The `(round, digest)` chain of every checkpoint installed so far, in
+    /// installation order. Rounds are strictly increasing (older installs are
+    /// rejected), so any non-monotonic chain is itself an integrity violation.
+    pub fn checkpoint_chain(&self) -> &[(Round, Digest)] {
+        &self.chain
     }
 
     /// The log entries with round > `after`, ascending (the catch-up suffix).
@@ -151,7 +172,7 @@ mod tests {
     }
 
     fn checkpoint(round: u64) -> Arc<Checkpoint> {
-        Arc::new(Checkpoint::new(Round(round), BTreeMap::new(), Membership::new(), 0))
+        Arc::new(Checkpoint::new(Round(round), BTreeMap::new(), Membership::new(), 0, 0))
     }
 
     #[test]
@@ -194,6 +215,22 @@ mod tests {
         // Installing an older checkpoint must not roll the store back.
         assert_eq!(store.install_checkpoint(checkpoint(2)), 0);
         assert_eq!(store.latest_checkpoint().expect("kept").round, Round(4));
+    }
+
+    #[test]
+    fn checkpoint_chain_records_installs_in_order_and_skips_rejects() {
+        let mut store: ReplicaStore<Entry> = ReplicaStore::new(StoreConfig::every(4));
+        assert!(store.checkpoint_chain().is_empty());
+        store.install_checkpoint(checkpoint(4));
+        store.install_checkpoint(checkpoint(8));
+        // A stale install is rejected and must not pollute the chain.
+        assert_eq!(store.install_checkpoint(checkpoint(4)), 0);
+        let chain = store.checkpoint_chain();
+        assert_eq!(chain.len(), 2);
+        assert_eq!(chain[0].0, Round(4));
+        assert_eq!(chain[1].0, Round(8));
+        assert_eq!(chain[0].1, checkpoint(4).digest, "chain keeps the canonical digest");
+        assert!(chain.windows(2).all(|w| w[0].0 < w[1].0), "chain rounds strictly increase");
     }
 
     #[test]

@@ -91,6 +91,11 @@ pub enum Output {
         round: Round,
         /// When it was applied.
         at: Time,
+        /// The replica that applied (and reports) the reconfiguration. Every
+        /// correct replica executing the round applies the same set, so grouping
+        /// these events by `reporter` is how the fuzzer's reconfig-set agreement
+        /// checker detects divergence.
+        reporter: ReplicaId,
     },
     /// A cluster changed its local leader.
     LeaderChanged {
@@ -118,6 +123,26 @@ pub enum Output {
         /// Rounds replayed from the local round log during local recovery.
         log_rounds_replayed: u64,
         /// When the restart happened.
+        at: Time,
+    },
+    /// A replica installed a checkpoint in its durable store (taken at the local
+    /// cadence boundary or adopted from peers during catch-up). Checkpoint digests
+    /// are round-deterministic, so every correct replica installing round `round`
+    /// reports the same `digest` — the fuzzer's checkpoint-chain checker relies on
+    /// this.
+    CheckpointInstalled {
+        /// The installing replica.
+        replica: ReplicaId,
+        /// Its cluster.
+        cluster: ClusterId,
+        /// The round the checkpoint covers.
+        round: Round,
+        /// The checkpoint's canonical digest (see `ava-store`).
+        digest: [u8; 32],
+        /// Whether the snapshot was adopted from peers (catch-up) rather than
+        /// taken locally at a cadence boundary.
+        adopted: bool,
+        /// When it was installed.
         at: Time,
     },
     /// A restarted (or stateless) replica finished state-transfer catch-up and
@@ -157,6 +182,7 @@ impl Output {
             | Output::ReconfigApplied { at, .. }
             | Output::LeaderChanged { at, .. }
             | Output::ReplicaRestarted { at, .. }
+            | Output::CheckpointInstalled { at, .. }
             | Output::RecoveryCompleted { at, .. }
             | Output::Custom { at, .. } => *at,
         }

@@ -101,6 +101,18 @@ pub enum Operation {
         /// The reconfiguration requests of the set.
         recs: Vec<Reconfig>,
     },
+    /// A leader-ordered round-cut marker: closes `round`'s batch at the block
+    /// that carries it. The timeout cut of Stage 1 must land at the same point
+    /// of every replica's local log or peers partition the block stream into
+    /// rounds differently and their round packages diverge — so instead of each
+    /// replica cutting on its own clock, the leader orders the cut through the
+    /// total-order broadcast and every replica cuts where the marker commits.
+    /// A marker whose round is already closed (the batch filled first, or a
+    /// second leader raced one in) is simply skipped.
+    RoundCut {
+        /// The round the marker closes.
+        round: Round,
+    },
 }
 
 impl Operation {
@@ -127,16 +139,17 @@ impl OperationBatch {
         OperationBatch { round, ops: Vec::new() }
     }
 
-    /// Number of transactions in the batch.
+    /// Number of transactions in the batch (markers and reconfiguration sets
+    /// are control operations, not transactions).
     pub fn tx_count(&self) -> usize {
-        self.ops.iter().filter(|o| !o.is_reconfig()).count()
+        self.ops.iter().filter(|o| matches!(o, Operation::Trans(_))).count()
     }
 
     /// The reconfiguration set of the batch, if any.
     pub fn reconfig_set(&self) -> Option<&Vec<Reconfig>> {
         self.ops.iter().find_map(|o| match o {
             Operation::ReconfigSet { recs, .. } => Some(recs),
-            Operation::Trans(_) => None,
+            Operation::Trans(_) | Operation::RoundCut { .. } => None,
         })
     }
 
@@ -147,6 +160,7 @@ impl OperationBatch {
             .map(|o| match o {
                 Operation::Trans(t) => t.payload_size as usize,
                 Operation::ReconfigSet { recs, .. } => recs.len() * 64,
+                Operation::RoundCut { .. } => 16,
             })
             .sum()
     }
@@ -203,6 +217,10 @@ impl Encode for Operation {
                 out.write(&[1]);
                 round.encode(out);
                 recs.encode(out);
+            }
+            Operation::RoundCut { round } => {
+                out.write(&[2]);
+                round.encode(out);
             }
         }
     }

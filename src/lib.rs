@@ -12,6 +12,7 @@ pub use ava_bench as bench;
 pub use ava_bftsmart as bftsmart;
 pub use ava_consensus as consensus;
 pub use ava_crypto as crypto;
+pub use ava_fuzz as fuzz;
 pub use ava_geobft as geobft;
 pub use ava_hamava as hamava;
 pub use ava_hotstuff as hotstuff;

@@ -2,10 +2,11 @@
 //!
 //! A fixed-seed two-cluster scenario must produce a byte-identical `Output` stream
 //! and identical `NetStats` on every run — and, crucially, across refactors: the
-//! PR 2 zero-copy work and the PR 3 scenario-API redesign must not change
-//! scheduling order. The fingerprints below were captured before the PR 2 zero-copy
-//! refactor; the scenario runner reproducing them proves the declarative API is
-//! behavior-preserving with respect to the hand-driven harness it replaced.
+//! PR 2 zero-copy work and the PR 3 scenario-API redesign held the PR 2 captures
+//! byte-identical, proving those changes behavior-preserving. The constants below
+//! were re-captured at PR 6, whose deterministic round partition (height-anchored
+//! packing + committed `RoundCut` markers, DESIGN.md §7) intentionally changes
+//! every run's block-to-round assignment.
 //!
 //! If a change *intentionally* alters scheduling (new message kinds, different
 //! timers), re-capture the constants by running
@@ -19,11 +20,16 @@ use hamava_repro::simnet::{CostModel, LatencyModel, NetStats};
 use hamava_repro::types::{Duration, Output, Region, SystemConfig};
 use hamava_repro::workload::WorkloadSpec;
 
-/// Fingerprint of the AVA-HOTSTUFF golden run, captured at PR 2 (pre-refactor).
-const HOTSTUFF_GOLDEN: &str = "fb9cd95b06fac095ef71a4d998d67eddbe6dff062536027371dc2baead07743b";
+/// Fingerprint of the AVA-HOTSTUFF golden run. Captured at PR 2 (pre-refactor),
+/// held byte-identical through PR 3/PR 5, re-captured at PR 6: the
+/// deterministic round partition (height-anchored packing + committed
+/// `RoundCut` markers, DESIGN.md §7) intentionally changes every run's
+/// block-to-round assignment and message stream.
+const HOTSTUFF_GOLDEN: &str = "03fb3aa5d5caa1dc0f9313c95d4e8c1de8918778462ddec0db3b6857d3cde693";
 
-/// Fingerprint of the AVA-BFTSMART golden run, captured at PR 2 (pre-refactor).
-const BFTSMART_GOLDEN: &str = "1b70236bd5b9ce91090895a8776ab09d99660aa53a7a49f0395de96cb30d14db";
+/// Fingerprint of the AVA-BFTSMART golden run, captured at PR 2 and re-captured
+/// at PR 6 (same reason as [`HOTSTUFF_GOLDEN`]).
+const BFTSMART_GOLDEN: &str = "a14686b45e2ffc921bb637979f9abb7cc20199aec15222a87d23447ca63e9e11";
 
 fn golden_opts() -> DeploymentOptions {
     DeploymentOptions {
@@ -96,8 +102,10 @@ fn fingerprint_is_reproducible_within_a_process() {
 }
 
 /// Fingerprint of the crash → restart → catch-up golden run (store enabled,
-/// checkpoint every 4 rounds), captured at PR 5.
-const RECOVERY_GOLDEN: &str = "f116800a392710856247fdaabe7e3b97c8a406d1b40953ab09d9d2c9ce943db0";
+/// checkpoint every 4 rounds), captured at PR 5 and re-captured at PR 6 (same
+/// reason as [`HOTSTUFF_GOLDEN`]; this one additionally picks up the
+/// checkpoint-committed packing anchor).
+const RECOVERY_GOLDEN: &str = "eb2ec0151f32967e5010031bee610ccc548dc0dce57adede28c3028e9d3fad60";
 
 fn run_recovery_golden() -> String {
     let run = Scenario::builder(Protocol::AvaHotStuff, golden_config())
@@ -123,6 +131,36 @@ fn crash_restart_catch_up_golden_fingerprint_is_stable() {
     let fp = run_recovery_golden();
     println!("recovery fingerprint: {fp}");
     assert_eq!(fp, RECOVERY_GOLDEN, "crash→restart→catch-up golden run diverged from PR 5 capture");
+}
+
+/// Schedule fingerprint of fuzz seed 42 under the quick profile, captured at
+/// PR 6 — pins `ScheduleGenerator`'s drawing order (a reordered draw would
+/// silently change what every CI seed number means).
+const FUZZ_SCHEDULE_GOLDEN: &str =
+    "953c664131862a0f27c8db7d31f765107af92472c35ac341f42d8c5eabb9fdce";
+
+/// Output fingerprint of running fuzz seed 42, captured at PR 6 — pins the
+/// whole chain from seed to output stream, the property failing-seed
+/// reproducibility rests on.
+const FUZZ_OUTPUT_GOLDEN: &str = "ba53fe6b3e7938dd414ede2e950897b9a70f268bf731a01aed2a282312a872a1";
+
+#[test]
+fn fuzz_case_golden_fingerprints_are_stable() {
+    use hamava_repro::fuzz::{run_case, FuzzConfig, ScheduleGenerator};
+    let case = ScheduleGenerator::new(FuzzConfig::quick()).case(42);
+    println!("fuzz schedule fingerprint: {}", case.fingerprint());
+    let report = run_case(&case);
+    println!("fuzz output fingerprint: {}", report.output_digest);
+    assert!(report.passed(), "fuzz seed 42 must pass the checkers: {:?}", report.violations);
+    assert_eq!(
+        case.fingerprint(),
+        FUZZ_SCHEDULE_GOLDEN,
+        "fuzz schedule generation diverged from the PR 6 capture"
+    );
+    assert_eq!(
+        report.output_digest, FUZZ_OUTPUT_GOLDEN,
+        "fuzz seed 42's run diverged from the PR 6 capture"
+    );
 }
 
 #[test]

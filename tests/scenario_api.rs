@@ -1,6 +1,9 @@
 //! Scenario-API integration tests: schedule-order invariance (property test), the
-//! protocol-label regression guard, and cross-crate smoke of the new event kinds.
+//! protocol-label regression guard, cross-crate smoke of the new event kinds, and
+//! a generator-drawn property: every schedule `ava_fuzz::ScheduleGenerator`
+//! produces is valid builder input in any insertion order.
 
+use hamava_repro::fuzz::{FuzzConfig, ScheduleGenerator};
 use hamava_repro::hamava::harness::DeploymentOptions;
 use hamava_repro::scenario::{Protocol, Scenario, ScenarioBuilder, ScenarioEvent};
 use hamava_repro::simnet::{CostModel, LatencyModel};
@@ -99,6 +102,52 @@ proptest! {
             "permuted insertion order {:?} diverged from the canonical stream",
             order
         );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Schedules drawn from the fuzzer's `ScheduleGenerator` are well-formed
+    /// builder input in any insertion order: re-inserting the drawn
+    /// `(time, event)` multiset shuffled must pass `try_build` validation and
+    /// sort to the same canonical schedule the fuzz case itself builds. This
+    /// pins the generator's well-formedness contract (fault budgets, healed
+    /// partitions, restart-after-crash) against the builder's validator across
+    /// every event kind the generator can draw — including `Restart`, which the
+    /// hand-written multiset above covers only in one fixed position.
+    #[test]
+    fn generator_drawn_schedules_survive_builder_permutations(
+        case_seed in 0u64..10_000,
+        shuffle_seed in 1u64..1_000_000,
+    ) {
+        let generator = ScheduleGenerator::new(FuzzConfig::quick());
+        let case = generator.case(case_seed);
+        let entries = case.schedule.sorted();
+        prop_assume!(!entries.is_empty());
+        let mut order: Vec<usize> = (0..entries.len()).collect();
+        let mut rng = StdRng::seed_from_u64(shuffle_seed);
+        for i in (1..order.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        let mut builder: ScenarioBuilder = Scenario::builder(case.protocol, case.config.clone())
+            .options(case.opts.clone())
+            .run_for(case.run);
+        for &i in &order {
+            let (at, ev) = entries[i].clone();
+            builder = builder.at(at, ev);
+        }
+        let built = builder.try_build();
+        prop_assert!(
+            built.is_ok(),
+            "seed {} order {:?} failed validation: {:?}",
+            case_seed,
+            order,
+            built.err()
+        );
+        let canonical = format!("{:?}", case.scenario().schedule().sorted());
+        prop_assert_eq!(format!("{:?}", built.unwrap().schedule().sorted()), canonical);
     }
 }
 

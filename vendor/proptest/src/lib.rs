@@ -154,9 +154,21 @@ macro_rules! prop_assert_ne {
     ($($tt:tt)*) => { assert_ne!($($tt)*) };
 }
 
+/// `prop_assume!` under a proptest-compatible name. Real proptest rejects the
+/// sampled input and re-draws; this shim simply skips the rest of the case
+/// (the deterministic sampler would re-draw the same value anyway).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
 pub mod prelude {
     //! Mirrors `proptest::prelude` for `use proptest::prelude::*;`.
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
     pub use crate::{ProptestConfig, Strategy};
 }
 
