@@ -1,5 +1,5 @@
 //! E0 (Fig. 3 left): throughput and latency vs. number of clusters, single region.
 use ava_bench::experiments::{e0_single_region, ExperimentScale};
 fn main() {
-    e0_single_region(&ExperimentScale::from_env());
+    e0_single_region(&ExperimentScale::from_env_and_args());
 }

@@ -7,6 +7,6 @@
 use ava_bench::experiments::{e10_recovery, ExperimentScale};
 
 fn main() {
-    let scale = ExperimentScale::from_env();
+    let scale = ExperimentScale::from_env_and_args();
     e10_recovery(&scale);
 }

@@ -1,5 +1,5 @@
 //! E1 (Fig. 3 right): throughput and latency vs. number of clusters, three regions.
 use ava_bench::experiments::{e1_multi_region, ExperimentScale};
 fn main() {
-    e1_multi_region(&ExperimentScale::from_env());
+    e1_multi_region(&ExperimentScale::from_env_and_args());
 }

@@ -1,5 +1,5 @@
 //! E2 (Fig. 4a): per-stage latency breakdown over 1, 2 and 3 regions.
 use ava_bench::experiments::{e2_latency_breakdown, ExperimentScale};
 fn main() {
-    e2_latency_breakdown(&ExperimentScale::from_env());
+    e2_latency_breakdown(&ExperimentScale::from_env_and_args());
 }

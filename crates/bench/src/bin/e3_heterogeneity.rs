@@ -1,5 +1,5 @@
 //! E3 (Fig. 4b-e): impact of heterogeneous cluster layouts.
 use ava_bench::experiments::{e3_heterogeneity, ExperimentScale};
 fn main() {
-    e3_heterogeneity(&ExperimentScale::from_env());
+    e3_heterogeneity(&ExperimentScale::from_env_and_args());
 }

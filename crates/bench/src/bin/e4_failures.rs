@@ -5,7 +5,7 @@ use ava_bench::experiments::{e4_failures, ExperimentScale, FailureScenario};
 
 fn main() {
     let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
-    let scale = ExperimentScale::from_env();
+    let scale = ExperimentScale::from_env_and_args();
     let scenarios: Vec<FailureScenario> = match arg.as_str() {
         "non-leader" => vec![FailureScenario::NonLeader],
         "leader" => vec![FailureScenario::Leader],

@@ -10,7 +10,7 @@ use ava_bench::experiments::{
 
 fn main() {
     let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
-    let scale = ExperimentScale::from_env();
+    let scale = ExperimentScale::from_env_and_args();
     if arg == "trace" {
         e5_workflow_trace(&scale);
         return;

@@ -1,5 +1,5 @@
 //! E6 (Fig. 6): AVA-HOTSTUFF vs the GeoBFT-style baseline.
 use ava_bench::experiments::{e6_vs_geobft, ExperimentScale};
 fn main() {
-    e6_vs_geobft(&ExperimentScale::from_env());
+    e6_vs_geobft(&ExperimentScale::from_env_and_args());
 }

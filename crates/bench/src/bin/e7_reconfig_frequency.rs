@@ -1,5 +1,5 @@
 //! E7 (Fig. 7): impact of the reconfiguration request frequency.
 use ava_bench::experiments::{e7_reconfig_frequency, ExperimentScale};
 fn main() {
-    e7_reconfig_frequency(&ExperimentScale::from_env());
+    e7_reconfig_frequency(&ExperimentScale::from_env_and_args());
 }

@@ -1,5 +1,5 @@
 //! E8 (Fig. 8): impact of inter-cluster network latency during reconfiguration.
 use ava_bench::experiments::{e8_network_latency, ExperimentScale};
 fn main() {
-    e8_network_latency(&ExperimentScale::from_env());
+    e8_network_latency(&ExperimentScale::from_env_and_args());
 }

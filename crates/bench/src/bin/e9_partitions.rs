@@ -3,5 +3,5 @@
 //! time series. Neither shape was expressible under the pre-scenario harness.
 use ava_bench::experiments::{e9_partitions, ExperimentScale};
 fn main() {
-    e9_partitions(&ExperimentScale::from_env());
+    e9_partitions(&ExperimentScale::from_env_and_args());
 }

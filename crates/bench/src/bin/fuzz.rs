@@ -4,12 +4,15 @@
 //! compilable `ScenarioBuilder` reproducer.
 //!
 //! ```text
-//! fuzz [--seeds N] [--start-seed S] [--quick|--full] [--seed X]
+//! fuzz [--seeds N] [--start-seed S] [--jobs N] [--quick|--full] [--seed X]
 //!      [--canaries] [--no-shrink] [--json FILE]
 //! ```
 //!
 //! * `--seeds N` (default 25): run seeds `S..S+N` (`S` from `--start-seed`,
 //!   default 0).
+//! * `--jobs N`: worker threads for the campaign (default: available
+//!   parallelism). Per-seed progress lines arrive in completion order, but the
+//!   summary (and every digest in it) is byte-identical to a serial run.
 //! * `--quick` (default): the CI smoke profile — short runs, small topologies.
 //!   `--full`: the overnight profile.
 //! * `--seed X`: run exactly one seed (prints its schedule digest and snippet —
@@ -26,6 +29,7 @@ use ava_fuzz::{canary_suite, fuzz_many, run_case, shrink_with, FuzzConfig, Sched
 fn main() {
     let mut seeds = 25u64;
     let mut start_seed = 0u64;
+    let mut jobs = ava_scenario::default_jobs();
     let mut full = false;
     let mut one_seed: Option<u64> = None;
     let mut canaries = false;
@@ -38,6 +42,9 @@ fn main() {
             "--seeds" => seeds = next_value(&mut args, "--seeds").parse().expect("--seeds N"),
             "--start-seed" => {
                 start_seed = next_value(&mut args, "--start-seed").parse().expect("--start-seed S")
+            }
+            "--jobs" => {
+                jobs = next_value(&mut args, "--jobs").parse::<usize>().expect("--jobs N").max(1)
             }
             "--quick" => full = false,
             "--full" => full = true,
@@ -63,9 +70,9 @@ fn main() {
         Some(seed) => (seed, 1),
         None => (start_seed, seeds),
     };
-    eprintln!("fuzz: mode={mode} seeds={start}..{}", start + count);
+    eprintln!("fuzz: mode={mode} seeds={start}..{} jobs={jobs}", start + count);
 
-    let summary = fuzz_many(cfg.clone(), start, count, |report| {
+    let summary = fuzz_many(cfg.clone(), start, count, jobs, |report| {
         let verdict = if report.passed() { "ok" } else { "FAIL" };
         eprintln!(
             "  seed {:>6} {:<7} {:>2} events {:>6} txns  {}  {}",

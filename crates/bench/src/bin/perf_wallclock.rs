@@ -1,9 +1,9 @@
 //! Wall-clock perf harness CLI — times the end-to-end `figure_benches` shapes
 //! (E0/E1/E3 pipelines + GeoBFT baseline + the store-enabled E10 shapes) and emits
-//! `BENCH_PR6.json`.
+//! `BENCH_PR7.json`.
 //!
 //! ```text
-//! perf_wallclock [--quick|--full] [--iters N] [--out FILE] \
+//! perf_wallclock [--quick|--full] [--iters N] [--jobs N] [--out FILE] \
 //!                [--baseline FILE.tsv] [--emit-tsv FILE.tsv] \
 //!                [--check FILE.json] [--check-threshold PCT]
 //! ```
@@ -11,27 +11,34 @@
 //! * `--quick` (default): 5 s-virtual-time shapes; finishes in seconds.
 //! * `--full`: additionally runs the paper-scale E0 sweep (`AVA_FULL=1`
 //!   equivalent: 96 nodes, 180 s windows) and records its wall-clock.
+//! * `--jobs N`: worker threads for the shape set and the full-E0 sweep's runs
+//!   (default: available parallelism). Each shape's iterations stay on one
+//!   worker; per-shape thread CPU time is recorded so timings stay comparable
+//!   across `--jobs` settings.
 //! * `--baseline`: a `name\twall_ms` TSV from a previous run (typically the parent
 //!   commit); per-shape speedups are recorded in the JSON.
 //! * `--emit-tsv`: write this run's timings in the baseline format.
-//! * `--check`: compare this run against the per-shape `wall_ms` of a committed
+//! * `--check`: compare this run against the per-shape timings of a committed
 //!   `BENCH_PR*.json` and exit non-zero if any shape regressed by more than
-//!   `--check-threshold` percent (default 25). Only shapes present on both sides
-//!   are gated; baseline-only (retired) and run-only (new) shapes are reported
-//!   informationally, so adding or removing a shape cannot fail the gate
-//!   spuriously. CI runs this against the repo-root baseline so hot-path
-//!   regressions fail the build.
+//!   `--check-threshold` percent (default 25). The comparison uses thread CPU
+//!   time when both sides recorded it (stable on contended CI cores) and
+//!   wall-clock otherwise, and a per-shape delta line is printed even when the
+//!   gate passes. Only shapes present on both sides are gated; baseline-only
+//!   (retired) and run-only (new) shapes are reported informationally, so adding
+//!   or removing a shape cannot fail the gate spuriously. CI runs this against
+//!   the repo-root baseline so hot-path regressions fail the build.
 
 use ava_bench::perf::{
-    check_regressions, parse_baseline, parse_bench_json, peak_rss_kb, render_json, render_tsv,
-    run_full_e0, run_quick_shapes, unmatched_shapes,
+    check_regressions, delta_lines, parse_baseline, parse_bench_json, peak_rss_kb, render_json,
+    render_tsv, run_full_e0, run_quick_shapes, unmatched_shapes, BaselineEntry,
 };
 use std::collections::BTreeMap;
 
 fn main() {
     let mut full = false;
     let mut iters = 3u32;
-    let mut out = String::from("BENCH_PR6.json");
+    let mut jobs = ava_scenario::default_jobs();
+    let mut out = String::from("BENCH_PR7.json");
     let mut baseline_path: Option<String> = None;
     let mut tsv_path: Option<String> = None;
     let mut check_path: Option<String> = None;
@@ -43,6 +50,9 @@ fn main() {
             "--quick" => full = false,
             "--full" => full = true,
             "--iters" => iters = next_value(&mut args, "--iters").parse().expect("--iters N"),
+            "--jobs" => {
+                jobs = next_value(&mut args, "--jobs").parse::<usize>().expect("--jobs N").max(1)
+            }
             "--out" => out = next_value(&mut args, "--out"),
             "--baseline" => baseline_path = Some(next_value(&mut args, "--baseline")),
             "--emit-tsv" => tsv_path = Some(next_value(&mut args, "--emit-tsv")),
@@ -59,7 +69,7 @@ fn main() {
         }
     }
 
-    let baseline: BTreeMap<String, f64> = match &baseline_path {
+    let baseline: BTreeMap<String, BaselineEntry> = match &baseline_path {
         Some(path) => {
             let text = std::fs::read_to_string(path)
                 .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
@@ -69,21 +79,23 @@ fn main() {
     };
 
     let mode = if full { "full" } else { "quick" };
-    eprintln!("perf_wallclock: mode={mode} iters={iters}");
-    let mut records = run_quick_shapes(iters);
+    eprintln!("perf_wallclock: mode={mode} iters={iters} jobs={jobs}");
+    let (mut records, pool_wall_ms) = run_quick_shapes(iters, jobs);
     for r in &records {
+        let cpu = r.cpu_ms.map(|c| format!("  cpu {c:>8.1} ms")).unwrap_or_default();
         let speedup = baseline
             .get(&r.name)
-            .map(|b| format!("  speedup {:.2}x", b / r.wall_ms))
+            .map(|b| format!("  speedup {:.2}x", b.wall_ms / r.wall_ms))
             .unwrap_or_default();
         eprintln!(
-            "  {:<42} {:>10.1} ms  {:>12.0} events/s  {:>7} txns{speedup}",
+            "  {:<42} {:>10.1} ms{cpu}  {:>12.0} events/s  {:>7} txns{speedup}",
             r.name, r.wall_ms, r.events_per_sec, r.completed_txns
         );
     }
+    eprintln!("  pool wall-clock for the quick set: {pool_wall_ms:.1} ms on {jobs} job(s)");
     if full {
-        eprintln!("running paper-scale E0 sweep (this takes a while)...");
-        let (record, rows) = run_full_e0();
+        eprintln!("running paper-scale E0 sweep on {jobs} job(s) (this takes a while)...");
+        let (record, rows) = run_full_e0(jobs);
         eprintln!("  {:<42} {:>10.1} ms", record.name, record.wall_ms);
         // Echo the sweep's result rows so a 20+-minute run never has to be repeated
         // just to transcribe them into EXPERIMENTS.md (the sweep also prints its
@@ -94,7 +106,7 @@ fn main() {
         records.push(record);
     }
 
-    let json = render_json(mode, iters, &records, &baseline);
+    let json = render_json(mode, iters, jobs, Some(pool_wall_ms), &records, &baseline);
     std::fs::write(&out, &json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
     eprintln!("wrote {out} (peak RSS: {:?} kiB)", peak_rss_kb());
 
@@ -114,6 +126,11 @@ fn main() {
         }
         for name in &new_in_run {
             eprintln!("note: shape {name} has no baseline yet (new); not gated");
+        }
+        // Print the per-shape drift unconditionally: a passing gate should still
+        // leave the deltas in the CI log for later archaeology.
+        for line in delta_lines(&records, &committed) {
+            eprintln!("  delta {line}");
         }
         let failures = check_regressions(&records, &committed, check_threshold / 100.0);
         if failures.is_empty() {

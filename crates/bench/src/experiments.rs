@@ -16,8 +16,8 @@
 use crate::report::{fmt, print_table, summarize, RunMetrics};
 use ava_hamava::harness::DeploymentOptions;
 use ava_scenario::{
-    ReconfigTraceObserver, RecoveryObserver, Scenario, ScenarioBuilder, StageBreakdownObserver,
-    ThroughputObserver,
+    ReconfigTraceObserver, RecoveryObserver, RunPool, Scenario, ScenarioBuilder,
+    StageBreakdownObserver, ThroughputObserver,
 };
 use ava_simnet::{CostModel, LatencyModel};
 use ava_store::StoreConfig;
@@ -35,26 +35,72 @@ pub struct ExperimentScale {
     pub warmup_frac: f64,
     /// Whether to run the full paper-scale sweeps.
     pub full: bool,
+    /// Worker threads the sweep fans independent runs out over (1 = serial; the
+    /// results are byte-identical either way, see `ava_scenario::parallel`).
+    pub jobs: usize,
 }
 
 impl ExperimentScale {
     /// Reduced scale: small deployments, 12 s virtual runs.
     pub fn quick() -> Self {
-        ExperimentScale { run: Duration::from_secs(12), warmup_frac: 0.4, full: false }
+        ExperimentScale {
+            run: Duration::from_secs(12),
+            warmup_frac: 0.4,
+            full: false,
+            jobs: ava_scenario::default_jobs(),
+        }
     }
 
     /// Paper scale: 96-node deployments, 3-minute virtual runs.
     pub fn paper() -> Self {
-        ExperimentScale { run: Duration::from_secs(180), warmup_frac: 2.0 / 3.0, full: true }
+        ExperimentScale {
+            run: Duration::from_secs(180),
+            warmup_frac: 2.0 / 3.0,
+            full: true,
+            jobs: ava_scenario::default_jobs(),
+        }
     }
 
-    /// `AVA_FULL=1` selects paper scale.
+    /// `AVA_FULL=1` selects paper scale; `AVA_JOBS=n` overrides the worker count
+    /// (default: all available cores).
     pub fn from_env() -> Self {
-        if std::env::var("AVA_FULL").map(|v| v == "1").unwrap_or(false) {
+        let mut scale = if std::env::var("AVA_FULL").map(|v| v == "1").unwrap_or(false) {
             Self::paper()
         } else {
             Self::quick()
+        };
+        if let Some(jobs) = std::env::var("AVA_JOBS").ok().and_then(|v| v.parse::<usize>().ok()) {
+            scale.jobs = jobs.max(1);
         }
+        scale
+    }
+
+    /// Parse experiment-binary CLI flags on top of [`ExperimentScale::from_env`]:
+    /// `--full` selects paper scale, `--jobs N` sets the worker count. Unknown
+    /// arguments are ignored (the binaries have no other flags).
+    pub fn from_env_and_args() -> Self {
+        let mut scale = Self::from_env();
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--full" => scale = ExperimentScale { jobs: scale.jobs, ..Self::paper() },
+                "--jobs" => {
+                    if let Some(jobs) = args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
+                        scale.jobs = jobs.max(1);
+                        i += 1;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        scale
+    }
+
+    /// The run pool every sweep of this scale fans out on.
+    pub fn pool(&self) -> RunPool {
+        RunPool::new(self.jobs)
     }
 
     fn window(&self) -> (Time, Time) {
@@ -176,23 +222,33 @@ pub fn e1_multi_region(scale: &ExperimentScale) -> Vec<Vec<String>> {
 fn clusters_sweep(scale: &ExperimentScale, multi_region: bool, title: &str) -> Vec<Vec<String>> {
     let total = scale.total_nodes();
     let regions = [Region::UsWest, Region::Europe, Region::AsiaSouth];
-    let mut rows = Vec::new();
-    for clusters in scale.cluster_sweep() {
-        let config = if multi_region {
+    let sweep = scale.cluster_sweep();
+    // One independent run per (cluster count, protocol) cell, fanned out on the
+    // pool; the map returns in input order, so row assembly below is identical to
+    // the serial nested loop this replaces.
+    let cells: Vec<(usize, Protocol)> =
+        sweep.iter().flat_map(|&clusters| Protocol::AVA.map(|p| (clusters, p))).collect();
+    let metrics = scale.pool().map(cells, |_, (clusters, protocol)| {
+        let mut cfg = if multi_region {
             SystemConfig::even_split_multi_region(total, clusters, &regions)
         } else {
             SystemConfig::even_split_single_region(total, clusters, Region::UsWest)
         };
-        let mut row = vec![clusters.to_string()];
-        for protocol in Protocol::AVA {
-            let mut cfg = config.clone();
-            adjust_batch(&mut cfg, scale);
-            let (m, _) = run_once(protocol, cfg, default_opts(1, scale), scale);
-            row.push(fmt(m.throughput_tps, 1));
-            row.push(fmt(m.avg_latency_ms / 1000.0, 3));
-        }
-        rows.push(row);
-    }
+        adjust_batch(&mut cfg, scale);
+        run_once(protocol, cfg, default_opts(1, scale), scale).0
+    });
+    let rows: Vec<Vec<String>> = sweep
+        .iter()
+        .zip(metrics.chunks(Protocol::AVA.len()))
+        .map(|(clusters, per_protocol)| {
+            let mut row = vec![clusters.to_string()];
+            for m in per_protocol {
+                row.push(fmt(m.throughput_tps, 1));
+                row.push(fmt(m.avg_latency_ms / 1000.0, 3));
+            }
+            row
+        })
+        .collect();
     print_table(
         title,
         &["clusters", "A.H tput (txn/s)", "A.H latency (s)", "A.B tput (txn/s)", "A.B latency (s)"],
@@ -215,29 +271,32 @@ pub fn e2_latency_breakdown(scale: &ExperimentScale) -> Vec<Vec<String>> {
         ("3 regions", vec![Region::Europe, Region::AsiaSouth, Region::UsWest]),
     ];
     let (start, end) = scale.window();
-    let mut rows = Vec::new();
-    for protocol in [Protocol::AvaBftSmart, Protocol::AvaHotStuff] {
-        for (label, regions) in &region_sets {
-            let cluster_regions: Vec<Vec<Region>> = regions.iter().map(|&r| vec![r; 4]).collect();
-            let mut config = SystemConfig::heterogeneous(&cluster_regions);
-            adjust_batch(&mut config, scale);
-            let mut stages = StageBreakdownObserver::new();
-            let run = scenario(protocol, config, default_opts(2, scale), scale)
-                .build()
-                .run_observed(&mut [&mut stages]);
-            let metrics = summarize(&run.outputs, start, end);
-            let breakdown = stages.breakdown();
-            rows.push(vec![
-                protocol.label().to_string(),
-                (*label).to_string(),
-                fmt(breakdown[0], 1),
-                fmt(breakdown[1], 1),
-                fmt(breakdown[2], 1),
-                fmt(metrics.read_latency_ms, 1),
-                fmt(metrics.write_latency_ms, 1),
-            ]);
-        }
-    }
+    let cells: Vec<(Protocol, &str, &Vec<Region>)> = [Protocol::AvaBftSmart, Protocol::AvaHotStuff]
+        .iter()
+        .flat_map(|&p| region_sets.iter().map(move |(label, regions)| (p, *label, regions)))
+        .collect();
+    // Observers are created inside the worker, so each run's breakdown is
+    // collected independently; rows come back in input order.
+    let rows = scale.pool().map(cells, |_, (protocol, label, regions)| {
+        let cluster_regions: Vec<Vec<Region>> = regions.iter().map(|&r| vec![r; 4]).collect();
+        let mut config = SystemConfig::heterogeneous(&cluster_regions);
+        adjust_batch(&mut config, scale);
+        let mut stages = StageBreakdownObserver::new();
+        let run = scenario(protocol, config, default_opts(2, scale), scale)
+            .build()
+            .run_observed(&mut [&mut stages]);
+        let metrics = summarize(&run.outputs, start, end);
+        let breakdown = stages.breakdown();
+        vec![
+            protocol.label().to_string(),
+            label.to_string(),
+            fmt(breakdown[0], 1),
+            fmt(breakdown[1], 1),
+            fmt(breakdown[2], 1),
+            fmt(metrics.read_latency_ms, 1),
+            fmt(metrics.write_latency_ms, 1),
+        ]
+    });
     print_table(
         "E2: latency breakdown (Fig. 4a)",
         &[
@@ -276,20 +335,28 @@ pub fn e3_setup(setup: usize, s: usize) -> SystemConfig {
 /// E3 (Fig. 4b–e): impact of heterogeneity for both systems.
 pub fn e3_heterogeneity(scale: &ExperimentScale) -> Vec<Vec<String>> {
     let scales: Vec<usize> = if scale.full { vec![1, 2, 3, 4, 5] } else { vec![1, 2] };
-    let mut rows = Vec::new();
-    for protocol in Protocol::AVA {
-        for &s in &scales {
+    let cells: Vec<(Protocol, usize, usize)> = Protocol::AVA
+        .iter()
+        .flat_map(|&p| scales.iter().flat_map(move |&s| (1..=3).map(move |setup| (p, s, setup))))
+        .collect();
+    let metrics = scale.pool().map(cells.clone(), |_, (protocol, s, setup)| {
+        let mut config = e3_setup(setup, s);
+        adjust_batch(&mut config, scale);
+        run_once(protocol, config, default_opts(3, scale), scale).0
+    });
+    let rows: Vec<Vec<String>> = cells
+        .chunks(3)
+        .zip(metrics.chunks(3))
+        .map(|(cell_chunk, per_setup)| {
+            let (protocol, s, _) = cell_chunk[0];
             let mut row = vec![protocol.label().to_string(), s.to_string()];
-            for setup in 1..=3 {
-                let mut config = e3_setup(setup, s);
-                adjust_batch(&mut config, scale);
-                let (m, _) = run_once(protocol, config, default_opts(3, scale), scale);
+            for m in per_setup {
                 row.push(fmt(m.throughput_tps, 1));
                 row.push(fmt(m.avg_latency_ms / 1000.0, 3));
             }
-            rows.push(row);
-        }
-    }
+            row
+        })
+        .collect();
     print_table(
         "E3: heterogeneity (Fig. 4b-e)",
         &[
@@ -331,40 +398,40 @@ pub enum FailureScenario {
 pub fn e4_failures(scenario_kind: FailureScenario, scale: &ExperimentScale) -> Vec<Vec<String>> {
     let nodes_per_cluster = if scale.full { 10 } else { 7 };
     let fail_at = Time(scale.run.as_micros() / 3);
-    let mut series: Vec<(Protocol, Vec<(f64, f64)>)> = Vec::new();
-    for protocol in Protocol::AVA {
-        let mut config = SystemConfig::homogeneous_regions(&[
-            (nodes_per_cluster, Region::UsWest),
-            (nodes_per_cluster, Region::Europe),
-        ]);
-        adjust_batch(&mut config, scale);
-        // Faster remote-leader/local timeouts so recovery fits the reduced run.
-        adjust_timeouts(&mut config, scale);
-        let mut builder = scenario(protocol, config.clone(), default_opts(4, scale), scale);
-        builder = match scenario_kind {
-            FailureScenario::NonLeader => {
-                // Crash f non-leader replicas in each cluster.
-                for cluster in &config.clusters {
-                    let f = (cluster.replicas.len() - 1) / 3;
-                    for (id, _) in cluster.replicas.iter().skip(1).take(f) {
-                        builder = builder.crash_at(fail_at, *id);
+    let series: Vec<(Protocol, Vec<(f64, f64)>)> =
+        scale.pool().map(Protocol::AVA.to_vec(), |_, protocol| {
+            let mut config = SystemConfig::homogeneous_regions(&[
+                (nodes_per_cluster, Region::UsWest),
+                (nodes_per_cluster, Region::Europe),
+            ]);
+            adjust_batch(&mut config, scale);
+            // Faster remote-leader/local timeouts so recovery fits the reduced run.
+            adjust_timeouts(&mut config, scale);
+            let mut builder = scenario(protocol, config.clone(), default_opts(4, scale), scale);
+            builder = match scenario_kind {
+                FailureScenario::NonLeader => {
+                    // Crash f non-leader replicas in each cluster.
+                    for cluster in &config.clusters {
+                        let f = (cluster.replicas.len() - 1) / 3;
+                        for (id, _) in cluster.replicas.iter().skip(1).take(f) {
+                            builder = builder.crash_at(fail_at, *id);
+                        }
                     }
+                    builder
                 }
-                builder
-            }
-            FailureScenario::Leader => builder.crash_initial_leader_at(fail_at, ClusterId(0)),
-            FailureScenario::ByzantineLeader => {
-                // The leader keeps acting correctly locally but stops inter-cluster
-                // broadcasts; the remote cluster must trigger the remote leader
-                // change.
-                let leader = config.initial_leader(ClusterId(0));
-                builder.mute_inter_cluster_at(fail_at, leader)
-            }
-        };
-        let mut throughput = ThroughputObserver::new(Duration::from_secs(2));
-        builder.build().run_observed(&mut [&mut throughput]);
-        series.push((protocol, throughput.series()));
-    }
+                FailureScenario::Leader => builder.crash_initial_leader_at(fail_at, ClusterId(0)),
+                FailureScenario::ByzantineLeader => {
+                    // The leader keeps acting correctly locally but stops
+                    // inter-cluster broadcasts; the remote cluster must trigger the
+                    // remote leader change.
+                    let leader = config.initial_leader(ClusterId(0));
+                    builder.mute_inter_cluster_at(fail_at, leader)
+                }
+            };
+            let mut throughput = ThroughputObserver::new(Duration::from_secs(2));
+            builder.build().run_observed(&mut [&mut throughput]);
+            (protocol, throughput.series())
+        });
     let mut rows = Vec::new();
     for (protocol, points) in &series {
         for (t, tps) in points {
@@ -389,8 +456,7 @@ pub fn e4_failures(scenario_kind: FailureScenario, scale: &ExperimentScale) -> V
 /// E5.1 (Fig. 5a): three joins and three leaves per cluster at marked times.
 pub fn e5_joins_and_leaves(scale: &ExperimentScale) -> Vec<Vec<String>> {
     let nodes = if scale.full { 7 } else { 5 };
-    let mut rows = Vec::new();
-    for protocol in Protocol::AVA {
+    let per_protocol = scale.pool().map(Protocol::AVA.to_vec(), |_, protocol| {
         let mut config =
             SystemConfig::homogeneous_regions(&[(nodes, Region::UsWest), (nodes, Region::Europe)]);
         adjust_batch(&mut config, scale);
@@ -400,7 +466,11 @@ pub fn e5_joins_and_leaves(scale: &ExperimentScale) -> Vec<Vec<String>> {
         let run = builder.build().run_observed(&mut [&mut throughput]);
         let applied =
             run.outputs.iter().filter(|o| matches!(o, Output::ReconfigApplied { .. })).count();
-        for (t, tps) in throughput.series() {
+        (protocol, applied, throughput.series())
+    });
+    let mut rows = Vec::new();
+    for (protocol, applied, series) in per_protocol {
+        for (t, tps) in series {
             rows.push(vec![
                 protocol.label().to_string(),
                 fmt(t, 0),
@@ -429,24 +499,23 @@ fn e5_workflow_config(scale: &ExperimentScale, parallel: bool) -> SystemConfig {
 
 /// E5.2 (Fig. 5b): parallel reconfiguration workflow vs. single workflow.
 pub fn e5_workflow_comparison(scale: &ExperimentScale) -> Vec<Vec<String>> {
-    let mut rows = Vec::new();
-    for protocol in Protocol::AVA {
-        for parallel in [true, false] {
-            let config = e5_workflow_config(scale, parallel);
-            let mut opts = default_opts(6, scale);
-            opts.workload = WorkloadSpec::default().write_only();
-            let (start, end) = scale.window();
-            let builder = scenario(protocol, config.clone(), opts, scale);
-            let run = with_churn(builder, &config, scale.run, 2).build().run();
-            let m = summarize(&run.outputs, start, end);
-            rows.push(vec![
-                protocol.label().to_string(),
-                if parallel { "parallel workflows".into() } else { "single workflow".into() },
-                fmt(m.throughput_tps, 1),
-                fmt(m.avg_latency_ms / 1000.0, 3),
-            ]);
-        }
-    }
+    let cells: Vec<(Protocol, bool)> =
+        Protocol::AVA.iter().flat_map(|&p| [true, false].map(|w| (p, w))).collect();
+    let rows = scale.pool().map(cells, |_, (protocol, parallel)| {
+        let config = e5_workflow_config(scale, parallel);
+        let mut opts = default_opts(6, scale);
+        opts.workload = WorkloadSpec::default().write_only();
+        let (start, end) = scale.window();
+        let builder = scenario(protocol, config.clone(), opts, scale);
+        let run = with_churn(builder, &config, scale.run, 2).build().run();
+        let m = summarize(&run.outputs, start, end);
+        vec![
+            protocol.label().to_string(),
+            if parallel { "parallel workflows".into() } else { "single workflow".into() },
+            fmt(m.throughput_tps, 1),
+            fmt(m.avg_latency_ms / 1000.0, 3),
+        ]
+    });
     print_table(
         "E5.2: parallel vs single reconfiguration workflow (Fig. 5b)",
         &["system", "workflow", "throughput (txn/s)", "latency (s)"],
@@ -514,28 +583,42 @@ pub fn e5_workflow_trace(scale: &ExperimentScale) -> ReconfigTraceObserver {
 pub fn e6_vs_geobft(scale: &ExperimentScale) -> Vec<Vec<String>> {
     let total = if scale.full { 48 } else { 16 };
     let regions = [Region::UsWest, Region::Europe, Region::AsiaSouth];
-    let mut rows = Vec::new();
-    for (mode, multi) in [("single region", false), ("multi region", true)] {
-        for clusters in scale.cluster_sweep() {
-            if clusters > total / 4 {
-                continue;
-            }
-            let config = if multi {
-                SystemConfig::even_split_multi_region(total, clusters, &regions)
-            } else {
-                SystemConfig::even_split_single_region(total, clusters, Region::UsWest)
-            };
+    let protocols = [Protocol::AvaHotStuff, Protocol::GeoBft];
+    let shapes: Vec<(&str, bool, usize)> = [("single region", false), ("multi region", true)]
+        .iter()
+        .flat_map(|&(mode, multi)| {
+            scale
+                .cluster_sweep()
+                .into_iter()
+                .filter(|&clusters| clusters <= total / 4)
+                .map(move |clusters| (mode, multi, clusters))
+        })
+        .collect();
+    let cells: Vec<(&str, bool, usize, Protocol)> = shapes
+        .iter()
+        .flat_map(|&(mode, multi, clusters)| protocols.map(|p| (mode, multi, clusters, p)))
+        .collect();
+    let metrics = scale.pool().map(cells, |_, (_, multi, clusters, protocol)| {
+        let mut cfg = if multi {
+            SystemConfig::even_split_multi_region(total, clusters, &regions)
+        } else {
+            SystemConfig::even_split_single_region(total, clusters, Region::UsWest)
+        };
+        adjust_batch(&mut cfg, scale);
+        run_once(protocol, cfg, default_opts(7, scale), scale).0
+    });
+    let rows: Vec<Vec<String>> = shapes
+        .iter()
+        .zip(metrics.chunks(protocols.len()))
+        .map(|(&(mode, _, clusters), per_protocol)| {
             let mut row = vec![mode.to_string(), clusters.to_string()];
-            for protocol in [Protocol::AvaHotStuff, Protocol::GeoBft] {
-                let mut cfg = config.clone();
-                adjust_batch(&mut cfg, scale);
-                let (m, _) = run_once(protocol, cfg, default_opts(7, scale), scale);
+            for m in per_protocol {
                 row.push(fmt(m.throughput_tps, 1));
                 row.push(fmt(m.avg_latency_ms / 1000.0, 3));
             }
-            rows.push(row);
-        }
-    }
+            row
+        })
+        .collect();
     print_table(
         "E6: Ava-HotStuff vs GeoBFT (Fig. 6)",
         &["placement", "clusters", "A.H tput", "A.H lat (s)", "GeoBFT tput", "GeoBFT lat (s)"],
@@ -550,26 +633,28 @@ pub fn e6_vs_geobft(scale: &ExperimentScale) -> Vec<Vec<String>> {
 
 /// E7 (Fig. 7): impact of the reconfiguration request frequency.
 pub fn e7_reconfig_frequency(scale: &ExperimentScale) -> Vec<Vec<String>> {
-    let mut rows = Vec::new();
-    for protocol in Protocol::AVA {
-        for (label, churn_rounds) in [("none", 0usize), ("every 20s", 2), ("continuous", 6)] {
-            let mut config = SystemConfig::homogeneous_regions(&[
-                (if scale.full { 10 } else { 6 }, Region::UsWest),
-                (if scale.full { 10 } else { 6 }, Region::Europe),
-            ]);
-            adjust_batch(&mut config, scale);
-            let (start, end) = scale.window();
-            let builder = scenario(protocol, config.clone(), default_opts(8, scale), scale);
-            let run = with_churn(builder, &config, scale.run, churn_rounds).build().run();
-            let m = summarize(&run.outputs, start, end);
-            rows.push(vec![
-                protocol.label().to_string(),
-                label.to_string(),
-                fmt(m.throughput_tps, 1),
-                fmt(m.avg_latency_ms / 1000.0, 3),
-            ]);
-        }
-    }
+    let frequencies = [("none", 0usize), ("every 20s", 2), ("continuous", 6)];
+    let cells: Vec<(Protocol, &str, usize)> = Protocol::AVA
+        .iter()
+        .flat_map(|&p| frequencies.map(|(label, churn)| (p, label, churn)))
+        .collect();
+    let rows = scale.pool().map(cells, |_, (protocol, label, churn_rounds)| {
+        let mut config = SystemConfig::homogeneous_regions(&[
+            (if scale.full { 10 } else { 6 }, Region::UsWest),
+            (if scale.full { 10 } else { 6 }, Region::Europe),
+        ]);
+        adjust_batch(&mut config, scale);
+        let (start, end) = scale.window();
+        let builder = scenario(protocol, config.clone(), default_opts(8, scale), scale);
+        let run = with_churn(builder, &config, scale.run, churn_rounds).build().run();
+        let m = summarize(&run.outputs, start, end);
+        vec![
+            protocol.label().to_string(),
+            label.to_string(),
+            fmt(m.throughput_tps, 1),
+            fmt(m.avg_latency_ms / 1000.0, 3),
+        ]
+    });
     print_table(
         "E7: reconfiguration frequency (Fig. 7)",
         &["system", "reconfig frequency", "throughput (txn/s)", "latency (s)"],
@@ -593,30 +678,31 @@ pub fn e8_network_latency(scale: &ExperimentScale) -> Vec<Vec<String>> {
         (Region::Europe, 142.0),
         (Region::AsiaSouth, 219.0),
     ];
-    let mut rows = Vec::new();
-    for protocol in Protocol::AVA {
-        for &(region, rtt) in &second_regions {
-            let mut config = SystemConfig::homogeneous_regions(&[
-                (if scale.full { 10 } else { 6 }, Region::UsWest),
-                (if scale.full { 10 } else { 6 }, region),
-            ]);
-            adjust_batch(&mut config, scale);
-            let mut opts = default_opts(9, scale);
-            let mut latency = LatencyModel::paper_table2();
-            latency.set_rtt(Region::UsWest, region, rtt);
-            opts.latency = latency;
-            let (start, end) = scale.window();
-            let builder = scenario(protocol, config.clone(), opts, scale);
-            let run = with_churn(builder, &config, scale.run, 2).build().run();
-            let m = summarize(&run.outputs, start, end);
-            rows.push(vec![
-                protocol.label().to_string(),
-                format!("{rtt:.0} ms ({})", region.zone_name()),
-                fmt(m.throughput_tps, 1),
-                fmt(m.avg_latency_ms / 1000.0, 3),
-            ]);
-        }
-    }
+    let cells: Vec<(Protocol, Region, f64)> = Protocol::AVA
+        .iter()
+        .flat_map(|&p| second_regions.map(|(region, rtt)| (p, region, rtt)))
+        .collect();
+    let rows = scale.pool().map(cells, |_, (protocol, region, rtt)| {
+        let mut config = SystemConfig::homogeneous_regions(&[
+            (if scale.full { 10 } else { 6 }, Region::UsWest),
+            (if scale.full { 10 } else { 6 }, region),
+        ]);
+        adjust_batch(&mut config, scale);
+        let mut opts = default_opts(9, scale);
+        let mut latency = LatencyModel::paper_table2();
+        latency.set_rtt(Region::UsWest, region, rtt);
+        opts.latency = latency;
+        let (start, end) = scale.window();
+        let builder = scenario(protocol, config.clone(), opts, scale);
+        let run = with_churn(builder, &config, scale.run, 2).build().run();
+        let m = summarize(&run.outputs, start, end);
+        vec![
+            protocol.label().to_string(),
+            format!("{rtt:.0} ms ({})", region.zone_name()),
+            fmt(m.throughput_tps, 1),
+            fmt(m.avg_latency_ms / 1000.0, 3),
+        ]
+    });
     print_table(
         "E8: network latency during reconfiguration (Fig. 8)",
         &["system", "inter-cluster RTT", "throughput (txn/s)", "latency (s)"],
@@ -639,44 +725,42 @@ pub fn e9_partitions(scale: &ExperimentScale) -> Vec<Vec<String>> {
     let third = Time(scale.run.as_micros() / 3);
     let two_thirds = Time(2 * scale.run.as_micros() / 3);
     let half = Time(scale.run.as_micros() / 2);
-    let mut rows = Vec::new();
-    let mut dropped = Vec::new();
-    for protocol in Protocol::AVA {
+    let cells: Vec<(Protocol, &str)> = Protocol::AVA
+        .iter()
+        .flat_map(|&p| ["partition+heal", "latency shift 142->219ms"].map(|shape| (p, shape)))
+        .collect();
+    let results = scale.pool().map(cells, |_, (protocol, shape)| {
         let mut config =
             SystemConfig::homogeneous_regions(&[(nodes, Region::UsWest), (nodes, Region::Europe)]);
         adjust_batch(&mut config, scale);
         adjust_timeouts(&mut config, scale);
-
-        let shapes: [(&str, ScenarioBuilder); 2] = [
-            (
-                "partition+heal",
-                scenario(protocol, config.clone(), default_opts(10, scale), scale)
-                    .partition_at(third, ClusterId(0), ClusterId(1))
-                    .heal_at(two_thirds, ClusterId(0), ClusterId(1)),
-            ),
-            (
-                "latency shift 142->219ms",
-                scenario(protocol, config.clone(), default_opts(10, scale), scale)
-                    .latency_shift_at(half, LatencyModel::uniform(219.0)),
-            ),
-        ];
-        for (shape, builder) in shapes {
-            let mut throughput = ThroughputObserver::new(Duration::from_secs(2));
-            let run = builder.build().run_observed(&mut [&mut throughput]);
-            for (t, tps) in throughput.series() {
-                rows.push(vec![
-                    protocol.label().to_string(),
-                    shape.to_string(),
-                    fmt(t, 0),
-                    fmt(tps, 1),
-                ]);
-            }
-            dropped.push(vec![
+        let builder = match shape {
+            "partition+heal" => scenario(protocol, config, default_opts(10, scale), scale)
+                .partition_at(third, ClusterId(0), ClusterId(1))
+                .heal_at(two_thirds, ClusterId(0), ClusterId(1)),
+            _ => scenario(protocol, config, default_opts(10, scale), scale)
+                .latency_shift_at(half, LatencyModel::uniform(219.0)),
+        };
+        let mut throughput = ThroughputObserver::new(Duration::from_secs(2));
+        let run = builder.build().run_observed(&mut [&mut throughput]);
+        (protocol, shape, throughput.series(), run.stats.dropped_messages)
+    });
+    let mut rows = Vec::new();
+    let mut dropped = Vec::new();
+    for (protocol, shape, series, dropped_messages) in results {
+        for (t, tps) in series {
+            rows.push(vec![
                 protocol.label().to_string(),
                 shape.to_string(),
-                run.stats.dropped_messages.to_string(),
+                fmt(t, 0),
+                fmt(tps, 1),
             ]);
         }
+        dropped.push(vec![
+            protocol.label().to_string(),
+            shape.to_string(),
+            dropped_messages.to_string(),
+        ]);
     }
     print_table(
         "E9: mid-run partition/heal and latency shift (scenario API)",
@@ -708,57 +792,58 @@ pub fn e10_recovery(scale: &ExperimentScale) -> Vec<Vec<String>> {
     let crash_durations: Vec<u64> = if scale.full { vec![5, 20, 60] } else { vec![1, 4] };
     let checkpoint_intervals: Vec<u64> = if scale.full { vec![4, 16, 64] } else { vec![4, 16] };
     let bucket = Duration::from_secs(2);
-    let mut rows = Vec::new();
-    for protocol in Protocol::AVA {
+    let mut cells: Vec<(Protocol, u64, u64)> = Vec::new();
+    for p in Protocol::AVA {
         for &crash_secs in &crash_durations {
             for &interval in &checkpoint_intervals {
-                let mut config = SystemConfig::homogeneous_regions(&[
-                    (nodes_per_cluster, Region::UsWest),
-                    (nodes_per_cluster, Region::Europe),
-                ]);
-                adjust_batch(&mut config, scale);
-                adjust_timeouts(&mut config, scale);
-                let restart_at = crash_at + Duration::from_secs(crash_secs);
-                let mut builder =
-                    scenario(protocol, config.clone(), default_opts(13, scale), scale)
-                        .store(StoreConfig::every(interval));
-                for cluster in &config.clusters {
-                    let f = (cluster.replicas.len() - 1) / 3;
-                    for (id, _) in cluster.replicas.iter().skip(1).take(f) {
-                        builder = builder.crash_at(crash_at, *id).restart_at(restart_at, *id);
-                    }
-                }
-                let mut throughput = ThroughputObserver::new(bucket);
-                let mut recovery = RecoveryObserver::new();
-                builder.build().run_observed(&mut [&mut throughput, &mut recovery]);
-
-                let series = throughput.series();
-                let pre_crash = series
-                    .iter()
-                    .filter(|(t, _)| *t <= crash_at.as_secs_f64())
-                    .map(|(_, tps)| *tps)
-                    .fold(0.0f64, f64::max);
-                let end_rate =
-                    series.iter().rev().take(3).map(|(_, tps)| *tps).fold(0.0f64, f64::max);
-                let ratio = if pre_crash > 0.0 { 100.0 * end_rate / pre_crash } else { 0.0 };
-                let ttc = recovery
-                    .max_time_to_caught_up()
-                    .map(|d| fmt(d.as_millis_f64(), 1))
-                    .unwrap_or_else(|| "stalled".into());
-                rows.push(vec![
-                    protocol.label().to_string(),
-                    crash_secs.to_string(),
-                    interval.to_string(),
-                    ttc,
-                    recovery.total_rounds_transferred().to_string(),
-                    recovery.total_bytes_transferred().to_string(),
-                    fmt(pre_crash, 1),
-                    fmt(end_rate, 1),
-                    fmt(ratio, 1),
-                ]);
+                cells.push((p, crash_secs, interval));
             }
         }
     }
+    let rows = scale.pool().map(cells, |_, (protocol, crash_secs, interval)| {
+        let mut config = SystemConfig::homogeneous_regions(&[
+            (nodes_per_cluster, Region::UsWest),
+            (nodes_per_cluster, Region::Europe),
+        ]);
+        adjust_batch(&mut config, scale);
+        adjust_timeouts(&mut config, scale);
+        let restart_at = crash_at + Duration::from_secs(crash_secs);
+        let mut builder = scenario(protocol, config.clone(), default_opts(13, scale), scale)
+            .store(StoreConfig::every(interval));
+        for cluster in &config.clusters {
+            let f = (cluster.replicas.len() - 1) / 3;
+            for (id, _) in cluster.replicas.iter().skip(1).take(f) {
+                builder = builder.crash_at(crash_at, *id).restart_at(restart_at, *id);
+            }
+        }
+        let mut throughput = ThroughputObserver::new(bucket);
+        let mut recovery = RecoveryObserver::new();
+        builder.build().run_observed(&mut [&mut throughput, &mut recovery]);
+
+        let series = throughput.series();
+        let pre_crash = series
+            .iter()
+            .filter(|(t, _)| *t <= crash_at.as_secs_f64())
+            .map(|(_, tps)| *tps)
+            .fold(0.0f64, f64::max);
+        let end_rate = series.iter().rev().take(3).map(|(_, tps)| *tps).fold(0.0f64, f64::max);
+        let ratio = if pre_crash > 0.0 { 100.0 * end_rate / pre_crash } else { 0.0 };
+        let ttc = recovery
+            .max_time_to_caught_up()
+            .map(|d| fmt(d.as_millis_f64(), 1))
+            .unwrap_or_else(|| "stalled".into());
+        vec![
+            protocol.label().to_string(),
+            crash_secs.to_string(),
+            interval.to_string(),
+            ttc,
+            recovery.total_rounds_transferred().to_string(),
+            recovery.total_bytes_transferred().to_string(),
+            fmt(pre_crash, 1),
+            fmt(end_rate, 1),
+            fmt(ratio, 1),
+        ]
+    });
     print_table(
         &format!(
             "E10: crash→restart recovery, crash at {}s (crash duration × checkpoint interval)",
@@ -785,7 +870,7 @@ mod tests {
     use super::*;
 
     fn tiny_scale() -> ExperimentScale {
-        ExperimentScale { run: Duration::from_secs(6), warmup_frac: 0.3, full: false }
+        ExperimentScale { run: Duration::from_secs(6), warmup_frac: 0.3, full: false, jobs: 2 }
     }
 
     #[test]

@@ -10,6 +10,7 @@
 
 use crate::experiments::{e0_single_region, ExperimentScale, Protocol};
 use ava_hamava::harness::DeploymentOptions;
+use ava_scenario::{thread_cpu_time, RunPool};
 use ava_simnet::{CostModel, LatencyModel};
 use ava_store::StoreConfig;
 use ava_types::{Duration, Output, Region, ReplicaId, SystemConfig, Time};
@@ -24,6 +25,18 @@ pub struct PerfRecord {
     pub name: String,
     /// Best-of-iterations wall-clock time in milliseconds.
     pub wall_ms: f64,
+    /// Median of the per-iteration wall-clock times in milliseconds (equals
+    /// `wall_ms` for a single iteration; the spread vs. `wall_ms` makes
+    /// run-to-run noise visible in the BENCH json).
+    pub wall_ms_median: f64,
+    /// Mean of the per-iteration wall-clock times in milliseconds.
+    pub wall_ms_mean: f64,
+    /// Best-of-iterations *thread CPU time* in milliseconds, when the platform
+    /// exposes per-thread CPU clocks (`None` elsewhere). Under `--jobs > 1`
+    /// concurrent shapes contend for cores and inflate each other's wall-clock,
+    /// so CPU time is the stable per-shape cost metric — the regression gate
+    /// prefers it whenever both sides of a comparison have it.
+    pub cpu_ms: Option<f64>,
     /// Simulator events processed during one run (0 when not tracked).
     pub events: u64,
     /// Events per wall-clock second (0 when not tracked).
@@ -61,58 +74,85 @@ fn completed(outputs: &[Output]) -> usize {
     outputs.iter().filter(|o| matches!(o, Output::TxCompleted { .. })).count()
 }
 
+fn median(sorted: &[f64]) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 0 {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    } else {
+        sorted[mid]
+    }
+}
+
 /// Time `run` (which returns `(events_processed, completed_txns)`) `iters` times and
-/// record the fastest wall-clock pass; counters come from the last pass (runs are
-/// seed-deterministic, so every pass produces identical counters).
+/// record the fastest pass by wall-clock and by thread CPU time, plus the
+/// median/mean of the wall-clock samples; counters come from the last pass (runs
+/// are seed-deterministic, so every pass produces identical counters).
 fn time_shape(name: &str, iters: u32, mut run: impl FnMut() -> (u64, usize)) -> PerfRecord {
-    let mut best = f64::INFINITY;
+    let mut walls = Vec::with_capacity(iters.max(1) as usize);
+    let mut best_cpu = f64::INFINITY;
     let mut events = 0u64;
     let mut txns = 0usize;
     for _ in 0..iters.max(1) {
+        let cpu_before = thread_cpu_time();
         let start = Instant::now();
         let (e, t) = run();
-        let ms = start.elapsed().as_secs_f64() * 1e3;
-        best = best.min(ms);
+        walls.push(start.elapsed().as_secs_f64() * 1e3);
+        if let (Some(before), Some(after)) = (cpu_before, thread_cpu_time()) {
+            best_cpu = best_cpu.min(after.saturating_sub(before).as_secs_f64() * 1e3);
+        }
         events = e;
         txns = t;
     }
+    walls.sort_by(|a, b| a.total_cmp(b));
+    let best = walls[0];
     PerfRecord {
         name: name.to_string(),
         wall_ms: best,
+        wall_ms_median: median(&walls),
+        wall_ms_mean: walls.iter().sum::<f64>() / walls.len() as f64,
+        cpu_ms: (best_cpu.is_finite()).then_some(best_cpu),
         events,
         events_per_sec: if best > 0.0 { events as f64 / (best / 1e3) } else { 0.0 },
         completed_txns: txns,
     }
 }
 
-/// Run and time the quick end-to-end shapes (the `figure_benches` set plus an E1
-/// multi-region shape). Each shape is a full deployment driven for 5 s of virtual
-/// time.
-pub fn run_quick_shapes(iters: u32) -> Vec<PerfRecord> {
+/// One nameable end-to-end shape: a label plus a runnable returning
+/// `(events_processed, completed_txns)`. Boxed so heterogeneous shapes can ride
+/// one list onto the worker pool.
+type Shape = (String, Box<dyn Fn() -> (u64, usize) + Send>);
+
+fn quick_shape_set() -> Vec<Shape> {
     let run_secs = Duration::from_secs(5);
-    let time_deploy = |name: &str, protocol: Protocol, config: SystemConfig, seed: u64| {
-        time_shape(name, iters, || {
-            let mut dep = protocol.deploy(config.clone(), opts(seed));
-            dep.run_for(run_secs);
-            (dep.net_stats().events_processed, completed(dep.outputs()))
-        })
+    let deploy_shape = |name: &str, protocol: Protocol, config: SystemConfig, seed: u64| -> Shape {
+        (
+            name.to_string(),
+            Box::new(move || {
+                let mut dep = protocol.deploy(config.clone(), opts(seed));
+                dep.run_for(run_secs);
+                (dep.net_stats().events_processed, completed(dep.outputs()))
+            }),
+        )
     };
-    let mut records = Vec::new();
+    let mut shapes = Vec::new();
     for clusters in [2usize, 3] {
-        records.push(time_deploy(
+        shapes.push(deploy_shape(
             &format!("e0/hotstuff_{clusters}clusters_5s"),
             Protocol::AvaHotStuff,
             small_config(clusters),
             1,
         ));
-        records.push(time_deploy(
+        shapes.push(deploy_shape(
             &format!("e0/bftsmart_{clusters}clusters_5s"),
             Protocol::AvaBftSmart,
             small_config(clusters),
             2,
         ));
     }
-    records.push(time_deploy(
+    shapes.push(deploy_shape(
         "e1/hotstuff_3clusters_multiregion_5s",
         Protocol::AvaHotStuff,
         multi_region_config(3),
@@ -121,8 +161,8 @@ pub fn run_quick_shapes(iters: u32) -> Vec<PerfRecord> {
     let mut hetero =
         SystemConfig::heterogeneous(&[vec![Region::AsiaSouth; 9], vec![Region::Europe; 5]]);
     hetero.params.batch_size = 20;
-    records.push(time_deploy("e3/heterogeneous_9asia_5eu_5s", Protocol::AvaHotStuff, hetero, 3));
-    records.push(time_deploy("e6/geobft_2clusters_5s", Protocol::GeoBft, small_config(2), 4));
+    shapes.push(deploy_shape("e3/heterogeneous_9asia_5eu_5s", Protocol::AvaHotStuff, hetero, 3));
+    shapes.push(deploy_shape("e6/geobft_2clusters_5s", Protocol::GeoBft, small_config(2), 4));
     // Store-enabled hot path: the same E0 shape with the ava-store round log +
     // checkpoints on (every append pays the fsync cost model), and a
     // crash→restart→catch-up variant exercising the recovery path end to end.
@@ -131,32 +171,65 @@ pub fn run_quick_shapes(iters: u32) -> Vec<PerfRecord> {
         o.store = Some(StoreConfig::every(8));
         o
     };
-    records.push(time_shape("e10/hotstuff_2clusters_store_5s", iters, || {
-        let mut dep = Protocol::AvaHotStuff.deploy(small_config(2), store_opts(6));
-        dep.run_for(run_secs);
-        (dep.net_stats().events_processed, completed(dep.outputs()))
-    }));
-    records.push(time_shape("e10/hotstuff_crash_restart_5s", iters, || {
-        let mut dep = Protocol::AvaHotStuff.deploy(small_config(2), store_opts(7));
-        dep.crash_at(ReplicaId(1), Time::from_secs(1));
-        dep.restart_at(ReplicaId(1), Time::from_secs(3));
-        dep.run_for(run_secs);
-        (dep.net_stats().events_processed, completed(dep.outputs()))
-    }));
-    records
+    shapes.push((
+        "e10/hotstuff_2clusters_store_5s".to_string(),
+        Box::new(move || {
+            let mut dep = Protocol::AvaHotStuff.deploy(small_config(2), store_opts(6));
+            dep.run_for(run_secs);
+            (dep.net_stats().events_processed, completed(dep.outputs()))
+        }),
+    ));
+    let store_opts7 = {
+        let mut o = opts(7);
+        o.store = Some(StoreConfig::every(8));
+        o
+    };
+    shapes.push((
+        "e10/hotstuff_crash_restart_5s".to_string(),
+        Box::new(move || {
+            let mut dep = Protocol::AvaHotStuff.deploy(small_config(2), store_opts7.clone());
+            dep.crash_at(ReplicaId(1), Time::from_secs(1));
+            dep.restart_at(ReplicaId(1), Time::from_secs(3));
+            dep.run_for(run_secs);
+            (dep.net_stats().events_processed, completed(dep.outputs()))
+        }),
+    ));
+    shapes
+}
+
+/// Run and time the quick end-to-end shapes (the `figure_benches` set plus an E1
+/// multi-region shape) on `jobs` worker threads. Each shape is a full deployment
+/// driven for 5 s of virtual time; a shape's `iters` passes run back-to-back on
+/// one worker (so its best-of wall-clock stays comparable), while distinct shapes
+/// time concurrently — which is why [`PerfRecord`] carries thread CPU time.
+/// Returns the records (in the canonical shape order regardless of `jobs`) plus
+/// the pool wall-clock for the whole set in milliseconds.
+pub fn run_quick_shapes(iters: u32, jobs: usize) -> (Vec<PerfRecord>, f64) {
+    let start = Instant::now();
+    let records =
+        RunPool::new(jobs).map(quick_shape_set(), |_, (name, run)| time_shape(&name, iters, run));
+    (records, start.elapsed().as_secs_f64() * 1e3)
 }
 
 /// Run and time the full paper-scale E0 sweep (`AVA_FULL=1` equivalent: 96 nodes,
-/// 180 s virtual windows, 6 cluster counts × 2 protocols). Returns the timing record
-/// and the E0 result rows (clusters, A.H tput/lat, A.B tput/lat) so callers can
-/// transcribe them into EXPERIMENTS.md.
-pub fn run_full_e0() -> (PerfRecord, Vec<Vec<String>>) {
+/// 180 s virtual windows, 6 cluster counts × 2 protocols) with its 12 runs fanned
+/// out over `jobs` workers. Returns the timing record and the E0 result rows
+/// (clusters, A.H tput/lat, A.B tput/lat) so callers can transcribe them into
+/// EXPERIMENTS.md.
+pub fn run_full_e0(jobs: usize) -> (PerfRecord, Vec<Vec<String>>) {
+    let scale = ExperimentScale { jobs: jobs.max(1), ..ExperimentScale::paper() };
     let start = Instant::now();
-    let rows = e0_single_region(&ExperimentScale::paper());
+    let rows = e0_single_region(&scale);
     let ms = start.elapsed().as_secs_f64() * 1e3;
+    // The sweep's runs execute on pool workers, so the driving thread's CPU clock
+    // would only cover orchestration — the meaningful number for the sweep is its
+    // pool wall-clock, recorded as `wall_ms`.
     let record = PerfRecord {
         name: "e0/full_96nodes_180s_sweep".to_string(),
         wall_ms: ms,
+        wall_ms_median: ms,
+        wall_ms_mean: ms,
+        cpu_ms: None,
         events: 0,
         events_per_sec: 0.0,
         completed_txns: 0,
@@ -171,19 +244,39 @@ pub fn peak_rss_kb() -> Option<u64> {
     line.split_whitespace().nth(1)?.parse().ok()
 }
 
-/// Serialize records (with optional per-shape baselines) into the `BENCH_PR6.json`
-/// document. `baseline` maps shape name to the pre-refactor wall-clock milliseconds.
+/// One side of a shape comparison as read back from a committed `BENCH_PR*.json`:
+/// the best-of wall-clock plus, when the producing run recorded it, the best-of
+/// thread CPU time. Older baselines (pre-PR7) carry only `wall_ms`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BaselineEntry {
+    /// Best-of-iterations wall-clock milliseconds.
+    pub wall_ms: f64,
+    /// Best-of-iterations thread CPU milliseconds, if the baseline recorded it.
+    pub cpu_ms: Option<f64>,
+}
+
+/// Serialize records (with optional per-shape baselines) into the `BENCH_PR7.json`
+/// document. `pool_wall_ms` is the wall-clock of the whole shape set on the worker
+/// pool (None for single-record full-E0 runs, where the record itself is the
+/// pool time); `baseline` maps shape name to the committed pre-change timings.
 pub fn render_json(
     mode: &str,
     iters: u32,
+    jobs: usize,
+    pool_wall_ms: Option<f64>,
     records: &[PerfRecord],
-    baseline: &BTreeMap<String, f64>,
+    baseline: &BTreeMap<String, BaselineEntry>,
 ) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"pr\": 5,\n");
+    out.push_str("  \"pr\": 7,\n");
     out.push_str("  \"harness\": \"perf_wallclock\",\n");
     out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
     out.push_str(&format!("  \"iters\": {iters},\n"));
+    out.push_str(&format!("  \"jobs\": {jobs},\n"));
+    match pool_wall_ms {
+        Some(ms) => out.push_str(&format!("  \"pool_wall_ms\": {ms:.3},\n")),
+        None => out.push_str("  \"pool_wall_ms\": null,\n"),
+    }
     match peak_rss_kb() {
         Some(kb) => out.push_str(&format!("  \"peak_rss_kb\": {kb},\n")),
         None => out.push_str("  \"peak_rss_kb\": null,\n"),
@@ -193,13 +286,19 @@ pub fn render_json(
         out.push_str("    {");
         out.push_str(&format!("\"name\": \"{}\", ", r.name));
         out.push_str(&format!("\"wall_ms\": {:.3}, ", r.wall_ms));
+        out.push_str(&format!("\"wall_ms_median\": {:.3}, ", r.wall_ms_median));
+        out.push_str(&format!("\"wall_ms_mean\": {:.3}, ", r.wall_ms_mean));
+        match r.cpu_ms {
+            Some(cpu) => out.push_str(&format!("\"cpu_ms\": {cpu:.3}, ")),
+            None => out.push_str("\"cpu_ms\": null, "),
+        }
         out.push_str(&format!("\"events\": {}, ", r.events));
         out.push_str(&format!("\"events_per_sec\": {:.1}, ", r.events_per_sec));
         out.push_str(&format!("\"completed_txns\": {}", r.completed_txns));
         if let Some(base) = baseline.get(&r.name) {
-            out.push_str(&format!(", \"baseline_wall_ms\": {base:.3}"));
+            out.push_str(&format!(", \"baseline_wall_ms\": {:.3}", base.wall_ms));
             if r.wall_ms > 0.0 {
-                out.push_str(&format!(", \"speedup\": {:.2}", base / r.wall_ms));
+                out.push_str(&format!(", \"speedup\": {:.2}", base.wall_ms / r.wall_ms));
             }
         }
         out.push('}');
@@ -209,23 +308,28 @@ pub fn render_json(
     out
 }
 
-/// Extract per-shape `name -> wall_ms` from a `BENCH_PR*.json` document produced by
-/// [`render_json`] (a hand-rolled scan; the format is our own renderer's).
-pub fn parse_bench_json(text: &str) -> BTreeMap<String, f64> {
+/// Extract per-shape `name -> {wall_ms, cpu_ms}` from a `BENCH_PR*.json` document
+/// produced by [`render_json`] (a hand-rolled scan; the format is our own
+/// renderer's). Pre-PR7 documents have no `cpu_ms` field; the entry then carries
+/// `cpu_ms: None` and comparisons fall back to wall-clock.
+pub fn parse_bench_json(text: &str) -> BTreeMap<String, BaselineEntry> {
+    fn number_after(line: &str, key: &str) -> Option<f64> {
+        let at = line.find(key)?;
+        let text: String = line[at + key.len()..]
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+            .collect();
+        text.parse().ok()
+    }
     let mut map = BTreeMap::new();
     for line in text.lines() {
         let Some(name_at) = line.find("\"name\": \"") else { continue };
         let rest = &line[name_at + 9..];
         let Some(name_end) = rest.find('"') else { continue };
         let name = &rest[..name_end];
-        let Some(ms_at) = line.find("\"wall_ms\": ") else { continue };
-        let ms_text: String = line[ms_at + 11..]
-            .chars()
-            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
-            .collect();
-        if let Ok(ms) = ms_text.parse::<f64>() {
-            map.insert(name.to_string(), ms);
-        }
+        let Some(wall_ms) = number_after(line, "\"wall_ms\": ") else { continue };
+        let cpu_ms = number_after(line, "\"cpu_ms\": ");
+        map.insert(name.to_string(), BaselineEntry { wall_ms, cpu_ms });
     }
     map
 }
@@ -239,7 +343,7 @@ pub fn parse_bench_json(text: &str) -> BTreeMap<String, f64> {
 /// regeneration re-syncs the sets.
 pub fn unmatched_shapes(
     records: &[PerfRecord],
-    baseline: &BTreeMap<String, f64>,
+    baseline: &BTreeMap<String, BaselineEntry>,
 ) -> (Vec<String>, Vec<String>) {
     let run_names: Vec<&str> = records.iter().map(|r| r.name.as_str()).collect();
     let missing_from_run =
@@ -252,31 +356,71 @@ pub fn unmatched_shapes(
     (missing_from_run, new_in_run)
 }
 
+/// Pick the comparable metric for one shape: thread CPU time when *both* the run
+/// and the baseline recorded it (stable under `--jobs > 1` core contention and on
+/// shared CI runners), otherwise wall-clock. Returns `(metric_label, run_ms,
+/// baseline_ms)`.
+fn comparison_metric(r: &PerfRecord, base: &BaselineEntry) -> (&'static str, f64, f64) {
+    match (r.cpu_ms, base.cpu_ms) {
+        (Some(run_cpu), Some(base_cpu)) => ("cpu", run_cpu, base_cpu),
+        _ => ("wall", r.wall_ms, base.wall_ms),
+    }
+}
+
 /// Compare `records` against committed per-shape baselines: any shape slower than
-/// `baseline × (1 + threshold)` is a regression. Returns one human-readable line
-/// per offending shape (empty = gate passes). Only shapes present on both sides
-/// are compared — see [`unmatched_shapes`] for the tolerated leftovers.
+/// `baseline × (1 + threshold)` is a regression. The comparison runs on thread CPU
+/// time when both sides recorded it and on wall-clock otherwise (see
+/// `comparison_metric`). Returns one human-readable line per offending shape
+/// (empty = gate passes). Only shapes present on both sides are compared — see
+/// [`unmatched_shapes`] for the tolerated leftovers.
 pub fn check_regressions(
     records: &[PerfRecord],
-    baseline: &BTreeMap<String, f64>,
+    baseline: &BTreeMap<String, BaselineEntry>,
     threshold: f64,
 ) -> Vec<String> {
     let mut failures = Vec::new();
     for r in records {
-        if let Some(&base) = baseline.get(&r.name) {
-            if base > 0.0 && r.wall_ms > base * (1.0 + threshold) {
+        if let Some(base) = baseline.get(&r.name) {
+            let (metric, run_ms, base_ms) = comparison_metric(r, base);
+            if base_ms > 0.0 && run_ms > base_ms * (1.0 + threshold) {
                 failures.push(format!(
-                    "{}: {:.1} ms vs baseline {:.1} ms (+{:.0}%, budget +{:.0}%)",
+                    "{}: {:.1} ms vs baseline {:.1} ms ({metric}, +{:.0}%, budget +{:.0}%)",
                     r.name,
-                    r.wall_ms,
-                    base,
-                    (r.wall_ms / base - 1.0) * 100.0,
+                    run_ms,
+                    base_ms,
+                    (run_ms / base_ms - 1.0) * 100.0,
                     threshold * 100.0
                 ));
             }
         }
     }
     failures
+}
+
+/// One `±N%` comparison line per shape matched against the baseline, printed by
+/// `perf_wallclock --check` even when the gate passes, so every CI log shows the
+/// per-shape drift instead of a bare "ok". Uses the same metric selection as
+/// [`check_regressions`].
+pub fn delta_lines(
+    records: &[PerfRecord],
+    baseline: &BTreeMap<String, BaselineEntry>,
+) -> Vec<String> {
+    let mut lines = Vec::new();
+    for r in records {
+        if let Some(base) = baseline.get(&r.name) {
+            let (metric, run_ms, base_ms) = comparison_metric(r, base);
+            if base_ms > 0.0 {
+                lines.push(format!(
+                    "{}: {:.1} ms vs baseline {:.1} ms ({metric}, {:+.1}%)",
+                    r.name,
+                    run_ms,
+                    base_ms,
+                    (run_ms / base_ms - 1.0) * 100.0
+                ));
+            }
+        }
+    }
+    lines
 }
 
 /// Render records as `name\twall_ms` lines (the baseline interchange format).
@@ -288,14 +432,16 @@ pub fn render_tsv(records: &[PerfRecord]) -> String {
     out
 }
 
-/// Parse the `name\twall_ms` baseline format produced by [`render_tsv`].
-pub fn parse_baseline(text: &str) -> BTreeMap<String, f64> {
+/// Parse the `name\twall_ms` baseline format produced by [`render_tsv`]. The TSV
+/// format is wall-clock-only, so every entry comes back with `cpu_ms: None` and
+/// comparisons against it use wall-clock.
+pub fn parse_baseline(text: &str) -> BTreeMap<String, BaselineEntry> {
     let mut map = BTreeMap::new();
     for line in text.lines() {
         let mut parts = line.splitn(2, '\t');
         if let (Some(name), Some(ms)) = (parts.next(), parts.next()) {
-            if let Ok(ms) = ms.trim().parse::<f64>() {
-                map.insert(name.to_string(), ms);
+            if let Ok(wall_ms) = ms.trim().parse::<f64>() {
+                map.insert(name.to_string(), BaselineEntry { wall_ms, cpu_ms: None });
             }
         }
     }
@@ -310,10 +456,17 @@ mod tests {
         PerfRecord {
             name: name.to_string(),
             wall_ms,
+            wall_ms_median: wall_ms,
+            wall_ms_mean: wall_ms,
+            cpu_ms: None,
             events: 10,
             events_per_sec: 100.0,
             completed_txns: 5,
         }
+    }
+
+    fn entry(wall_ms: f64) -> BaselineEntry {
+        BaselineEntry { wall_ms, cpu_ms: None }
     }
 
     #[test]
@@ -321,36 +474,55 @@ mod tests {
         let records = vec![record("a/b_2c", 12.5), record("c/d_3c", 1000.125)];
         let map = parse_baseline(&render_tsv(&records));
         assert_eq!(map.len(), 2);
-        assert!((map["a/b_2c"] - 12.5).abs() < 1e-9);
-        assert!((map["c/d_3c"] - 1000.125).abs() < 1e-9);
+        assert!((map["a/b_2c"].wall_ms - 12.5).abs() < 1e-9);
+        assert!((map["c/d_3c"].wall_ms - 1000.125).abs() < 1e-9);
+        assert_eq!(map["a/b_2c"].cpu_ms, None);
     }
 
     #[test]
     fn json_includes_speedup_only_for_known_baselines() {
         let records = vec![record("x", 10.0), record("y", 10.0)];
         let mut baseline = BTreeMap::new();
-        baseline.insert("x".to_string(), 25.0);
-        let json = render_json("quick", 3, &records, &baseline);
+        baseline.insert("x".to_string(), entry(25.0));
+        let json = render_json("quick", 3, 2, Some(20.0), &records, &baseline);
         assert!(json.contains("\"speedup\": 2.50"));
         assert!(json.contains("\"name\": \"y\""));
+        assert!(json.contains("\"jobs\": 2"));
+        assert!(json.contains("\"pool_wall_ms\": 20.000"));
         assert_eq!(json.matches("baseline_wall_ms").count(), 1);
     }
 
     #[test]
     fn bench_json_roundtrips_through_the_parser() {
-        let records = vec![record("e0/x_2c", 12.5), record("e6/y_3c", 1000.125)];
-        let json = render_json("quick", 1, &records, &BTreeMap::new());
+        let mut with_cpu = record("e0/x_2c", 12.5);
+        with_cpu.cpu_ms = Some(11.25);
+        let records = vec![with_cpu, record("e6/y_3c", 1000.125)];
+        let json = render_json("quick", 1, 1, None, &records, &BTreeMap::new());
         let map = parse_bench_json(&json);
         assert_eq!(map.len(), 2);
-        assert!((map["e0/x_2c"] - 12.5).abs() < 1e-6);
-        assert!((map["e6/y_3c"] - 1000.125).abs() < 1e-6);
+        assert!((map["e0/x_2c"].wall_ms - 12.5).abs() < 1e-6);
+        assert_eq!(map["e0/x_2c"].cpu_ms, Some(11.25));
+        assert!((map["e6/y_3c"].wall_ms - 1000.125).abs() < 1e-6);
+        assert_eq!(map["e6/y_3c"].cpu_ms, None);
+    }
+
+    #[test]
+    fn parser_accepts_pre_pr7_documents_without_cpu_fields() {
+        let legacy = r#"{
+  "pr": 5,
+  "shapes": [
+    {"name": "e0/x_2c", "wall_ms": 42.500, "events": 10, "events_per_sec": 1.0, "completed_txns": 5}
+  ]
+}"#;
+        let map = parse_bench_json(legacy);
+        assert_eq!(map["e0/x_2c"], BaselineEntry { wall_ms: 42.5, cpu_ms: None });
     }
 
     #[test]
     fn regression_gate_flags_only_shapes_over_budget() {
         let mut baseline = BTreeMap::new();
-        baseline.insert("slow".to_string(), 100.0);
-        baseline.insert("ok".to_string(), 100.0);
+        baseline.insert("slow".to_string(), entry(100.0));
+        baseline.insert("ok".to_string(), entry(100.0));
         // "new" has no baseline and must be ignored.
         let records = vec![record("slow", 130.0), record("ok", 120.0), record("new", 9.9)];
         let failures = check_regressions(&records, &baseline, 0.25);
@@ -359,12 +531,41 @@ mod tests {
     }
 
     #[test]
+    fn regression_gate_prefers_cpu_time_when_both_sides_have_it() {
+        // Wall-clock looks like a 2x regression (core contention under --jobs),
+        // but CPU time is flat — the gate must pass on CPU and say so.
+        let mut baseline = BTreeMap::new();
+        baseline.insert("s".to_string(), BaselineEntry { wall_ms: 100.0, cpu_ms: Some(90.0) });
+        let mut r = record("s", 200.0);
+        r.cpu_ms = Some(92.0);
+        assert!(check_regressions(&[r.clone()], &baseline, 0.25).is_empty());
+        // Against a legacy baseline without cpu_ms, the same record falls back to
+        // wall-clock and fails.
+        baseline.insert("s".to_string(), entry(100.0));
+        let failures = check_regressions(&[r], &baseline, 0.25);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("(wall,"), "{failures:?}");
+    }
+
+    #[test]
+    fn delta_lines_cover_every_matched_shape_even_when_faster() {
+        let mut baseline = BTreeMap::new();
+        baseline.insert("fast".to_string(), entry(100.0));
+        baseline.insert("slow".to_string(), entry(100.0));
+        let records = vec![record("fast", 50.0), record("slow", 150.0), record("new", 1.0)];
+        let lines = delta_lines(&records, &baseline);
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("-50.0%"), "{lines:?}");
+        assert!(lines[1].contains("+50.0%"), "{lines:?}");
+    }
+
+    #[test]
     fn unmatched_shapes_are_tolerated_in_both_directions() {
         // A baseline-only shape (retired) and a run-only shape (new, e.g. the
         // e10/store shapes) must be reported without failing the gate.
         let mut baseline = BTreeMap::new();
-        baseline.insert("both".to_string(), 100.0);
-        baseline.insert("retired".to_string(), 50.0);
+        baseline.insert("both".to_string(), entry(100.0));
+        baseline.insert("retired".to_string(), entry(50.0));
         let records = vec![record("both", 90.0), record("e10/new_shape", 10.0)];
         let (missing, new) = unmatched_shapes(&records, &baseline);
         assert_eq!(missing, vec!["retired".to_string()]);
@@ -379,5 +580,7 @@ mod tests {
         assert_eq!(r.events, 42);
         assert_eq!(r.completed_txns, 7);
         assert!(r.wall_ms >= 0.0);
+        assert!(r.wall_ms_median >= r.wall_ms);
+        assert!(r.wall_ms_mean >= r.wall_ms);
     }
 }

@@ -96,9 +96,14 @@ impl TobConfig {
 ///
 /// Implementations are sans-I/O state machines: every entry point returns the actions
 /// the caller (the Hamava replica, or a test harness) must carry out.
-pub trait TotalOrderBroadcast {
+///
+/// Both the protocol state and its messages must be `Send`: the parallel run
+/// executor (`ava_scenario::parallel`) moves whole deployments — replicas with
+/// their embedded TOB instances and in-flight messages — onto worker threads.
+/// Nothing ever runs a single TOB concurrently, so `Sync` is not required.
+pub trait TotalOrderBroadcast: Send {
     /// The protocol's wire message type.
-    type Msg: Clone + WireSize;
+    type Msg: Clone + WireSize + Send;
 
     /// Human-readable protocol name (used in reports: "HotStuff", "BFT-SMaRt").
     fn name(&self) -> &'static str;

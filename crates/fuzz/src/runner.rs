@@ -122,22 +122,27 @@ impl CampaignSummary {
     }
 }
 
-/// Run seeds `start..start + count` of `cfg`'s generator, invoking `progress`
-/// after each seed (for per-seed pass/fail lines).
+/// Run seeds `start..start + count` of `cfg`'s generator on `jobs` worker
+/// threads, invoking `progress` as each seed finishes (for per-seed pass/fail
+/// lines; under `jobs > 1` the calls arrive in completion order, which is why
+/// `progress` must be `Sync`). The summary's reports are always in seed order
+/// and byte-identical to a `jobs = 1` run: every case owns its full simulation
+/// stack, so fanning seeds out cannot perturb any run's schedule or digests.
 pub fn fuzz_many(
     cfg: FuzzConfig,
     start: u64,
     count: u64,
-    mut progress: impl FnMut(&CaseReport),
+    jobs: usize,
+    progress: impl Fn(&CaseReport) + Sync,
 ) -> CampaignSummary {
     let generator = ScheduleGenerator::new(cfg);
-    let mut summary = CampaignSummary::default();
-    for seed in start..start + count {
+    let seeds: Vec<u64> = (start..start + count).collect();
+    let reports = ava_scenario::RunPool::new(jobs).map(seeds, |_, seed| {
         let report = run_case(&generator.case(seed));
         progress(&report);
-        summary.reports.push(report);
-    }
-    summary
+        report
+    });
+    CampaignSummary { reports }
 }
 
 /// Minimal JSON string escaping (quotes, backslashes, control chars).

@@ -49,7 +49,11 @@ impl Default for DeploymentOptions {
 }
 
 /// Factory building a TOB instance for one replica.
-pub type TobFactory<T> = Box<dyn Fn(TobConfig, Keypair, KeyRegistry, ReplicaId) -> T>;
+///
+/// The factory is `Send` (captures only thread-safe state) so a whole
+/// [`Deployment`] — which keeps the factory around for join churn — can move to a
+/// worker thread of the parallel run executor.
+pub type TobFactory<T> = Box<dyn Fn(TobConfig, Keypair, KeyRegistry, ReplicaId) -> T + Send>;
 
 /// A fully built simulated deployment.
 pub struct Deployment<T: TotalOrderBroadcast + 'static> {

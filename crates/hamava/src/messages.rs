@@ -340,7 +340,7 @@ pub enum AvaMsg<TM> {
 
 impl<TM: WireSize> SimMessage for AvaMsg<TM>
 where
-    TM: Clone,
+    TM: Clone + Send,
 {
     fn size_bytes(&self) -> usize {
         match self {

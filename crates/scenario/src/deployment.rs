@@ -90,7 +90,11 @@ impl std::fmt::Display for Protocol {
 /// injection, reconfiguration churn, client management, network shaping — are
 /// available behind `dyn`, so experiment code never mentions a TOB type or restates
 /// trait bounds.
-pub trait DynDeployment {
+///
+/// `Send` is a supertrait so a boxed deployment (and hence a whole
+/// [`crate::ScenarioRun`]) can be produced on one of the parallel executor's
+/// worker threads and handed back to the caller.
+pub trait DynDeployment: Send {
     /// The protocol this deployment runs.
     fn protocol(&self) -> Protocol;
 

@@ -49,6 +49,7 @@
 
 pub mod deployment;
 pub mod observer;
+pub mod parallel;
 #[allow(clippy::module_inception)]
 pub mod scenario;
 
@@ -57,4 +58,5 @@ pub use observer::{
     ReconfigTraceObserver, RecoveryObserver, RecoveryTrace, RoundTrace, RunObserver,
     StageBreakdownObserver, ThroughputObserver,
 };
+pub use parallel::{default_jobs, thread_cpu_time, RunPool, RunTiming};
 pub use scenario::{Scenario, ScenarioBuilder, ScenarioEvent, ScenarioRun, Schedule};

@@ -10,7 +10,12 @@ use rand::rngs::StdRng;
 /// `size_bytes` feeds the latency/CPU cost model; implementations should return a
 /// value roughly proportional to what a wire encoding of the message would be (the
 /// protocol crates account for payloads and signature sets).
-pub trait SimMessage: Clone {
+///
+/// Messages must be `Send`: a whole [`crate::Simulation`] moves across threads when
+/// the parallel run executor fans independent runs out over a worker pool, and the
+/// event queue owns in-flight messages. `Arc`-backed payloads satisfy this as long
+/// as their interior mutability is thread-safe (`OnceLock`/`Mutex`, not `Cell`).
+pub trait SimMessage: Clone + Send {
     /// Approximate wire size of the message in bytes.
     fn size_bytes(&self) -> usize {
         256

@@ -72,7 +72,7 @@ impl GroupPartition {
 }
 
 struct NodeSlot<M> {
-    actor: Box<dyn Actor<M>>,
+    actor: Box<dyn Actor<M> + Send>,
     region: Region,
     group: u32,
     busy_until: Time,
@@ -127,12 +127,16 @@ impl<M: SimMessage> Simulation<M> {
 
     /// Add a node. `group` tags the node's cluster for local/global message
     /// accounting. The node's `on_start` hook runs at the current virtual time.
+    ///
+    /// Actors must be `Send` so a prepared simulation can move to a worker thread
+    /// of the parallel run executor (`ava_scenario::parallel`). Actors never run
+    /// concurrently within one simulation — `Send`, not `Sync`, is the bound.
     pub fn add_node(
         &mut self,
         id: ReplicaId,
         region: Region,
         group: u32,
-        actor: Box<dyn Actor<M>>,
+        actor: Box<dyn Actor<M> + Send>,
     ) {
         assert!(!self.nodes.contains_key(&id), "node {id} already exists");
         self.nodes.insert(
@@ -578,9 +582,13 @@ mod tests {
 
     #[test]
     fn timers_armed_before_a_crash_die_with_the_restart() {
-        // An actor that re-arms a periodic timer and counts firings.
+        use std::sync::atomic::{AtomicU32, Ordering};
+        use std::sync::Arc;
+        // An actor that re-arms a periodic timer and counts firings. The shared
+        // counter is an `Arc<AtomicU32>` (not `Rc<Cell>`) so the actor satisfies
+        // the `Send` bound `add_node` now enforces.
         struct Ticker {
-            fired: std::rc::Rc<std::cell::Cell<u32>>,
+            fired: Arc<AtomicU32>,
         }
         impl Actor<PingMsg> for Ticker {
             fn on_start(&mut self, ctx: &mut Context<'_, PingMsg>) {
@@ -588,11 +596,11 @@ mod tests {
             }
             fn on_message(&mut self, _: ReplicaId, _: PingMsg, _: &mut Context<'_, PingMsg>) {}
             fn on_timer(&mut self, _kind: u64, ctx: &mut Context<'_, PingMsg>) {
-                self.fired.set(self.fired.get() + 1);
+                self.fired.fetch_add(1, Ordering::Relaxed);
                 ctx.set_timer(Duration::from_millis(10), 1);
             }
         }
-        let fired = std::rc::Rc::new(std::cell::Cell::new(0));
+        let fired = Arc::new(AtomicU32::new(0));
         let mut sim: Simulation<PingMsg> =
             Simulation::new(1, LatencyModel::paper_table2().with_jitter(0.0), CostModel::zero());
         sim.add_node(ReplicaId(0), Region::UsWest, 0, Box::new(Ticker { fired: fired.clone() }));
@@ -603,7 +611,29 @@ mod tests {
         sim.restart_at(ReplicaId(0), Time::from_millis(18));
         sim.run_until(Time::from_millis(100));
         // One firing pre-crash (t=10); post-restart chain fires at 28, 38, ..., 98.
-        assert_eq!(fired.get(), 1 + 8, "exactly one timer chain may run after the restart");
+        assert_eq!(
+            fired.load(Ordering::Relaxed),
+            1 + 8,
+            "exactly one timer chain may run after the restart"
+        );
+    }
+
+    #[test]
+    fn simulation_is_send() {
+        // Compile-time guarantee for the parallel run executor: a fully built
+        // simulation (actors, queued events, RNG, stats) can move to a worker
+        // thread. `two_node_sim` exercises the bound with real boxed actors.
+        fn assert_send<T: Send>() {}
+        assert_send::<Simulation<PingMsg>>();
+        assert_send::<Simulation<()>>();
+        let sim = two_node_sim((Region::UsWest, Region::Europe));
+        std::thread::spawn(move || {
+            let mut sim = sim;
+            sim.run_until(Time::from_secs(10));
+            sim.outputs().len()
+        })
+        .join()
+        .expect("simulation must run to completion on a worker thread");
     }
 
     #[test]

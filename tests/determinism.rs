@@ -164,6 +164,48 @@ fn fuzz_case_golden_fingerprints_are_stable() {
 }
 
 #[test]
+fn parallel_executor_matches_serial_byte_for_byte() {
+    // The PR 7 parallel-sweep contract: running a list of scenarios on a
+    // `RunPool` with 8 workers must produce the same fingerprints, in the same
+    // order, as running them one by one on one thread — including against the
+    // committed goldens, so cross-thread execution can never silently fork the
+    // deterministic schedule. Each scenario owns its whole simulation stack
+    // (event queue, RNG, key registry), which is the isolation the pool relies
+    // on.
+    use hamava_repro::scenario::RunPool;
+
+    let scenarios = |protocols: &[Protocol]| -> Vec<Scenario> {
+        protocols
+            .iter()
+            .map(|&p| {
+                Scenario::builder(p, golden_config())
+                    .options(golden_opts())
+                    .run_for(Duration::from_secs(8))
+                    .build()
+            })
+            .collect()
+    };
+    let protocols =
+        [Protocol::AvaHotStuff, Protocol::AvaBftSmart, Protocol::AvaHotStuff, Protocol::GeoBft];
+
+    let serial: Vec<String> = RunPool::new(1)
+        .run_scenarios(scenarios(&protocols))
+        .iter()
+        .map(|run| fingerprint(&run.outputs, &run.stats))
+        .collect();
+    let parallel: Vec<String> = RunPool::new(8)
+        .run_scenarios(scenarios(&protocols))
+        .iter()
+        .map(|run| fingerprint(&run.outputs, &run.stats))
+        .collect();
+
+    assert_eq!(serial, parallel, "8-worker pool diverged from the serial runs");
+    assert_eq!(parallel[0], HOTSTUFF_GOLDEN, "pooled AVA-HOTSTUFF run diverged from the golden");
+    assert_eq!(parallel[1], BFTSMART_GOLDEN, "pooled AVA-BFTSMART run diverged from the golden");
+    assert_eq!(parallel[0], parallel[2], "same scenario must fingerprint identically in one pool");
+}
+
+#[test]
 fn observers_and_ticks_do_not_perturb_the_run() {
     // Attaching observers chunks the run into tick-bounded `run_until` segments;
     // scheduling must be bit-identical to the unobserved run.

@@ -38,11 +38,26 @@ fn fuzz_cases_reproduce_byte_for_byte_from_the_seed() {
 
 #[test]
 fn a_short_seed_sweep_passes_every_checker() {
-    let summary = fuzz_many(FuzzConfig::quick(), 0, 5, |_| {});
+    let summary = fuzz_many(FuzzConfig::quick(), 0, 5, 2, |_| {});
     assert!(
         summary.all_passed(),
         "failing seeds: {:?}\n{}",
         summary.failing_seeds(),
         summary.to_json("quick")
     );
+}
+
+#[test]
+fn parallel_fuzz_campaign_matches_serial_digests() {
+    // The fan-out contract: a campaign on 4 workers must produce the same
+    // reports — same seed order, same schedule and output digests — as the
+    // serial campaign, because each case owns its entire simulation stack.
+    let serial = fuzz_many(FuzzConfig::quick(), 0, 4, 1, |_| {});
+    let parallel = fuzz_many(FuzzConfig::quick(), 0, 4, 4, |_| {});
+    assert_eq!(serial.reports.len(), parallel.reports.len());
+    for (s, p) in serial.reports.iter().zip(&parallel.reports) {
+        assert_eq!(s.seed, p.seed);
+        assert_eq!(s.schedule_digest, p.schedule_digest);
+        assert_eq!(s.output_digest, p.output_digest);
+    }
 }
