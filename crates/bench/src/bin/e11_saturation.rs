@@ -1,0 +1,22 @@
+//! E11: broker-tier saturation sweep — offered load vs committed throughput and
+//! latency through the broker/batch client tier, with 10⁵+ virtual clients
+//! collapsed into each broker's aggregate generator.
+//!
+//! Usage: `e11_saturation [--jobs N] [--json PATH]` (reduced scale) or
+//! `AVA_FULL=1 e11_saturation` / `e11_saturation --full` (paper-style scale).
+//! Prints the sweep table, then the machine-readable JSON document (also written
+//! to `PATH` when `--json` is given). The JSON reports the saturation knee: the
+//! first offered rate whose committed throughput falls > 10% short.
+use ava_bench::experiments::{e11_json, e11_saturation, ExperimentScale};
+
+fn main() {
+    let scale = ExperimentScale::from_env_and_args();
+    let (points, knee) = e11_saturation(&scale);
+    let json = e11_json(&scale, &points, knee);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(path) = args.windows(2).find(|w| w[0] == "--json").map(|w| w[1].clone()) {
+        std::fs::write(&path, &json).expect("write --json output");
+        eprintln!("wrote {path}");
+    }
+    println!("{json}");
+}

@@ -4,8 +4,8 @@
 //! compilable `ScenarioBuilder` reproducer.
 //!
 //! ```text
-//! fuzz [--seeds N] [--start-seed S] [--jobs N] [--quick|--full] [--seed X]
-//!      [--canaries] [--no-shrink] [--json FILE]
+//! fuzz [--seeds N] [--start-seed S] [--jobs N] [--quick|--full] [--brokers]
+//!      [--seed X] [--canaries] [--no-shrink] [--json FILE]
 //! ```
 //!
 //! * `--seeds N` (default 25): run seeds `S..S+N` (`S` from `--start-seed`,
@@ -15,6 +15,9 @@
 //!   summary (and every digest in it) is byte-identical to a serial run.
 //! * `--quick` (default): the CI smoke profile — short runs, small topologies.
 //!   `--full`: the overnight profile.
+//! * `--brokers`: deploy a broker tier on half the cases (seed-derived draw;
+//!   the schedule a seed generates is unshifted). The full profile draws broker
+//!   tiers on its own; `--brokers` forces the knob on in either profile.
 //! * `--seed X`: run exactly one seed (prints its schedule digest and snippet —
 //!   the reproduction entry point for a seed reported by CI).
 //! * `--canaries`: run the canary suite instead of fuzzing — every deliberate
@@ -33,6 +36,7 @@ fn main() {
     let mut full = false;
     let mut one_seed: Option<u64> = None;
     let mut canaries = false;
+    let mut brokers = false;
     let mut shrink = true;
     let mut json_path: Option<String> = None;
 
@@ -50,6 +54,7 @@ fn main() {
             "--full" => full = true,
             "--seed" => one_seed = Some(next_value(&mut args, "--seed").parse().expect("--seed X")),
             "--canaries" => canaries = true,
+            "--brokers" => brokers = true,
             "--no-shrink" => shrink = false,
             "--json" => json_path = Some(next_value(&mut args, "--json")),
             other => {
@@ -64,7 +69,10 @@ fn main() {
         return;
     }
 
-    let cfg = if full { FuzzConfig::full() } else { FuzzConfig::quick() };
+    let mut cfg = if full { FuzzConfig::full() } else { FuzzConfig::quick() };
+    if brokers {
+        cfg.broker_probability = 0.5;
+    }
     let mode = if full { "full" } else { "quick" };
     let (start, count) = match one_seed {
         Some(seed) => (seed, 1),

@@ -16,13 +16,13 @@
 use crate::report::{fmt, print_table, summarize, RunMetrics};
 use ava_hamava::harness::DeploymentOptions;
 use ava_scenario::{
-    ReconfigTraceObserver, RecoveryObserver, RunPool, Scenario, ScenarioBuilder,
-    StageBreakdownObserver, ThroughputObserver,
+    BrokerStatsObserver, BrokerTier, ReconfigTraceObserver, RecoveryObserver, RunPool, Scenario,
+    ScenarioBuilder, StageBreakdownObserver, ThroughputObserver,
 };
 use ava_simnet::{CostModel, LatencyModel};
 use ava_store::StoreConfig;
 use ava_types::{ClusterId, Duration, Output, Region, SystemConfig, Time};
-use ava_workload::WorkloadSpec;
+use ava_workload::{AggregateLoad, WorkloadSpec};
 
 pub use ava_scenario::Protocol;
 
@@ -865,6 +865,195 @@ pub fn e10_recovery(scale: &ExperimentScale) -> Vec<Vec<String>> {
     rows
 }
 
+// ---------------------------------------------------------------------------------
+// E11: broker-tier saturation sweep (beyond the paper)
+// ---------------------------------------------------------------------------------
+
+/// One cell of the E11 saturation sweep.
+#[derive(Clone, Debug)]
+pub struct SaturationPoint {
+    /// Total offered load across all clusters, in transactions per second.
+    pub offered_tps: u64,
+    /// Acked throughput over the steady-state window, in transactions per second.
+    pub committed_tps: f64,
+    /// Median ack latency over the window, in milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile ack latency over the window, in milliseconds.
+    pub p99_ms: f64,
+    /// Virtual-client acks over the whole run (issue window plus drain).
+    pub acked: u64,
+    /// Operations bounced by broker backpressure over the whole run.
+    pub shed: u64,
+    /// Mean operations per flushed batch across all brokers.
+    pub batch_occupancy: f64,
+}
+
+/// Virtual clients collapsed into each broker's aggregate generator: the E11
+/// acceptance bar is ≥ 10⁵ per broker actor even at quick scale.
+pub fn e11_virtual_clients(scale: &ExperimentScale) -> u64 {
+    if scale.full {
+        250_000
+    } else {
+        100_000
+    }
+}
+
+/// Per-cluster offered-rate sweep for E11, in transactions per second. The
+/// sweep is sized to cross the tier's admission ceiling (see [`e11_cell`]) well
+/// before its top cell, so the knee sits inside the sweep at either scale.
+pub fn e11_offered_sweep(scale: &ExperimentScale) -> Vec<u64> {
+    if scale.full {
+        vec![1_000, 2_000, 4_000, 8_000, 16_000, 24_000]
+    } else {
+        vec![1_000, 2_000, 4_000, 8_000, 12_000, 16_000]
+    }
+}
+
+fn e11_config(scale: &ExperimentScale) -> SystemConfig {
+    let mut config = if scale.full {
+        let regions = [Region::UsWest, Region::Europe, Region::AsiaSouth];
+        SystemConfig::even_split_multi_region(24, 3, &regions)
+    } else {
+        SystemConfig::even_split_single_region(8, 2, Region::UsWest)
+    };
+    adjust_batch(&mut config, scale);
+    config
+}
+
+/// Run one E11 cell: a broker tier per cluster (1 broker each) absorbing an
+/// open-loop aggregate load of `offered_per_cluster` tps, measured over the
+/// steady-state part of the issue window.
+///
+/// The broker tier itself is generously provisioned (default batch and
+/// in-flight bounds; its pipelined admission ceiling sits near 10⁵ tps per
+/// cluster under intra-region latencies), so the binding constraint is the
+/// replicas' virtual CPU: the cell dials `per_tx_execute` up to 250 µs — a
+/// heavyweight state machine — which puts the execution ceiling near the
+/// middle of [`e11_offered_sweep`]. Below the ceiling the tier is transparent
+/// (committed ≈ offered); above it the execution backlog delays admission
+/// replies, the broker's in-flight slots stall, its bounded queue fills and
+/// sheds, and committed throughput plateaus while ack latency inflates: that
+/// crossover is the saturation knee E11 reports.
+pub fn e11_cell(scale: &ExperimentScale, offered_per_cluster: u64) -> SaturationPoint {
+    let config = e11_config(scale);
+    let clusters = config.clusters.len() as u64;
+    // Issue for two thirds of the run, then let the backlog drain; measure
+    // steady state in the second three quarters of the issue window.
+    let issue = Duration(scale.run.as_micros() * 2 / 3);
+    let tier = BrokerTier {
+        brokers_per_cluster: 1,
+        queue_cap: 20_000,
+        load: AggregateLoad {
+            virtual_clients: e11_virtual_clients(scale),
+            offered_tps: offered_per_cluster,
+            issue_for: issue,
+            ..AggregateLoad::default()
+        },
+        ..BrokerTier::default()
+    };
+    let mut opts = default_opts(14, scale);
+    opts.clients_per_cluster = 0; // all load arrives through the broker tier
+    opts.costs.per_tx_execute = Duration::from_micros(250); // heavyweight state machine
+    let mut stats = BrokerStatsObserver::new();
+    let run = scenario(Protocol::AvaHotStuff, config, opts, scale)
+        .brokers(tier)
+        .build()
+        .run_observed(&mut [&mut stats]);
+    let window_start = Time(issue.as_micros() / 4);
+    let window_end = Time(issue.as_micros());
+    let m = summarize(&run.outputs, window_start, window_end);
+    let acked =
+        run.outputs.iter().filter(|o| matches!(o, Output::TxCompleted { .. })).count() as u64;
+    SaturationPoint {
+        offered_tps: offered_per_cluster * clusters,
+        committed_tps: m.throughput_tps,
+        p50_ms: m.p50_latency_ms,
+        p99_ms: m.p99_latency_ms,
+        acked,
+        shed: stats.total_shed(),
+        batch_occupancy: stats.mean_occupancy(),
+    }
+}
+
+/// The saturation knee: the first sweep point whose committed throughput falls
+/// visibly (> 10%) short of its offered load. Everything before it is the linear
+/// regime; everything from it on is the plateau.
+pub fn e11_knee(points: &[SaturationPoint]) -> Option<u64> {
+    points.iter().find(|p| p.committed_tps < 0.9 * p.offered_tps as f64).map(|p| p.offered_tps)
+}
+
+/// E11: offered-load sweep through the broker tier — committed throughput,
+/// latency percentiles and shed counts per offered rate, plus the detected
+/// saturation knee. Returns the sweep points and the knee.
+pub fn e11_saturation(scale: &ExperimentScale) -> (Vec<SaturationPoint>, Option<u64>) {
+    let points = scale.pool().map(e11_offered_sweep(scale), |_, offered| e11_cell(scale, offered));
+    let knee = e11_knee(&points);
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.offered_tps.to_string(),
+                fmt(p.committed_tps, 1),
+                fmt(p.p50_ms, 1),
+                fmt(p.p99_ms, 1),
+                p.acked.to_string(),
+                p.shed.to_string(),
+                fmt(p.batch_occupancy, 1),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "E11: broker-tier saturation sweep ({} virtual clients per broker), knee at {}",
+            e11_virtual_clients(scale),
+            knee.map(|k| format!("{k} tps offered")).unwrap_or_else(|| "none".into()),
+        ),
+        &[
+            "offered (txn/s)",
+            "committed (txn/s)",
+            "p50 (ms)",
+            "p99 (ms)",
+            "acked (total)",
+            "shed",
+            "batch occupancy",
+        ],
+        &rows,
+    );
+    (points, knee)
+}
+
+/// Serialize an E11 sweep into the JSON document the binary prints (hand-rolled,
+/// like [`crate::perf::render_json`] — the format is our own).
+pub fn e11_json(scale: &ExperimentScale, points: &[SaturationPoint], knee: Option<u64>) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!(
+        "  \"experiment\": \"e11_saturation\",\n  \"mode\": \"{}\",\n",
+        if scale.full { "full" } else { "quick" }
+    ));
+    out.push_str(&format!("  \"virtual_clients_per_broker\": {},\n", e11_virtual_clients(scale)));
+    out.push_str(&format!(
+        "  \"knee_offered_tps\": {},\n  \"points\": [\n",
+        knee.map(|k| k.to_string()).unwrap_or_else(|| "null".into())
+    ));
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"offered_tps\": {}, \"committed_tps\": {:.1}, \"p50_ms\": {:.1}, \
+             \"p99_ms\": {:.1}, \"acked\": {}, \"shed\": {}, \"batch_occupancy\": {:.2}}}{}\n",
+            p.offered_tps,
+            p.committed_tps,
+            p.p50_ms,
+            p.p99_ms,
+            p.acked,
+            p.shed,
+            p.batch_occupancy,
+            if i + 1 == points.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -922,6 +1111,39 @@ mod tests {
         // 3 boundaries × 2 clusters × (join + leave) = 12 events.
         assert_eq!(s.schedule().len(), 12);
         assert_eq!(s.schedule().last_time(), Some(Time::from_secs(9)));
+    }
+
+    #[test]
+    fn e11_cell_commits_through_the_broker_tier() {
+        let scale = tiny_scale();
+        let p = e11_cell(&scale, 200);
+        assert_eq!(p.offered_tps, 400, "two clusters at 200 tps each");
+        assert!(p.committed_tps > 200.0, "committed only {} tps", p.committed_tps);
+        assert!(p.acked > 500, "only {} acks", p.acked);
+        assert!(p.batch_occupancy >= 1.0);
+    }
+
+    #[test]
+    fn e11_knee_detection_and_json_rendering() {
+        let mk = |offered: u64, committed: f64| SaturationPoint {
+            offered_tps: offered,
+            committed_tps: committed,
+            p50_ms: 5.0,
+            p99_ms: 20.0,
+            acked: 100,
+            shed: 0,
+            batch_occupancy: 8.0,
+        };
+        let points =
+            vec![mk(1_000, 990.0), mk(2_000, 1_950.0), mk(4_000, 2_600.0), mk(8_000, 2_700.0)];
+        assert_eq!(e11_knee(&points), Some(4_000));
+        assert_eq!(e11_knee(&points[..2]), None);
+        let json = e11_json(&ExperimentScale::quick(), &points, e11_knee(&points));
+        assert!(json.contains("\"knee_offered_tps\": 4000"));
+        assert!(json.contains("\"offered_tps\": 8000"));
+        assert_eq!(json.matches("\"committed_tps\"").count(), 4);
+        let no_knee = e11_json(&ExperimentScale::quick(), &points[..2], None);
+        assert!(no_knee.contains("\"knee_offered_tps\": null"));
     }
 
     #[test]

@@ -2,19 +2,19 @@
 //!
 //! While the Criterion benches track micro-costs, this module times the *end-to-end*
 //! deployment shapes from `benches/figure_benches.rs` (E0/E1/E3 pipelines, the
-//! GeoBFT baseline, plus the store-enabled E10 shapes) in real wall-clock time
-//! and emits a machine-readable
+//! GeoBFT baseline, the store-enabled E10 shapes, plus the broker-tier E11
+//! shapes) in real wall-clock time and emits a machine-readable
 //! `BENCH_PR*.json` trajectory so hot-path refactors can prove (and later PRs cannot
 //! silently regress) their speedups. The `perf_wallclock` binary is the CLI front
 //! end; CI runs it at quick scale as a bench smoke test.
 
 use crate::experiments::{e0_single_region, ExperimentScale, Protocol};
 use ava_hamava::harness::DeploymentOptions;
-use ava_scenario::{thread_cpu_time, RunPool};
+use ava_scenario::{thread_cpu_time, BrokerTier, RunPool, Scenario};
 use ava_simnet::{CostModel, LatencyModel};
 use ava_store::StoreConfig;
 use ava_types::{Duration, Output, Region, ReplicaId, SystemConfig, Time};
-use ava_workload::WorkloadSpec;
+use ava_workload::{AggregateLoad, WorkloadSpec};
 use std::collections::BTreeMap;
 use std::time::Instant;
 
@@ -194,6 +194,52 @@ fn quick_shape_set() -> Vec<Shape> {
             (dep.net_stats().events_processed, completed(dep.outputs()))
         }),
     ));
+    // Broker-tier hot path (the PR8 subsystem): aggregate virtual-client load
+    // through one broker per cluster. The second variant drives the tier well
+    // past the replicas' execution ceiling (heavyweight state machine), so the
+    // saturated bookkeeping — full batches, stalled in-flight slots, deep
+    // pending-ack fan-back — is on the timed path too.
+    let broker_shape =
+        |name: &str, offered_tps: u64, per_tx_execute: Duration, seed: u64| -> Shape {
+            let tier = BrokerTier {
+                brokers_per_cluster: 1,
+                queue_cap: 20_000,
+                load: AggregateLoad {
+                    virtual_clients: 20_000,
+                    offered_tps,
+                    issue_for: Duration::from_secs(4),
+                    ..AggregateLoad::default()
+                },
+                ..BrokerTier::default()
+            };
+            (
+                name.to_string(),
+                Box::new(move || {
+                    let mut o = opts(seed);
+                    o.clients_per_cluster = 0;
+                    o.costs.per_tx_execute = per_tx_execute;
+                    let run = Scenario::builder(Protocol::AvaHotStuff, small_config(2))
+                        .options(o)
+                        .run_for(run_secs)
+                        .brokers(tier.clone())
+                        .build()
+                        .run();
+                    (run.stats.events_processed, completed(&run.outputs))
+                }),
+            )
+        };
+    shapes.push(broker_shape(
+        "e11/hotstuff_2clusters_broker_2ktps_5s",
+        2_000,
+        Duration::from_micros(5),
+        8,
+    ));
+    shapes.push(broker_shape(
+        "e11/hotstuff_2clusters_broker_saturated_5s",
+        16_000,
+        Duration::from_micros(250),
+        9,
+    ));
     shapes
 }
 
@@ -255,7 +301,7 @@ pub struct BaselineEntry {
     pub cpu_ms: Option<f64>,
 }
 
-/// Serialize records (with optional per-shape baselines) into the `BENCH_PR7.json`
+/// Serialize records (with optional per-shape baselines) into the `BENCH_PR*.json`
 /// document. `pool_wall_ms` is the wall-clock of the whole shape set on the worker
 /// pool (None for single-record full-E0 runs, where the record itself is the
 /// pool time); `baseline` maps shape name to the committed pre-change timings.
@@ -268,7 +314,7 @@ pub fn render_json(
     baseline: &BTreeMap<String, BaselineEntry>,
 ) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"pr\": 7,\n");
+    out.push_str("  \"pr\": 8,\n");
     out.push_str("  \"harness\": \"perf_wallclock\",\n");
     out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
     out.push_str(&format!("  \"iters\": {iters},\n"));

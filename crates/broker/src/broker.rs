@@ -1,0 +1,214 @@
+//! The broker actor: accumulates virtual-client operations into certified
+//! batches, submits them to its cluster's replicas, and fans the per-operation
+//! acknowledgements back to the aggregate generator.
+
+use ava_consensus::WireSize;
+use ava_crypto::Keypair;
+use ava_hamava::messages::{AvaMsg, TxBatch};
+use ava_simnet::{Actor, Context, SimMessage};
+use ava_types::{ClusterId, Duration, Output, ReplicaId, Time, Transaction, TxId};
+use std::collections::{HashMap, VecDeque};
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+const TICK: u64 = 1;
+
+/// Configuration of one broker actor.
+#[derive(Clone, Debug)]
+pub struct BrokerConfig {
+    /// The broker's own node id (also the signer id of its batches).
+    pub node: ReplicaId,
+    /// The cluster whose replicas it submits to.
+    pub cluster: ClusterId,
+    /// The aggregate generator its acks and shed operations go back to.
+    pub aggregate: ReplicaId,
+    /// Replicas of the cluster, tried round-robin.
+    pub targets: Vec<ReplicaId>,
+    /// Maximum operations per batch; a full batch flushes immediately.
+    pub max_batch_ops: usize,
+    /// A non-empty partial batch flushes after at most this long (also the
+    /// cadence of ack fan-back and retry scans).
+    pub flush_interval: Duration,
+    /// Maximum unacknowledged batches; further flushes wait for replies.
+    pub max_inflight: usize,
+    /// Maximum queued operations; overflow is shed back to the generator.
+    pub queue_cap: usize,
+    /// Re-submit an unacknowledged batch to the next replica after this long.
+    pub retry_timeout: Duration,
+}
+
+/// One submitted-but-unacknowledged batch.
+struct Inflight {
+    batch: Arc<TxBatch>,
+    sent_at: Time,
+}
+
+/// The broker actor. Generic over the TOB message type only, like
+/// [`ava_hamava::Client`], so it can share a simulation with any replica
+/// flavour.
+pub struct Broker<TM> {
+    cfg: BrokerConfig,
+    keypair: Keypair,
+    /// Accepted operations waiting to be batched (bounded by `queue_cap`).
+    queue: VecDeque<Transaction>,
+    /// Submitted batches awaiting an admission reply, by batch id.
+    inflight: HashMap<u64, Inflight>,
+    /// Per-operation acks to fan back on the next tick.
+    pending_acks: Vec<(TxId, bool)>,
+    /// Shed operations to return on the next tick.
+    pending_shed: Vec<Transaction>,
+    /// Operations shed so far (monotonic, reported in [`Output::BrokerFlushed`]).
+    shed_total: u64,
+    next_batch_id: u64,
+    /// Round-robin cursor over `targets`.
+    rr: usize,
+    _marker: PhantomData<TM>,
+}
+
+impl<TM> Broker<TM> {
+    /// Create a broker; `keypair` must be registered in the deployment's key
+    /// registry under `cfg.node` or every batch will fail verification.
+    pub fn new(cfg: BrokerConfig, keypair: Keypair) -> Self {
+        assert!(!cfg.targets.is_empty(), "broker needs at least one replica to submit to");
+        assert!(cfg.max_batch_ops > 0 && cfg.max_inflight > 0);
+        Broker {
+            cfg,
+            keypair,
+            queue: VecDeque::new(),
+            inflight: HashMap::new(),
+            pending_acks: Vec::new(),
+            pending_shed: Vec::new(),
+            shed_total: 0,
+            next_batch_id: 0,
+            rr: 0,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Operations shed so far (for tests).
+    pub fn shed_total(&self) -> u64 {
+        self.shed_total
+    }
+}
+
+impl<TM: Clone + WireSize> Broker<TM>
+where
+    AvaMsg<TM>: SimMessage,
+{
+    fn next_target(&mut self) -> ReplicaId {
+        let target = self.cfg.targets[self.rr % self.cfg.targets.len()];
+        self.rr += 1;
+        target
+    }
+
+    /// Flush as many batches as the in-flight bound allows. Full batches always
+    /// flush; a partial one only on the tick path (`allow_partial`), which is
+    /// what bounds batching delay by `flush_interval`.
+    fn try_flush(&mut self, allow_partial: bool, ctx: &mut Context<'_, AvaMsg<TM>>) {
+        while self.inflight.len() < self.cfg.max_inflight && !self.queue.is_empty() {
+            if self.queue.len() < self.cfg.max_batch_ops && !allow_partial {
+                break;
+            }
+            let n = self.queue.len().min(self.cfg.max_batch_ops);
+            let ops: Vec<Transaction> = self.queue.drain(..n).collect();
+            let id = self.next_batch_id;
+            self.next_batch_id += 1;
+            // One signature covers the whole batch — the amortization the tier
+            // exists for.
+            ctx.consume(ctx.costs().per_sign);
+            let batch = Arc::new(TxBatch::new(self.cfg.node, id, ops, &self.keypair));
+            let target = self.next_target();
+            ctx.send(target, AvaMsg::BatchSubmit(Arc::clone(&batch)));
+            self.inflight.insert(id, Inflight { batch, sent_at: ctx.now() });
+            ctx.emit(Output::BrokerFlushed {
+                broker: self.cfg.node,
+                cluster: self.cfg.cluster,
+                ops: n,
+                queue: self.queue.len(),
+                inflight: self.inflight.len(),
+                shed_total: self.shed_total,
+                at: ctx.now(),
+            });
+        }
+    }
+
+    /// Re-submit batches whose admission reply is overdue to the next replica.
+    /// The replica side is idempotent per `(broker, batch id)` and the TOB pool
+    /// dedups re-ordered operations by digest, so a duplicate admission cannot
+    /// double-apply (it can double-ack; the generator dedups by transaction id).
+    fn retry_overdue(&mut self, ctx: &mut Context<'_, AvaMsg<TM>>) {
+        let now = ctx.now();
+        let overdue: Vec<u64> = self
+            .inflight
+            .iter()
+            .filter(|(_, inflight)| now.since(inflight.sent_at) >= self.cfg.retry_timeout)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in overdue {
+            let target = self.next_target();
+            let inflight = self.inflight.get_mut(&id).expect("collected above");
+            inflight.sent_at = now;
+            ctx.send(target, AvaMsg::BatchSubmit(Arc::clone(&inflight.batch)));
+        }
+    }
+
+    /// Fan buffered acks and shed operations back to the aggregate generator,
+    /// batched per tick (the demultiplexing direction of the tier).
+    fn deliver(&mut self, ctx: &mut Context<'_, AvaMsg<TM>>) {
+        if self.pending_acks.is_empty() && self.pending_shed.is_empty() {
+            return;
+        }
+        let acks = std::mem::take(&mut self.pending_acks);
+        let shed = std::mem::take(&mut self.pending_shed);
+        ctx.send(self.cfg.aggregate, AvaMsg::BrokerDeliver { acks, shed });
+    }
+}
+
+impl<TM: Clone + WireSize> Actor<AvaMsg<TM>> for Broker<TM>
+where
+    AvaMsg<TM>: SimMessage,
+{
+    fn on_start(&mut self, ctx: &mut Context<'_, AvaMsg<TM>>) {
+        ctx.set_timer(self.cfg.flush_interval, TICK);
+    }
+
+    fn on_message(&mut self, _from: ReplicaId, msg: AvaMsg<TM>, ctx: &mut Context<'_, AvaMsg<TM>>) {
+        match msg {
+            AvaMsg::BrokerSubmit { ops } => {
+                for tx in ops {
+                    if self.queue.len() < self.cfg.queue_cap {
+                        self.queue.push_back(tx);
+                    } else {
+                        // Backpressure: bounced back rather than silently
+                        // dropped, so the generator can retry.
+                        self.shed_total += 1;
+                        self.pending_shed.push(tx);
+                    }
+                }
+                self.try_flush(false, ctx);
+            }
+            AvaMsg::BatchReply { batch, reads } => {
+                if self.inflight.remove(&batch).is_some() {
+                    self.pending_acks.extend(reads.into_iter().map(|tx| (tx, false)));
+                    self.try_flush(false, ctx);
+                }
+            }
+            // Per-operation write acks: the replica records the broker as the
+            // submitting "client node", so committed writes come back here.
+            AvaMsg::ClientResponse { tx, is_write } => {
+                self.pending_acks.push((tx, is_write));
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, kind: u64, ctx: &mut Context<'_, AvaMsg<TM>>) {
+        if kind != TICK {
+            return;
+        }
+        ctx.set_timer(self.cfg.flush_interval, TICK);
+        self.try_flush(true, ctx);
+        self.retry_overdue(ctx);
+        self.deliver(ctx);
+    }
+}

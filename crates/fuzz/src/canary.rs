@@ -9,10 +9,12 @@
 //! [`CheckerSet::replay`] must produce a violation from the expected checker.
 
 use crate::checkers::{CheckerSet, Violation};
-use ava_scenario::{Protocol, Scenario, ScenarioEvent, Schedule};
+use ava_scenario::{BrokerTier, Protocol, Scenario, ScenarioEvent, Schedule};
 use ava_store::StoreConfig;
-use ava_types::{ClusterId, Duration, Output, Region, ReplicaId, SystemConfig, Time};
-use ava_workload::WorkloadSpec;
+use ava_types::{
+    ClientId, ClusterId, Duration, Output, Region, ReplicaId, SystemConfig, Time, TxId,
+};
+use ava_workload::{AggregateLoad, WorkloadSpec};
 
 /// One deliberate bug injection.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -31,16 +33,20 @@ pub enum Canary {
     MismatchedReconfigSet,
     /// A restarted replica's `RecoveryCompleted` never arrives (catch-up lost).
     LostRecoveryCompletion,
+    /// A virtual client is acked for a write no replica ever committed from a
+    /// batch (the broker invented or misrouted an acknowledgement).
+    PhantomBrokerAck,
 }
 
 impl Canary {
     /// Every canary, in suite order.
-    pub const ALL: [Canary; 5] = [
+    pub const ALL: [Canary; 6] = [
         Canary::DivergentRoundTxns,
         Canary::DuplicateRoundExecution,
         Canary::ForgedCheckpointDigest,
         Canary::MismatchedReconfigSet,
         Canary::LostRecoveryCompletion,
+        Canary::PhantomBrokerAck,
     ];
 
     /// Short label for reports.
@@ -51,6 +57,7 @@ impl Canary {
             Canary::ForgedCheckpointDigest => "forged-checkpoint-digest",
             Canary::MismatchedReconfigSet => "mismatched-reconfig-set",
             Canary::LostRecoveryCompletion => "lost-recovery-completion",
+            Canary::PhantomBrokerAck => "phantom-broker-ack",
         }
     }
 
@@ -62,6 +69,7 @@ impl Canary {
             Canary::ForgedCheckpointDigest => "checkpoint-chain",
             Canary::MismatchedReconfigSet => "reconfig-agreement",
             Canary::LostRecoveryCompletion => "catch-up-liveness",
+            Canary::PhantomBrokerAck => "broker-conservation",
         }
     }
 
@@ -176,6 +184,28 @@ impl Canary {
                 });
                 outputs.len() < before
             }
+            Canary::PhantomBrokerAck => {
+                // Ack a virtual-client write that never appears in the committed
+                // batch traces. The conservation checker only judges streams
+                // that carry batch commits, so a stream without any is missing
+                // material.
+                let Some((cluster, at)) = outputs.iter().find_map(|o| match o {
+                    Output::BatchOpCommitted { cluster, at, .. } => Some((*cluster, *at)),
+                    _ => None,
+                }) else {
+                    return false;
+                };
+                let client = ClientId(ava_workload::VIRTUAL_CLIENT_BASE + 99);
+                outputs.push(Output::TxCompleted {
+                    tx: TxId { client, seq: u64::MAX },
+                    client,
+                    cluster,
+                    issued_at: at,
+                    completed_at: at,
+                    is_write: true,
+                });
+                true
+            }
         }
     }
 }
@@ -206,8 +236,10 @@ impl CanaryResult {
 }
 
 /// The fixture scenario the canary suite records: a store-backed run with a
-/// crash→restart and a join, so the clean stream holds executions, checkpoints,
-/// a recovery and a reconfiguration — material for every canary.
+/// crash→restart, a join and a broker tier, so the clean stream holds
+/// executions, checkpoints, a recovery, a reconfiguration and committed batch
+/// traces — material for every canary. (The fixture is not a determinism
+/// golden; it only needs to stay clean under the standard suite.)
 pub fn fixture_scenario() -> Scenario {
     let mut config = SystemConfig::homogeneous_regions(&[(4, Region::UsWest), (4, Region::Europe)]);
     config.params.batch_size = 20;
@@ -219,6 +251,19 @@ pub fn fixture_scenario() -> Scenario {
         .workload(WorkloadSpec { key_space: 500, ..WorkloadSpec::default() })
         .store(StoreConfig::every(4))
         .run_for(Duration::from_secs(14))
+        .brokers(BrokerTier {
+            // Modest aggregate load with retries disabled (timeout past the run
+            // end), matching what fuzz-drawn tiers guarantee the conservation
+            // checker.
+            retry_timeout: Duration::from_secs(60),
+            load: AggregateLoad {
+                virtual_clients: 10_000,
+                offered_tps: 300,
+                issue_for: Duration::from_secs(9),
+                ..AggregateLoad::default()
+            },
+            ..BrokerTier::default()
+        })
         .crash_at(Time::from_secs(2), ReplicaId(1))
         .restart_at(Time::from_secs(4), ReplicaId(1))
         .join_at(Time::from_secs(3), ClusterId(1), Region::Europe)
@@ -341,6 +386,33 @@ mod tests {
         assert!(Canary::LostRecoveryCompletion.inject(&mut outputs));
         let violations = CheckerSet::replay(&outputs, &[], Time::from_secs(14));
         assert!(violations.iter().any(|v| v.checker == "catch-up-liveness"));
+    }
+
+    #[test]
+    fn phantom_ack_canary_trips_broker_conservation_on_a_synthetic_trace() {
+        let client = ClientId(ava_workload::VIRTUAL_CLIENT_BASE);
+        let committed = Output::BatchOpCommitted {
+            replica: ReplicaId(0),
+            cluster: ClusterId(0),
+            broker: ReplicaId(2_000_000),
+            batch: 1,
+            tx: TxId { client, seq: 0 },
+            at: Time::from_secs(1),
+        };
+        let acked = Output::TxCompleted {
+            tx: TxId { client, seq: 0 },
+            client,
+            cluster: ClusterId(0),
+            issued_at: Time::from_millis(900),
+            completed_at: Time::from_secs(1),
+            is_write: true,
+        };
+        let outputs_base = vec![committed, acked];
+        assert!(CheckerSet::replay(&outputs_base, &[], Time::from_secs(14)).is_empty());
+        let mut outputs = outputs_base;
+        assert!(Canary::PhantomBrokerAck.inject(&mut outputs));
+        let violations = CheckerSet::replay(&outputs, &[], Time::from_secs(14));
+        assert!(violations.iter().any(|v| v.checker == "broker-conservation"));
     }
 
     #[test]

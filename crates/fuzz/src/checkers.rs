@@ -13,7 +13,7 @@
 //! streams through them offline.
 
 use ava_scenario::{DynDeployment, RunObserver, ScenarioEvent};
-use ava_types::{ClusterId, Output, ReplicaId, Round, Time};
+use ava_types::{ClusterId, Output, ReplicaId, Round, Time, TxId};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// A detected invariant violation: which checker fired and a human-readable,
@@ -400,6 +400,95 @@ impl InvariantChecker for CatchUpChecker {
     }
 }
 
+/// Broker-tier conservation: every operation a virtual client is *acked* for
+/// exists exactly once in committed state. Three things can break it — a
+/// duplicate ack (the broker demultiplexes one commit to the client twice), a
+/// duplicate commit (a batch admitted twice, e.g. a retry double-ordered), and a
+/// phantom ack (a write acked that no replica ever committed from a batch).
+///
+/// Fuzz-drawn broker tiers disable batch retries (`retry_timeout` longer than
+/// the run): with retries, a resend to a *different* replica can legitimately
+/// double-admit (admission dedup is per-replica; the TOB pool's digest dedup
+/// still prevents double-apply) and duplicate `BatchOpCommitted` traces are
+/// expected. Without retries, the committed trace is exactly-once.
+///
+/// The phantom-ack check judges virtual-client *write* acks only (reads are
+/// acked straight from a `BatchReply` and never produce a commit trace) and
+/// only on streams carrying at least one `BatchOpCommitted` — a stream with no
+/// batch commits at all is a direct-path run this checker has no business
+/// judging.
+#[derive(Default)]
+pub struct BrokerConservationChecker {
+    /// Virtual-client acks seen: tx -> is_write.
+    acked: BTreeMap<TxId, bool>,
+    /// Batch-op commit traces seen (exactly-once under fuzz tiers).
+    committed: BTreeSet<TxId>,
+    saw_batch_commits: bool,
+    violations: Vec<Violation>,
+}
+
+impl BrokerConservationChecker {
+    /// A fresh checker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl InvariantChecker for BrokerConservationChecker {
+    fn name(&self) -> &'static str {
+        "broker-conservation"
+    }
+
+    fn observe(&mut self, output: &Output) {
+        match output {
+            Output::TxCompleted { tx, client, is_write, .. }
+                if ava_workload::is_virtual_client(*client) =>
+            {
+                if self.acked.insert(*tx, *is_write).is_some() {
+                    self.violations.push(Violation {
+                        checker: self.name(),
+                        details: format!("virtual client {client} was acked twice for {tx:?}"),
+                    });
+                }
+            }
+            Output::BatchOpCommitted { replica, broker, batch, tx, .. } => {
+                self.saw_batch_commits = true;
+                if !self.committed.insert(*tx) {
+                    self.violations.push(Violation {
+                        checker: self.name(),
+                        details: format!(
+                            "{tx:?} committed twice from a batch ({replica} reporting \
+                             {broker}/{batch}) — batch admission must be exactly-once"
+                        ),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn finish(&mut self, _end: Time) {
+        if !self.saw_batch_commits {
+            return;
+        }
+        for (tx, is_write) in &self.acked {
+            if *is_write && !self.committed.contains(tx) {
+                self.violations.push(Violation {
+                    checker: self.name(),
+                    details: format!(
+                        "phantom ack: virtual-client write {tx:?} was acked but never appeared \
+                         in committed state"
+                    ),
+                });
+            }
+        }
+    }
+
+    fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+}
+
 /// The full checker suite, usable as one [`RunObserver`] (wire it into
 /// `Scenario::run_observed`) or offline via [`CheckerSet::replay`].
 pub struct CheckerSet {
@@ -415,7 +504,7 @@ impl Default for CheckerSet {
 
 impl CheckerSet {
     /// The standard always-on suite: execution agreement, prefix, checkpoint
-    /// chain, reconfig-set agreement, catch-up liveness.
+    /// chain, reconfig-set agreement, catch-up liveness, broker conservation.
     pub fn standard() -> Self {
         CheckerSet {
             checkers: vec![
@@ -424,6 +513,7 @@ impl CheckerSet {
                 Box::new(CheckpointChecker::new()),
                 Box::new(ReconfigAgreementChecker::new()),
                 Box::new(CatchUpChecker::new()),
+                Box::new(BrokerConservationChecker::new()),
             ],
             end: Time::ZERO,
         }
@@ -660,7 +750,7 @@ mod tests {
     }
 
     #[test]
-    fn standard_set_has_five_named_checkers() {
+    fn standard_set_has_six_named_checkers() {
         let names = CheckerSet::standard_names();
         assert_eq!(
             names,
@@ -669,8 +759,91 @@ mod tests {
                 "prefix",
                 "checkpoint-chain",
                 "reconfig-agreement",
-                "catch-up-liveness"
+                "catch-up-liveness",
+                "broker-conservation"
             ]
         );
+    }
+
+    fn virtual_ack(client: u32, seq: u64, is_write: bool) -> Output {
+        let client = ava_types::ClientId(ava_workload::VIRTUAL_CLIENT_BASE + client);
+        Output::TxCompleted {
+            tx: ava_types::TxId { client, seq },
+            client,
+            cluster: ClusterId(0),
+            issued_at: Time::from_millis(10),
+            completed_at: Time::from_millis(60),
+            is_write,
+        }
+    }
+
+    fn batch_committed(client: u32, seq: u64) -> Output {
+        Output::BatchOpCommitted {
+            replica: ReplicaId(0),
+            cluster: ClusterId(0),
+            broker: ReplicaId(2_000_000),
+            batch: 1,
+            tx: ava_types::TxId {
+                client: ava_types::ClientId(ava_workload::VIRTUAL_CLIENT_BASE + client),
+                seq,
+            },
+            at: Time::from_millis(50),
+        }
+    }
+
+    #[test]
+    fn broker_conservation_passes_a_balanced_stream() {
+        let mut c = BrokerConservationChecker::new();
+        feed(
+            &mut c,
+            &[
+                batch_committed(0, 0),
+                virtual_ack(0, 0, true),
+                virtual_ack(1, 0, false), // read: acked without a commit trace
+            ],
+        );
+        assert!(c.violations().is_empty(), "{:?}", c.violations());
+    }
+
+    #[test]
+    fn broker_conservation_flags_duplicate_acks_and_commits() {
+        let mut c = BrokerConservationChecker::new();
+        feed(&mut c, &[batch_committed(0, 0), virtual_ack(0, 0, true), virtual_ack(0, 0, true)]);
+        assert_eq!(c.violations().len(), 1);
+        assert!(c.violations()[0].details.contains("acked twice"));
+
+        let mut c = BrokerConservationChecker::new();
+        feed(&mut c, &[batch_committed(0, 0), batch_committed(0, 0), virtual_ack(0, 0, true)]);
+        assert_eq!(c.violations().len(), 1);
+        assert!(c.violations()[0].details.contains("committed twice"));
+    }
+
+    #[test]
+    fn broker_conservation_flags_phantom_write_acks_only_with_batch_material() {
+        // A write acked with no commit trace, on a stream that has batch
+        // commits: phantom.
+        let mut c = BrokerConservationChecker::new();
+        feed(&mut c, &[batch_committed(0, 0), virtual_ack(1, 3, true)]);
+        assert_eq!(c.violations().len(), 1);
+        assert!(c.violations()[0].details.contains("phantom ack"));
+
+        // The same ack on a stream with no BatchOpCommitted at all (direct
+        // path): not judged.
+        let mut c = BrokerConservationChecker::new();
+        feed(&mut c, &[virtual_ack(1, 3, true)]);
+        assert!(c.violations().is_empty());
+
+        // Real (non-virtual) client acks are never judged.
+        let mut c = BrokerConservationChecker::new();
+        let real = Output::TxCompleted {
+            tx: ava_types::TxId { client: ava_types::ClientId(3), seq: 1 },
+            client: ava_types::ClientId(3),
+            cluster: ClusterId(0),
+            issued_at: Time::from_millis(10),
+            completed_at: Time::from_millis(60),
+            is_write: true,
+        };
+        feed(&mut c, &[batch_committed(0, 0), real]);
+        assert!(c.violations().is_empty());
     }
 }

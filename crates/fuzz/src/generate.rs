@@ -12,11 +12,11 @@
 //! run time to quiesce — so a checker violation on a generated case is a protocol
 //! bug, not a schedule that asked for the impossible.
 
-use ava_scenario::{Protocol, Scenario, ScenarioBuilder, ScenarioEvent, Schedule};
+use ava_scenario::{BrokerTier, Protocol, Scenario, ScenarioBuilder, ScenarioEvent, Schedule};
 use ava_simnet::LatencyModel;
 use ava_store::StoreConfig;
 use ava_types::{ClusterId, Duration, Region, ReplicaId, SystemConfig, Time};
-use ava_workload::WorkloadSpec;
+use ava_workload::{AggregateLoad, WorkloadSpec};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::collections::BTreeSet;
 
@@ -39,6 +39,12 @@ pub struct FuzzConfig {
     pub cluster_size: (usize, usize),
     /// Outstanding requests per client.
     pub client_concurrency: usize,
+    /// Probability that a case deploys a broker tier (aggregate virtual-client
+    /// load routed through per-cluster brokers). Drawn from an RNG derived
+    /// *separately* from the schedule RNG, so turning this on never shifts the
+    /// schedule/topology a seed generates. `0.0` in the quick profile — the
+    /// fuzz determinism goldens pin quick-profile cases byte-for-byte.
+    pub broker_probability: f64,
 }
 
 impl FuzzConfig {
@@ -53,6 +59,7 @@ impl FuzzConfig {
             clusters: (2, 2),
             cluster_size: (4, 5),
             client_concurrency: 32,
+            broker_probability: 0.0,
         }
     }
 
@@ -66,6 +73,7 @@ impl FuzzConfig {
             clusters: (2, 3),
             cluster_size: (4, 7),
             client_concurrency: 128,
+            broker_probability: 0.35,
         }
     }
 }
@@ -86,6 +94,10 @@ pub struct FuzzCase {
     pub opts: ava_hamava::harness::DeploymentOptions,
     /// The event schedule.
     pub schedule: Schedule,
+    /// Broker tier, when the case routes aggregate virtual-client load through
+    /// brokers (always with batch retries disabled — see the conservation
+    /// checker's exactly-once argument).
+    pub brokers: Option<BrokerTier>,
     /// Virtual run length.
     pub run: Duration,
 }
@@ -107,10 +119,14 @@ impl FuzzCase {
     }
 
     fn builder(&self) -> ScenarioBuilder {
-        Scenario::builder(self.protocol, self.config.clone())
+        let mut builder = Scenario::builder(self.protocol, self.config.clone())
             .options(self.opts.clone())
             .events(&self.schedule)
-            .run_for(self.run)
+            .run_for(self.run);
+        if let Some(tier) = &self.brokers {
+            builder = builder.brokers(tier.clone());
+        }
+        builder
     }
 
     /// A copy of this case with `schedule` swapped in (the shrinker's candidate
@@ -147,6 +163,23 @@ impl FuzzCase {
         out.extend_from_slice(&self.opts.store.map_or(0, |s| s.checkpoint_interval).to_le_bytes());
         encode_workload(&mut out, &self.opts.workload);
         encode_latency(&mut out, &self.opts.latency);
+        // Broker bytes are appended only when a tier is present, so broker-free
+        // cases (the entire quick profile) encode exactly as they did before
+        // the broker tier existed — the fuzz determinism goldens stay valid.
+        if let Some(tier) = &self.brokers {
+            out.extend_from_slice(b"brokers");
+            out.extend_from_slice(&(tier.brokers_per_cluster as u64).to_le_bytes());
+            out.extend_from_slice(&(tier.max_batch_ops as u64).to_le_bytes());
+            out.extend_from_slice(&tier.flush_interval.as_micros().to_le_bytes());
+            out.extend_from_slice(&(tier.max_inflight as u64).to_le_bytes());
+            out.extend_from_slice(&(tier.queue_cap as u64).to_le_bytes());
+            out.extend_from_slice(&tier.retry_timeout.as_micros().to_le_bytes());
+            out.extend_from_slice(&tier.load.virtual_clients.to_le_bytes());
+            out.extend_from_slice(&tier.load.offered_tps.to_le_bytes());
+            out.extend_from_slice(&tier.load.issue_for.as_micros().to_le_bytes());
+            out.extend_from_slice(&tier.load.client_theta.to_bits().to_le_bytes());
+            encode_workload(&mut out, &tier.load.workload);
+        }
         out.extend_from_slice(&self.run.as_micros().to_le_bytes());
         let sorted = self.schedule.sorted();
         out.extend_from_slice(&(sorted.len() as u64).to_le_bytes());
@@ -198,6 +231,23 @@ impl FuzzCase {
         s.push_str(&format!("    .workload({})\n", workload_expr(&self.opts.workload)));
         if let Some(store) = self.opts.store {
             s.push_str(&format!("    .store(StoreConfig::every({}))\n", store.checkpoint_interval));
+        }
+        if let Some(tier) = &self.brokers {
+            s.push_str(&format!(
+                "    .brokers(BrokerTier {{ brokers_per_cluster: {}, max_batch_ops: {}, \
+                 max_inflight: {}, queue_cap: {}, retry_timeout: Duration::from_micros({}), \
+                 load: AggregateLoad {{ virtual_clients: {}, offered_tps: {}, \
+                 issue_for: Duration::from_micros({}), ..AggregateLoad::default() }}, \
+                 ..BrokerTier::default() }})\n",
+                tier.brokers_per_cluster,
+                tier.max_batch_ops,
+                tier.max_inflight,
+                tier.queue_cap,
+                tier.retry_timeout.as_micros(),
+                tier.load.virtual_clients,
+                tier.load.offered_tps,
+                tier.load.issue_for.as_micros(),
+            ));
         }
         s.push_str(&format!("    .run_for(Duration::from_micros({}))\n", self.run.as_micros()));
         for (at, event) in self.schedule.sorted() {
@@ -358,7 +408,43 @@ impl ScheduleGenerator {
         };
 
         let schedule = self.draw_schedule(&mut rng, protocol, &config, store.is_some());
-        FuzzCase { seed, protocol, clusters, config, opts, schedule, run: cfg.run }
+        let brokers = self.draw_brokers(seed);
+        FuzzCase { seed, protocol, clusters, config, opts, schedule, brokers, run: cfg.run }
+    }
+
+    /// Draw an optional broker tier for `seed` from a *separately derived* RNG:
+    /// the schedule/topology stream above must be unshifted by the broker knob,
+    /// so enabling `broker_probability` reproduces the exact same faults with a
+    /// broker tier layered on top.
+    fn draw_brokers(&self, seed: u64) -> Option<BrokerTier> {
+        let cfg = &self.cfg;
+        if cfg.broker_probability <= 0.0 {
+            return None;
+        }
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x6272_6f6b_6572_6673);
+        if !rng.gen_bool(cfg.broker_probability) {
+            return None;
+        }
+        // Issue until the grace tail starts, like the scheduled events; the
+        // grace window drains the in-flight backlog. Retries stay disabled
+        // (timeout past the run end): a retry to a different replica can
+        // double-admit a batch, which would make the conservation checker's
+        // exactly-once committed-trace reading unsound.
+        let issue_for = Duration(cfg.run.as_micros() - cfg.grace.as_micros());
+        Some(BrokerTier {
+            brokers_per_cluster: rng.gen_range(1..=2),
+            max_batch_ops: [20, 50, 100][rng.gen_range(0..3usize)],
+            max_inflight: rng.gen_range(2..=4),
+            queue_cap: 10_000,
+            retry_timeout: Duration(cfg.run.as_micros() * 2),
+            load: AggregateLoad {
+                virtual_clients: 20_000,
+                offered_tps: [200, 500, 1_000][rng.gen_range(0..3usize)],
+                issue_for,
+                ..AggregateLoad::default()
+            },
+            ..BrokerTier::default()
+        })
     }
 
     /// Draw a well-formed schedule for `config`. Attempts that would violate a
@@ -635,6 +721,47 @@ mod tests {
                 assert!(*at >= Time::from_secs(1), "seed {seed}: event before 1s");
                 assert!(*at < grace_start, "seed {seed}: event inside the grace tail");
             }
+        }
+    }
+
+    #[test]
+    fn broker_draws_never_shift_the_schedule_stream() {
+        // Turning the broker knob on must reproduce the exact same topology,
+        // options and schedule per seed — the tier rides on top.
+        let plain = ScheduleGenerator::new(FuzzConfig::quick());
+        let brokered =
+            ScheduleGenerator::new(FuzzConfig { broker_probability: 1.0, ..FuzzConfig::quick() });
+        for seed in 0..40 {
+            let a = plain.case(seed);
+            let b = brokered.case(seed);
+            assert!(a.brokers.is_none(), "quick profile draws no brokers");
+            assert!(b.brokers.is_some(), "probability 1.0 always draws a tier");
+            assert_eq!(a.clusters, b.clusters, "seed {seed}: topology shifted");
+            assert_eq!(a.opts.seed, b.opts.seed, "seed {seed}: sim seed shifted");
+            assert_eq!(
+                format!("{:?}", a.schedule.sorted()),
+                format!("{:?}", b.schedule.sorted()),
+                "seed {seed}: schedule shifted"
+            );
+            assert_ne!(a.fingerprint(), b.fingerprint(), "tier must be part of the encoding");
+        }
+    }
+
+    #[test]
+    fn drawn_broker_tiers_are_well_formed_and_retry_free() {
+        let generator =
+            ScheduleGenerator::new(FuzzConfig { broker_probability: 1.0, ..FuzzConfig::quick() });
+        for seed in 0..40 {
+            let case = generator.case(seed);
+            let tier = case.brokers.as_ref().expect("tier drawn");
+            assert!(tier.load.issue_for < case.run, "seed {seed}: issue window too long");
+            assert!(
+                tier.retry_timeout.as_micros() > case.run.as_micros(),
+                "seed {seed}: fuzz tiers must disable batch retries"
+            );
+            case.try_scenario().unwrap_or_else(|e| panic!("seed {seed}: invalid scenario: {e}"));
+            let snippet = case.builder_snippet();
+            assert!(snippet.contains(".brokers(BrokerTier {"), "snippet misses the tier");
         }
     }
 

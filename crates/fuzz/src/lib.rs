@@ -9,7 +9,8 @@
 //! 2. **[`CheckerSet`]** wires the always-on invariant checkers into the run as
 //!    a scenario `RunObserver`: cross-replica agreement on executed rounds, the
 //!    prefix property, checkpoint-chain integrity, same-round reconfig-set
-//!    agreement, and catch-up liveness.
+//!    agreement, catch-up liveness, and broker conservation (every acked
+//!    virtual-client write exists exactly once in committed state).
 //! 3. **[`run_case`]** executes a case and reports violations plus schedule and
 //!    output fingerprints.
 //! 4. **[`shrink_with`]** reduces a violating schedule to a 1-minimal core and
@@ -29,8 +30,9 @@ pub mod shrink;
 
 pub use canary::{canary_suite, fixture_scenario, Canary, CanaryResult};
 pub use checkers::{
-    CatchUpChecker, CheckerSet, CheckpointChecker, ExecutionAgreementChecker, InvariantChecker,
-    PrefixChecker, ReconfigAgreementChecker, Violation,
+    BrokerConservationChecker, CatchUpChecker, CheckerSet, CheckpointChecker,
+    ExecutionAgreementChecker, InvariantChecker, PrefixChecker, ReconfigAgreementChecker,
+    Violation,
 };
 pub use generate::{FuzzCase, FuzzConfig, ScheduleGenerator};
 pub use runner::{fingerprint_outputs, fuzz_many, run_case, CampaignSummary, CaseReport};

@@ -260,6 +260,11 @@ where
         self.sim.run_until(t);
     }
 
+    /// The options this deployment was built with (seed, workload, costs).
+    pub fn options(&self) -> &DeploymentOptions {
+        &self.opts
+    }
+
     /// Measurement events collected so far.
     pub fn outputs(&self) -> &[Output] {
         self.sim.outputs()

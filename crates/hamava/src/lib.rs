@@ -52,6 +52,6 @@ pub use brd::{Brd, BrdAction, BrdCert, BrdMsg};
 pub use client::{Client, ClientConfig};
 pub use harness::{bftsmart_factory, hotstuff_factory, Deployment, DeploymentOptions, TobFactory};
 pub use leader_election::{ElectionAction, ElectionMsg, LeaderElection};
-pub use messages::{AvaMsg, ClientCtl, ControlCmd, RoundPackage, RoundRecord};
+pub use messages::{AvaMsg, ClientCtl, ControlCmd, RoundPackage, RoundRecord, TxBatch};
 pub use remote_leader::{RemoteLeaderAction, RemoteLeaderChange, RemoteLeaderMsg};
 pub use replica::{Replica, ReplicaConfig, ReplicaStatus};

@@ -10,11 +10,12 @@ use crate::brd::{BrdCert, BrdMsg};
 use crate::leader_election::ElectionMsg;
 use crate::remote_leader::RemoteLeaderMsg;
 use ava_consensus::{CommittedBlock, WireSize};
-use ava_crypto::KeyRegistry;
+use ava_crypto::{Digest, KeyRegistry, Keypair, Signature};
 use ava_simnet::SimMessage;
 use ava_store::{Checkpoint, StoredEntry};
 use ava_types::{
-    ClientId, ClusterId, Membership, Reconfig, Region, ReplicaId, Round, Transaction, TxId,
+    ClientId, ClusterId, Encode, EncodeSink, Membership, Reconfig, Region, ReplicaId, Round,
+    Transaction, TxId,
 };
 use std::collections::BTreeMap;
 use std::sync::{Arc, OnceLock};
@@ -213,6 +214,105 @@ impl StoredEntry for RoundRecord {
     }
 }
 
+/// A broker-certified batch of client operations, submitted into the
+/// cluster-local ordering path as one unit.
+///
+/// The broker signs the digest of `(broker, id, ops)` once; the admitting
+/// replica verifies that single signature (memoized by the [`KeyRegistry`], and
+/// charged as `CostModel::batch_cost`) instead of paying per-request admission
+/// cost — the amortization the broker tier exists for. Batches travel behind an
+/// `Arc`, so a retry resend is a pointer bump.
+pub struct TxBatch {
+    /// The broker actor's node id (the signer).
+    pub broker: ReplicaId,
+    /// Broker-local batch sequence number; `(broker, id)` identifies the batch
+    /// for replica-side duplicate suppression when a retry races the original.
+    pub id: u64,
+    /// The batched operations, in broker queue order.
+    pub ops: Vec<Transaction>,
+    /// The broker's signature over [`TxBatch::digest`].
+    pub sig: Signature,
+    /// Memoised canonical digest.
+    digest_cache: OnceLock<Digest>,
+    /// Memoised approximate wire size.
+    wire_size_cache: OnceLock<usize>,
+}
+
+impl std::fmt::Debug for TxBatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TxBatch")
+            .field("broker", &self.broker)
+            .field("id", &self.id)
+            .field("ops", &self.ops.len())
+            .finish()
+    }
+}
+
+/// Canonical encoding of the signed part of a batch (everything but the
+/// signature itself).
+struct TxBatchParts<'a>(ReplicaId, u64, &'a [Transaction]);
+
+impl Encode for TxBatchParts<'_> {
+    fn encode(&self, out: &mut dyn EncodeSink) {
+        self.0.encode(out);
+        self.1.encode(out);
+        (self.2.len() as u64).encode(out);
+        for tx in self.2 {
+            tx.encode(out);
+        }
+    }
+}
+
+impl TxBatch {
+    /// Build and sign a batch with the broker's keypair.
+    pub fn new(broker: ReplicaId, id: u64, ops: Vec<Transaction>, keypair: &Keypair) -> Self {
+        let digest = Digest::of(&TxBatchParts(broker, id, &ops));
+        let sig = keypair.sign(&digest);
+        let batch = TxBatch {
+            broker,
+            id,
+            ops,
+            sig,
+            digest_cache: OnceLock::new(),
+            wire_size_cache: OnceLock::new(),
+        };
+        let _ = batch.digest_cache.set(digest);
+        batch
+    }
+
+    /// The canonical digest of the batch contents (memoised).
+    pub fn digest(&self) -> Digest {
+        *self
+            .digest_cache
+            .get_or_init(|| Digest::of(&TxBatchParts(self.broker, self.id, &self.ops)))
+    }
+
+    /// Verify the broker's signature over the batch contents.
+    pub fn verify(&self, registry: &KeyRegistry) -> bool {
+        registry.verify(&self.digest(), &self.sig)
+    }
+
+    /// Approximate wire size in bytes (memoised).
+    pub fn wire_size(&self) -> usize {
+        *self.wire_size_cache.get_or_init(|| {
+            96 + self.ops.iter().map(|t| t.payload_size as usize + 48).sum::<usize>()
+        })
+    }
+}
+
+impl Clone for TxBatch {
+    fn clone(&self) -> Self {
+        TxBatch {
+            broker: self.broker,
+            id: self.id,
+            ops: self.ops.clone(),
+            sig: self.sig,
+            digest_cache: self.digest_cache.clone(),
+            wire_size_cache: self.wire_size_cache.clone(),
+        }
+    }
+}
+
 /// Commands injected by experiments and examples (not part of the protocol: they model
 /// an operator or adversary acting on a specific replica).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -332,6 +432,34 @@ pub enum AvaMsg<TM> {
         /// Whether it was a write (went through the three stages).
         is_write: bool,
     },
+    /// Aggregate workload → broker: one tick's worth of virtual-client
+    /// submissions (the collapsed open-loop arrival stream).
+    BrokerSubmit {
+        /// The submitted operations, in arrival order.
+        ops: Vec<Transaction>,
+    },
+    /// Broker → replica: a certified batch submitted into the cluster-local
+    /// ordering path.
+    BatchSubmit(Arc<TxBatch>),
+    /// Replica → broker: batch admission acknowledgement. Releases the broker's
+    /// in-flight slot; read operations are answered inline (reads never enter
+    /// the three stages), write acknowledgements follow per-operation via
+    /// [`AvaMsg::ClientResponse`] when the ordering round executes.
+    BatchReply {
+        /// The acknowledged batch's broker-local sequence number.
+        batch: u64,
+        /// Read operations served locally by the admitting replica.
+        reads: Vec<TxId>,
+    },
+    /// Broker → aggregate workload: completed and shed operations fanned back
+    /// to the virtual clients.
+    BrokerDeliver {
+        /// Completed operations as `(transaction, is_write)`.
+        acks: Vec<(TxId, bool)>,
+        /// Operations shed under overload (queue full); the aggregate re-queues
+        /// them with backoff, preserving the original issue time.
+        shed: Vec<Transaction>,
+    },
     /// Experiment control command.
     Control(ControlCmd),
     /// Experiment control command addressed to a client actor.
@@ -360,6 +488,15 @@ where
             }
             AvaMsg::ClientRequest { tx, .. } => tx.payload_size as usize + 64,
             AvaMsg::ClientResponse { .. } => 64,
+            AvaMsg::BrokerSubmit { ops } => {
+                32 + ops.iter().map(|t| t.payload_size as usize + 48).sum::<usize>()
+            }
+            AvaMsg::BatchSubmit(batch) => batch.wire_size(),
+            AvaMsg::BatchReply { reads, .. } => 48 + reads.len() * 16,
+            AvaMsg::BrokerDeliver { acks, shed } => {
+                32 + acks.len() * 24
+                    + shed.iter().map(|t| t.payload_size as usize + 48).sum::<usize>()
+            }
             AvaMsg::Control(_) | AvaMsg::ClientControl(_) => 32,
         }
     }
@@ -406,6 +543,52 @@ mod tests {
         assert!(pkg.wire_size() > 1024);
         // The memoised size is stable across calls and across clones.
         assert_eq!(pkg.wire_size(), pkg.clone().wire_size());
+    }
+
+    #[test]
+    fn tx_batch_signs_and_verifies_once_per_batch() {
+        let registry = KeyRegistry::new();
+        let broker = ReplicaId(2_000_000);
+        let kp = registry.register(broker);
+        let ops: Vec<Transaction> =
+            (0..10).map(|i| Transaction::write(ClientId(10_000_000), i, i, 128)).collect();
+        let batch = TxBatch::new(broker, 7, ops, &kp);
+        assert!(batch.verify(&registry));
+        // Digest and size are stable across clones (memo survives).
+        assert_eq!(batch.digest(), batch.clone().digest());
+        assert!(batch.wire_size() > 10 * 128);
+        // A batch signed by an unregistered broker is rejected.
+        let rogue = KeyRegistry::new().register(ReplicaId(2_000_001));
+        let forged = TxBatch::new(ReplicaId(2_000_001), 7, Vec::new(), &rogue);
+        assert!(!forged.verify(&registry));
+        // Tampering with the contents breaks the signature.
+        let mut tampered = batch.clone();
+        tampered.ops.pop();
+        tampered = TxBatch {
+            broker: tampered.broker,
+            id: tampered.id,
+            ops: tampered.ops,
+            sig: batch.sig,
+            digest_cache: OnceLock::new(),
+            wire_size_cache: OnceLock::new(),
+        };
+        assert!(!tampered.verify(&registry));
+    }
+
+    #[test]
+    fn broker_message_sizes_scale_with_payload() {
+        let registry = KeyRegistry::new();
+        let kp = registry.register(ReplicaId(2_000_000));
+        let ops: Vec<Transaction> =
+            (0..5).map(|i| Transaction::write(ClientId(10_000_000), i, i, 1024)).collect();
+        let m: AvaMsg<ava_hotstuff::HotStuffMsg> =
+            AvaMsg::BatchSubmit(Arc::new(TxBatch::new(ReplicaId(2_000_000), 0, ops.clone(), &kp)));
+        assert!(m.size_bytes() > 5 * 1024);
+        let m: AvaMsg<ava_hotstuff::HotStuffMsg> = AvaMsg::BrokerSubmit { ops };
+        assert!(m.size_bytes() > 5 * 1024);
+        let m: AvaMsg<ava_hotstuff::HotStuffMsg> =
+            AvaMsg::BatchReply { batch: 3, reads: vec![TxId { client: ClientId(1), seq: 0 }] };
+        assert!(m.size_bytes() < 128);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use crate::brd::{Brd, BrdAction, BrdCert};
 use crate::leader_election::{ElectionAction, LeaderElection};
-use crate::messages::{AvaMsg, ControlCmd, RoundPackage, RoundRecord};
+use crate::messages::{AvaMsg, ControlCmd, RoundPackage, RoundRecord, TxBatch};
 use crate::remote_leader::{RemoteLeaderAction, RemoteLeaderChange};
 use ava_consensus::{CommittedBlock, FaultMode, TobAction, TotalOrderBroadcast};
 use ava_crypto::{KeyRegistry, Keypair};
@@ -205,6 +205,14 @@ pub struct Replica<T: TotalOrderBroadcast> {
     join_regions: HashMap<ReplicaId, Region>,
     /// Client write requests waiting for execution, keyed by transaction id.
     pending_clients: HashMap<TxId, (ReplicaId, ClientId)>,
+    /// For writes admitted via a broker batch: which `(broker, batch id)` the
+    /// operation arrived in, so execution can emit the batch-commit trace the
+    /// broker-conservation checker audits.
+    pending_batch: HashMap<TxId, (ReplicaId, u64)>,
+    /// Broker batches already admitted, keyed by `(broker, batch id)`. A broker
+    /// that re-submits after a reply was lost (or slow) gets an idempotent ack
+    /// instead of a double admission.
+    seen_batches: BTreeSet<(ReplicaId, u64)>,
     /// The replicated key-value state (key → write counter).
     kv: BTreeMap<u64, u64>,
     /// Blocks delivered by the local TOB but not yet packed into a round, keyed
@@ -307,6 +315,8 @@ impl<T: TotalOrderBroadcast> Replica<T> {
             collected_recs: BTreeSet::new(),
             join_regions: HashMap::new(),
             pending_clients: HashMap::new(),
+            pending_batch: HashMap::new(),
+            seen_batches: BTreeSet::new(),
             kv: BTreeMap::new(),
             pending_blocks: BTreeMap::new(),
             next_local_height: 0,
@@ -987,6 +997,16 @@ impl<T: TotalOrderBroadcast> Replica<T> {
                 AvaMsg::ClientResponse { tx: tx.id, is_write: tx.kind.is_write() },
             );
         }
+        if let Some((broker, batch)) = self.pending_batch.remove(&tx.id) {
+            ctx.emit(Output::BatchOpCommitted {
+                replica: self.cfg.me,
+                cluster: self.cfg.cluster,
+                broker,
+                batch,
+                tx: tx.id,
+                at: ctx.now(),
+            });
+        }
     }
 
     fn start_round(&mut self, round: Round, ctx: &mut Context<'_, AvaMsg<T::Msg>>) {
@@ -1158,6 +1178,8 @@ impl<T: TotalOrderBroadcast> Replica<T> {
         self.collected_recs.clear();
         self.join_regions.clear();
         self.pending_clients.clear();
+        self.pending_batch.clear();
+        self.seen_batches.clear();
         self.kv.clear();
         self.prev_package = None;
         self.future_packages.clear();
@@ -1494,6 +1516,16 @@ impl<T: TotalOrderBroadcast> Replica<T> {
                                     },
                                 );
                             }
+                            if let Some((broker, batch)) = self.pending_batch.remove(&tx.id) {
+                                ctx.emit(Output::BatchOpCommitted {
+                                    replica: self.cfg.me,
+                                    cluster: self.cfg.cluster,
+                                    broker,
+                                    batch,
+                                    tx: tx.id,
+                                    at: ctx.now(),
+                                });
+                            }
                         }
                     }
                 }
@@ -1628,6 +1660,48 @@ impl<T: TotalOrderBroadcast> Replica<T> {
         }
     }
 
+    /// Admit one broker-certified batch (broker tier fast path): verify the
+    /// batch signature once, serve reads immediately, and feed writes into the
+    /// local TOB. The reply releases the broker's in-flight slot and carries the
+    /// read acks; write acks ride the ordinary per-operation execution path
+    /// (`apply_transaction`), addressed to the broker node recorded in
+    /// `pending_clients`.
+    fn on_batch_submit(
+        &mut self,
+        from: ReplicaId,
+        batch: Arc<TxBatch>,
+        ctx: &mut Context<'_, AvaMsg<T::Msg>>,
+    ) {
+        ctx.consume(ctx.costs().batch_cost(batch.ops.len()));
+        if !batch.verify(&self.registry) {
+            return;
+        }
+        if !self.seen_batches.insert((batch.broker, batch.id)) {
+            // Duplicate submission (retry after a lost or slow reply): ack
+            // idempotently, never re-admit. Writes of the original admission are
+            // either still pending or already acked per-operation.
+            ctx.send(from, AvaMsg::BatchReply { batch: batch.id, reads: Vec::new() });
+            return;
+        }
+        let mut reads = Vec::new();
+        for tx in &batch.ops {
+            match tx.kind {
+                TxKind::Read { key } => {
+                    let _ = self.kv.get(&key);
+                    reads.push(tx.id);
+                }
+                TxKind::Write { .. } => {
+                    self.pending_clients.insert(tx.id, (from, tx.id.client));
+                    self.pending_batch.insert(tx.id, (batch.broker, batch.id));
+                    let actions = self.tob.broadcast(Operation::Trans(tx.clone()), ctx.now());
+                    self.apply_tob_actions(actions, ctx);
+                }
+            }
+        }
+        ctx.consume(ctx.costs().per_tx_execute.saturating_mul(reads.len() as u64));
+        ctx.send(from, AvaMsg::BatchReply { batch: batch.id, reads });
+    }
+
     // ---- control commands ---------------------------------------------------------
 
     fn on_control(&mut self, cmd: ControlCmd, ctx: &mut Context<'_, AvaMsg<T::Msg>>) {
@@ -1744,6 +1818,11 @@ where
             AvaMsg::CatchUpReply { .. } => {}
             AvaMsg::ClientRequest { tx, client } => self.on_client_request(from, tx, client, ctx),
             AvaMsg::ClientResponse { .. } => {}
+            AvaMsg::BatchSubmit(batch) => self.on_batch_submit(from, batch, ctx),
+            // Broker-tier traffic addressed to brokers or aggregate generators.
+            AvaMsg::BrokerSubmit { .. }
+            | AvaMsg::BatchReply { .. }
+            | AvaMsg::BrokerDeliver { .. } => {}
             AvaMsg::Control(cmd) => self.on_control(cmd, ctx),
             // Client-directed control traffic is not for replicas.
             AvaMsg::ClientControl(_) => {}

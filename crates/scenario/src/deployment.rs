@@ -8,6 +8,7 @@
 //! per-protocol `match` arms that used to be copy-pasted through the experiment
 //! harness are unrepresentable on top of this API.
 
+use ava_broker::{AttachedTier, BrokerTier};
 use ava_consensus::{TotalOrderBroadcast, WireSize};
 use ava_hamava::harness::{bftsmart_factory, hotstuff_factory, Deployment, DeploymentOptions};
 use ava_hamava::AvaMsg;
@@ -164,6 +165,12 @@ pub trait DynDeployment: Send {
 
     /// Network statistics of the run so far.
     fn net_stats(&self) -> &NetStats;
+
+    /// Wire a broker/batch client tier into the deployment (see
+    /// [`ava_broker::attach`]): per cluster, `tier.brokers_per_cluster` broker
+    /// actors plus one aggregate virtual-client generator offering
+    /// `tier.load`. Returns the node ids the tier added.
+    fn attach_brokers(&mut self, tier: &BrokerTier) -> AttachedTier;
 }
 
 /// The one generic impl behind [`Protocol::deploy`]: a harness deployment tagged
@@ -267,6 +274,10 @@ where
 
     fn net_stats(&self) -> &NetStats {
         self.inner.net_stats()
+    }
+
+    fn attach_brokers(&mut self, tier: &BrokerTier) -> AttachedTier {
+        ava_broker::attach(&mut self.inner, tier)
     }
 }
 

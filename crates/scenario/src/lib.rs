@@ -53,10 +53,11 @@ pub mod parallel;
 #[allow(clippy::module_inception)]
 pub mod scenario;
 
+pub use ava_broker::{AttachedTier, BrokerTier};
 pub use deployment::{DynDeployment, Protocol};
 pub use observer::{
-    ReconfigTraceObserver, RecoveryObserver, RecoveryTrace, RoundTrace, RunObserver,
-    StageBreakdownObserver, ThroughputObserver,
+    BrokerStatsObserver, BrokerTrace, ReconfigTraceObserver, RecoveryObserver, RecoveryTrace,
+    RoundTrace, RunObserver, StageBreakdownObserver, ThroughputObserver,
 };
 pub use parallel::{default_jobs, thread_cpu_time, RunPool, RunTiming};
 pub use scenario::{Scenario, ScenarioBuilder, ScenarioEvent, ScenarioRun, Schedule};

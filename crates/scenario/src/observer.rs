@@ -356,6 +356,95 @@ impl RunObserver for RecoveryObserver {
     }
 }
 
+/// Aggregated broker-tier health of one broker, collected by
+/// [`BrokerStatsObserver`].
+#[derive(Clone, Debug, Default)]
+pub struct BrokerTrace {
+    /// Batches the broker flushed.
+    pub flushes: u64,
+    /// Operations across all flushed batches.
+    pub ops: u64,
+    /// Largest queue depth observed at a flush.
+    pub max_queue: usize,
+    /// Largest in-flight count observed at a flush.
+    pub max_inflight: usize,
+    /// Operations shed by the end of the run (monotonic counter's last value).
+    pub shed: u64,
+}
+
+impl BrokerTrace {
+    /// Mean operations per flushed batch (batch occupancy).
+    pub fn mean_occupancy(&self) -> f64 {
+        if self.flushes == 0 {
+            0.0
+        } else {
+            self.ops as f64 / self.flushes as f64
+        }
+    }
+}
+
+/// Collects broker-tier health while the run executes: per-broker batch
+/// occupancy, queue depth, in-flight high-water marks and shed counts, plus
+/// the batch-commit total — the series the E11 saturation sweep reports.
+#[derive(Clone, Debug, Default)]
+pub struct BrokerStatsObserver {
+    traces: BTreeMap<ReplicaId, BrokerTrace>,
+    batch_ops_committed: u64,
+}
+
+impl BrokerStatsObserver {
+    /// A fresh observer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Per-broker traces seen so far.
+    pub fn traces(&self) -> &BTreeMap<ReplicaId, BrokerTrace> {
+        &self.traces
+    }
+
+    /// Operations that committed via the batch path across all replicas
+    /// (each op counted once, by the replica that admitted its batch).
+    pub fn batch_ops_committed(&self) -> u64 {
+        self.batch_ops_committed
+    }
+
+    /// Total operations shed across brokers.
+    pub fn total_shed(&self) -> u64 {
+        self.traces.values().map(|t| t.shed).sum()
+    }
+
+    /// Mean batch occupancy across all flushes of all brokers.
+    pub fn mean_occupancy(&self) -> f64 {
+        let (flushes, ops) =
+            self.traces.values().fold((0u64, 0u64), |(f, o), t| (f + t.flushes, o + t.ops));
+        if flushes == 0 {
+            0.0
+        } else {
+            ops as f64 / flushes as f64
+        }
+    }
+}
+
+impl RunObserver for BrokerStatsObserver {
+    fn on_output(&mut self, output: &Output) {
+        match output {
+            Output::BrokerFlushed { broker, ops, queue, inflight, shed_total, .. } => {
+                let t = self.traces.entry(*broker).or_default();
+                t.flushes += 1;
+                t.ops += *ops as u64;
+                t.max_queue = t.max_queue.max(*queue);
+                t.max_inflight = t.max_inflight.max(*inflight);
+                t.shed = t.shed.max(*shed_total);
+            }
+            Output::BatchOpCommitted { .. } => {
+                self.batch_ops_committed += 1;
+            }
+            _ => {}
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -432,6 +521,39 @@ mod tests {
         let trace = &obs.traces()[&ReplicaId(3)];
         assert_eq!(trace.caught_up_round, Some(Round(14)));
         assert_eq!(trace.log_rounds_replayed, 1);
+    }
+
+    #[test]
+    fn broker_stats_observer_aggregates_flushes_and_commits() {
+        let mut obs = BrokerStatsObserver::new();
+        let flush = |ops, queue, inflight, shed_total| Output::BrokerFlushed {
+            broker: ReplicaId(2_000_000),
+            cluster: ClusterId(0),
+            ops,
+            queue,
+            inflight,
+            shed_total,
+            at: Time::from_millis(5),
+        };
+        obs.on_output(&flush(100, 40, 2, 0));
+        obs.on_output(&flush(60, 10, 1, 7));
+        obs.on_output(&Output::BatchOpCommitted {
+            replica: ReplicaId(0),
+            cluster: ClusterId(0),
+            broker: ReplicaId(2_000_000),
+            batch: 0,
+            tx: TxId { client: ClientId(10_000_000), seq: 0 },
+            at: Time::from_millis(9),
+        });
+        let t = &obs.traces()[&ReplicaId(2_000_000)];
+        assert_eq!(t.flushes, 2);
+        assert_eq!(t.max_queue, 40);
+        assert_eq!(t.max_inflight, 2);
+        assert_eq!(t.shed, 7);
+        assert!((t.mean_occupancy() - 80.0).abs() < 1e-9);
+        assert!((obs.mean_occupancy() - 80.0).abs() < 1e-9);
+        assert_eq!(obs.batch_ops_committed(), 1);
+        assert_eq!(obs.total_shed(), 7);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 
 use crate::deployment::{DynDeployment, Protocol};
 use crate::observer::RunObserver;
+use ava_broker::BrokerTier;
 use ava_hamava::harness::DeploymentOptions;
 use ava_simnet::{LatencyModel, NetStats};
 use ava_types::{ClientId, ClusterId, Duration, Output, Region, ReplicaId, SystemConfig, Time};
@@ -190,6 +191,7 @@ pub struct ScenarioBuilder {
     schedule: Schedule,
     run: Duration,
     tick: Option<Duration>,
+    brokers: Option<BrokerTier>,
 }
 
 impl ScenarioBuilder {
@@ -228,6 +230,17 @@ impl ScenarioBuilder {
     pub fn tick_every(mut self, tick: Duration) -> Self {
         assert!(tick > Duration::ZERO, "tick interval must be positive");
         self.tick = Some(tick);
+        self
+    }
+
+    /// Deploy a broker/batch client tier on top of the configured system:
+    /// per cluster, `tier.brokers_per_cluster` broker actors plus one
+    /// aggregate virtual-client generator offering `tier.load` (see
+    /// `ava_broker`). With no tier configured the deployment is untouched —
+    /// runs are bit-identical to pre-broker builds (the determinism golden
+    /// tests pin this).
+    pub fn brokers(mut self, tier: BrokerTier) -> Self {
+        self.brokers = Some(tier);
         self
     }
 
@@ -350,6 +363,15 @@ impl ScenarioBuilder {
                 ));
             }
         }
+        if let Some(tier) = &self.brokers {
+            if tier.load.issue_for >= self.run {
+                return Err(format!(
+                    "broker tier issues load for {:?}, at or past the end of the run ({:?}): \
+                     in-flight operations could never drain",
+                    tier.load.issue_for, self.run
+                ));
+            }
+        }
         Ok(Scenario {
             protocol: self.protocol,
             config: self.config,
@@ -357,6 +379,7 @@ impl ScenarioBuilder {
             schedule: self.schedule,
             run: self.run,
             tick: self.tick,
+            brokers: self.brokers,
         })
     }
 }
@@ -388,6 +411,7 @@ pub struct Scenario {
     schedule: Schedule,
     run: Duration,
     tick: Option<Duration>,
+    brokers: Option<BrokerTier>,
 }
 
 impl Scenario {
@@ -401,7 +425,13 @@ impl Scenario {
             schedule: Schedule::new(),
             run: Duration::from_secs(10),
             tick: None,
+            brokers: None,
         }
+    }
+
+    /// The broker tier deployed on top of the system, if any.
+    pub fn broker_tier(&self) -> Option<&BrokerTier> {
+        self.brokers.as_ref()
     }
 
     /// The protocol the scenario deploys.
@@ -427,8 +457,11 @@ impl Scenario {
     /// Execute the scenario, invoking `observers` at every tick, on every applied
     /// event and on every [`Output`] (in emission order) as the run progresses.
     pub fn run_observed(self, observers: &mut [&mut dyn RunObserver]) -> ScenarioRun {
-        let Scenario { protocol, config, opts, schedule, run, tick } = self;
+        let Scenario { protocol, config, opts, schedule, run, tick, brokers } = self;
         let mut dep = protocol.deploy(config, opts);
+        if let Some(tier) = &brokers {
+            dep.attach_brokers(tier);
+        }
         for obs in observers.iter_mut() {
             obs.on_start(&*dep);
         }
@@ -714,6 +747,48 @@ mod tests {
             .count();
         assert_eq!(writes_before, 0, "read-only phase must not complete writes");
         assert!(writes_after > 0, "switched clusters must start writing");
+    }
+
+    #[test]
+    fn broker_tier_runs_through_the_scenario_api() {
+        use crate::observer::BrokerStatsObserver;
+        let tier = BrokerTier {
+            load: ava_broker::AggregateLoad {
+                virtual_clients: 10_000,
+                offered_tps: 1_000,
+                issue_for: Duration::from_secs(2),
+                ..Default::default()
+            },
+            ..BrokerTier::default()
+        };
+        let mut stats = BrokerStatsObserver::new();
+        let run =
+            quick(Protocol::AvaHotStuff).brokers(tier).build().run_observed(&mut [&mut stats]);
+        assert!(stats.traces().len() == 2, "one broker per cluster");
+        assert!(stats.mean_occupancy() > 1.0, "batches must aggregate multiple ops");
+        assert!(stats.batch_ops_committed() > 0, "writes must commit via the batch path");
+        let virtual_acks = run
+            .outputs
+            .iter()
+            .filter(|o| {
+                matches!(o, Output::TxCompleted { client, .. }
+                    if ava_workload::is_virtual_client(*client))
+            })
+            .count();
+        assert!(virtual_acks > 1_000, "only {virtual_acks} virtual-client acks");
+    }
+
+    #[test]
+    #[should_panic(expected = "could never drain")]
+    fn broker_issue_windows_past_the_run_are_rejected() {
+        let tier = BrokerTier {
+            load: ava_broker::AggregateLoad {
+                issue_for: Duration::from_secs(30),
+                ..Default::default()
+            },
+            ..BrokerTier::default()
+        };
+        let _ = quick(Protocol::AvaHotStuff).brokers(tier).build();
     }
 
     #[test]

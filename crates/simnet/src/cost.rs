@@ -30,6 +30,15 @@ pub struct CostModel {
     /// Cost per byte persisted to the store, in nanoseconds (serialization + page
     /// writes), charged on top of `per_fsync`.
     pub persist_byte_ns: u64,
+    /// Fixed cost of admitting one broker-certified batch: a single signature
+    /// check over the batch digest plus header bookkeeping, charged once per
+    /// batch regardless of occupancy. This is the amortization the broker tier
+    /// buys — per-batch where the per-client path pays per request.
+    pub per_batch_verify: Duration,
+    /// Amortized per-operation cost of unpacking a batch, in nanoseconds
+    /// (deserializing and routing one operation out of an already-verified
+    /// batch; far cheaper than `per_event` dispatch of a standalone request).
+    pub per_batch_op_ns: u64,
 }
 
 impl CostModel {
@@ -47,6 +56,8 @@ impl CostModel {
             per_tx_execute: Duration::from_micros(5),
             per_fsync: Duration::from_micros(100),
             persist_byte_ns: 1,
+            per_batch_verify: Duration::from_micros(40),
+            per_batch_op_ns: 500,
         }
     }
 
@@ -61,6 +72,8 @@ impl CostModel {
             per_tx_execute: Duration::ZERO,
             per_fsync: Duration::ZERO,
             persist_byte_ns: 0,
+            per_batch_verify: Duration::ZERO,
+            per_batch_op_ns: 0,
         }
     }
 
@@ -74,6 +87,12 @@ impl CostModel {
     /// plus the per-byte persistence cost.
     pub fn persist_cost(&self, bytes: usize) -> Duration {
         self.per_fsync + Duration::from_micros((bytes as u64 * self.persist_byte_ns) / 1_000)
+    }
+
+    /// Service time of admitting one broker batch of `ops` operations: one batch
+    /// signature verification plus the amortized per-operation unpacking cost.
+    pub fn batch_cost(&self, ops: usize) -> Duration {
+        self.per_batch_verify + Duration::from_micros((ops as u64 * self.per_batch_op_ns) / 1_000)
     }
 }
 
@@ -112,5 +131,16 @@ mod tests {
     fn event_cost_scales_with_size() {
         let c = CostModel::cloud_vm();
         assert!(c.event_cost(100_000) > c.event_cost(100));
+    }
+
+    #[test]
+    fn batch_cost_amortizes_over_operations() {
+        let c = CostModel::cloud_vm();
+        assert_eq!(c.batch_cost(0), c.per_batch_verify);
+        assert!(c.batch_cost(200) > c.batch_cost(1));
+        // The whole point of the broker tier: admitting a 100-op batch is far
+        // cheaper than dispatching 100 standalone client requests.
+        assert!(c.batch_cost(100) < c.per_event.saturating_mul(100));
+        assert_eq!(CostModel::zero().batch_cost(1_000), Duration::ZERO);
     }
 }

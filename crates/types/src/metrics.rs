@@ -161,6 +161,45 @@ pub enum Output {
         /// When catch-up completed.
         at: Time,
     },
+    /// A broker cut a certified batch and submitted it into the ordering path
+    /// (one event per flush), carrying the broker's flow-control state at the
+    /// moment of the flush. The `BrokerStats` observer derives queue-depth,
+    /// batch-occupancy and shed-rate series from this stream.
+    BrokerFlushed {
+        /// The broker actor's node id.
+        broker: ReplicaId,
+        /// The cluster the broker submits into.
+        cluster: ClusterId,
+        /// Operations in the flushed batch.
+        ops: usize,
+        /// Queue depth immediately after the flush.
+        queue: usize,
+        /// In-flight (submitted, unacknowledged) batches after the flush.
+        inflight: usize,
+        /// Total operations shed by this broker so far (overload backpressure).
+        shed_total: u64,
+        /// When the batch was flushed.
+        at: Time,
+    },
+    /// A replica committed one operation of a broker batch (emitted by the
+    /// replica that admitted the batch, at execution time). The fuzzer's
+    /// broker-conservation checker matches these against the virtual-client
+    /// acknowledgements to prove every acked operation is backed by exactly one
+    /// commit.
+    BatchOpCommitted {
+        /// The replica that admitted the batch and reports the commit.
+        replica: ReplicaId,
+        /// Its cluster.
+        cluster: ClusterId,
+        /// The broker that submitted the batch.
+        broker: ReplicaId,
+        /// The broker-local batch sequence number.
+        batch: u64,
+        /// The committed transaction.
+        tx: TxId,
+        /// When it was committed.
+        at: Time,
+    },
     /// Free-form named measurement (used by benches for auxiliary series).
     Custom {
         /// Metric name.
@@ -184,6 +223,8 @@ impl Output {
             | Output::ReplicaRestarted { at, .. }
             | Output::CheckpointInstalled { at, .. }
             | Output::RecoveryCompleted { at, .. }
+            | Output::BrokerFlushed { at, .. }
+            | Output::BatchOpCommitted { at, .. }
             | Output::Custom { at, .. } => *at,
         }
     }

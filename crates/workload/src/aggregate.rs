@@ -1,0 +1,260 @@
+//! Aggregate virtual-client workload: one generator standing in for 10⁴–10⁶
+//! open-loop clients.
+//!
+//! Simulating every client as its own actor caps honest workload scale: replica
+//! cost *and* simulator event volume grow per client. The aggregate model
+//! collapses the superposition of per-client open-loop arrival processes into a
+//! single deterministic event stream: arrivals are exponentially spaced at the
+//! total offered rate (the superposition of independent Poisson processes is a
+//! Poisson process at the summed rate), and each arrival is attributed to a
+//! virtual client drawn from a Zipfian activity distribution — a few hot clients
+//! issue most of the traffic, a long tail issues the rest, which is also what a
+//! Zipf key-popularity assumption implies for per-user request rates.
+//!
+//! Determinism: the stream owns its RNG (seeded explicitly) instead of drawing
+//! from the simulation's shared RNG, so the generated `(time, transaction)`
+//! sequence is a pure function of `(load, base_client, seed)` — identical no
+//! matter how the deployment is shaped or which actors interleave around it.
+//! The broker-path-vs-direct-path equivalence test relies on exactly this.
+
+use crate::spec::WorkloadSpec;
+use crate::zipf::Zipfian;
+use ava_types::{ClientId, Duration, Time, Transaction};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// First [`ClientId`] of the virtual-client id space. Real (actor-backed)
+/// clients are numbered from 0 and map onto simulated nodes; virtual clients
+/// exist only as transaction-id tags and never collide with them.
+pub const VIRTUAL_CLIENT_BASE: u32 = 10_000_000;
+
+/// Id-space stride between two aggregate generators: each gets this many
+/// virtual client ids to itself.
+pub const VIRTUAL_CLIENT_STRIDE: u32 = 4_000_000;
+
+/// The base virtual [`ClientId`] of aggregate generator number `index`.
+pub fn virtual_client_base(index: u32) -> u32 {
+    VIRTUAL_CLIENT_BASE + index * VIRTUAL_CLIENT_STRIDE
+}
+
+/// Whether `client` belongs to the virtual-client id space (issued by an
+/// aggregate generator rather than a client actor).
+pub fn is_virtual_client(client: ClientId) -> bool {
+    client.0 >= VIRTUAL_CLIENT_BASE
+}
+
+/// Offered load of one aggregate generator: how many virtual clients it stands
+/// in for, how fast they collectively issue, and what they issue.
+#[derive(Clone, Debug)]
+pub struct AggregateLoad {
+    /// Number of virtual clients collapsed into the generator (10⁴–10⁶).
+    pub virtual_clients: u64,
+    /// Total open-loop arrival rate across all virtual clients, in
+    /// transactions per second.
+    pub offered_tps: u64,
+    /// Issuance window: arrivals are generated for `[0, issue_for)` of virtual
+    /// time only. Keeping this strictly shorter than the run lets in-flight
+    /// operations drain, so completed-transaction sets are comparable across
+    /// submission paths.
+    pub issue_for: Duration,
+    /// Zipfian skew of per-client activity (which virtual client an arrival is
+    /// attributed to). `0.0` is near-uniform.
+    pub client_theta: f64,
+    /// What the virtual clients issue (read ratio, key space, payload).
+    pub workload: WorkloadSpec,
+}
+
+impl Default for AggregateLoad {
+    fn default() -> Self {
+        AggregateLoad {
+            virtual_clients: 100_000,
+            offered_tps: 2_000,
+            issue_for: Duration::from_secs(8),
+            client_theta: 0.9,
+            workload: WorkloadSpec::default(),
+        }
+    }
+}
+
+/// The collapsed arrival stream of one aggregate generator: a deterministic,
+/// time-ordered sequence of `(arrival time, transaction)` pairs.
+#[derive(Clone, Debug)]
+pub struct AggregateStream {
+    load: AggregateLoad,
+    base_client: u32,
+    rng: StdRng,
+    clients: Zipfian,
+    keys: Zipfian,
+    /// Per-virtual-client next sequence number (transaction ids must be
+    /// globally unique, and a hot client issues many transactions).
+    seqs: HashMap<u32, u64>,
+    next_at: Time,
+    issued: u64,
+    exhausted: bool,
+}
+
+impl AggregateStream {
+    /// Build the stream. `base_client` is the first virtual client id of this
+    /// generator's range (see [`virtual_client_base`]); `seed` fully determines
+    /// the arrival sequence together with `load` and `base_client`.
+    pub fn new(load: AggregateLoad, base_client: u32, seed: u64) -> Self {
+        assert!(load.virtual_clients > 0, "aggregate load needs at least one virtual client");
+        assert!(load.offered_tps > 0, "aggregate load needs a positive offered rate");
+        assert!(
+            load.virtual_clients <= VIRTUAL_CLIENT_STRIDE as u64,
+            "virtual clients exceed the generator's id range"
+        );
+        let clients = Zipfian::new(load.virtual_clients, load.client_theta);
+        let keys = load.workload.sampler();
+        let mut stream = AggregateStream {
+            load,
+            base_client,
+            rng: StdRng::seed_from_u64(seed),
+            clients,
+            keys,
+            seqs: HashMap::new(),
+            next_at: Time::ZERO,
+            issued: 0,
+            exhausted: false,
+        };
+        stream.advance_arrival();
+        stream
+    }
+
+    /// The load spec driving the stream.
+    pub fn load(&self) -> &AggregateLoad {
+        &self.load
+    }
+
+    /// Transactions issued so far.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// Whether the issuance window is over and the stream is dry.
+    pub fn exhausted(&self) -> bool {
+        self.exhausted
+    }
+
+    /// Draw the next exponential inter-arrival gap and advance the arrival
+    /// clock; marks the stream exhausted once it crosses the issuance window.
+    fn advance_arrival(&mut self) {
+        let mean_us = 1_000_000.0 / self.load.offered_tps as f64;
+        let u: f64 = self.rng.gen();
+        // Inverse-CDF exponential sampling; 1 - u is in (0, 1].
+        let gap = (-(1.0 - u).ln() * mean_us).max(0.0) as u64;
+        self.next_at = self.next_at + Duration::from_micros(gap);
+        if self.next_at.as_micros() >= self.load.issue_for.as_micros() {
+            self.exhausted = true;
+        }
+    }
+
+    /// All arrivals with time `< now`, in arrival order. Called once per actor
+    /// tick: one handler invocation absorbs every virtual-client arrival of the
+    /// tick, which is the collapse that makes 10⁵+ clients per actor cheap.
+    pub fn drain_until(&mut self, now: Time) -> Vec<(Time, Transaction)> {
+        let mut out = Vec::new();
+        while !self.exhausted && self.next_at < now {
+            let at = self.next_at;
+            let rank = self.clients.sample(&mut self.rng) as u32;
+            let client = ClientId(self.base_client + rank);
+            let seq = self.seqs.entry(rank).or_insert(0);
+            let tx = self.load.workload.next_transaction(client, *seq, &self.keys, &mut self.rng);
+            *seq += 1;
+            self.issued += 1;
+            out.push((at, tx));
+            self.advance_arrival();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_load() -> AggregateLoad {
+        AggregateLoad {
+            virtual_clients: 10_000,
+            offered_tps: 5_000,
+            issue_for: Duration::from_secs(2),
+            ..AggregateLoad::default()
+        }
+    }
+
+    #[test]
+    fn stream_is_deterministic_for_a_seed() {
+        let drain = |seed| {
+            let mut s = AggregateStream::new(small_load(), virtual_client_base(0), seed);
+            s.drain_until(Time::from_secs(1))
+        };
+        assert_eq!(drain(7), drain(7));
+        assert_ne!(drain(7), drain(8));
+    }
+
+    #[test]
+    fn arrival_rate_is_roughly_the_offered_rate() {
+        let mut s = AggregateStream::new(small_load(), virtual_client_base(0), 3);
+        let arrivals = s.drain_until(Time::from_secs(2));
+        // 5 000 tps over a 2 s window: expect ~10 000 arrivals (±10%).
+        let n = arrivals.len() as f64;
+        assert!((8_000.0..12_000.0).contains(&n), "got {n} arrivals");
+        // Time-ordered.
+        assert!(arrivals.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn issuance_stops_at_the_window_and_ids_stay_in_range() {
+        let mut s = AggregateStream::new(small_load(), virtual_client_base(2), 5);
+        let arrivals = s.drain_until(Time::from_secs(60));
+        assert!(s.exhausted());
+        assert!(arrivals.iter().all(|(at, _)| *at < Time::from_secs(2)));
+        let base = virtual_client_base(2);
+        for (_, tx) in &arrivals {
+            assert!(is_virtual_client(tx.id.client));
+            assert!(tx.id.client.0 >= base && tx.id.client.0 < base + 10_000);
+        }
+        // Nothing more after exhaustion.
+        assert!(s.drain_until(Time::from_secs(120)).is_empty());
+    }
+
+    #[test]
+    fn transaction_ids_are_unique_across_the_stream() {
+        let mut s = AggregateStream::new(small_load(), virtual_client_base(0), 11);
+        let arrivals = s.drain_until(Time::from_secs(2));
+        let mut ids: Vec<_> = arrivals.iter().map(|(_, tx)| tx.id).collect();
+        let before = ids.len();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), before, "duplicate transaction ids in the stream");
+    }
+
+    #[test]
+    fn client_activity_is_zipf_skewed() {
+        let mut load = small_load();
+        load.client_theta = 0.99;
+        let mut s = AggregateStream::new(load, virtual_client_base(0), 13);
+        let arrivals = s.drain_until(Time::from_secs(2));
+        let hot =
+            arrivals.iter().filter(|(_, tx)| tx.id.client.0 - VIRTUAL_CLIENT_BASE < 100).count();
+        // The hottest 1% of virtual clients issue far more than 1% of traffic.
+        assert!(
+            hot as f64 / arrivals.len() as f64 > 0.2,
+            "hot fraction {}",
+            hot as f64 / arrivals.len() as f64
+        );
+    }
+
+    #[test]
+    fn drains_are_incremental() {
+        let mut whole = AggregateStream::new(small_load(), virtual_client_base(0), 21);
+        let all = whole.drain_until(Time::from_secs(2));
+        let mut chunked = AggregateStream::new(small_load(), virtual_client_base(0), 21);
+        let mut collected = Vec::new();
+        for ms in (0..2_100).step_by(7) {
+            collected.extend(chunked.drain_until(Time::from_millis(ms)));
+        }
+        assert_eq!(all, collected, "chunked drains must reproduce the whole stream");
+    }
+}

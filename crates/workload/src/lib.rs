@@ -4,8 +4,13 @@
 //! uses the YCSB benchmark with an 85% read / 15% write mix, Zipfian key selection,
 //! 1 KB operations and batches of 100 transactions per round.
 
+pub mod aggregate;
 pub mod spec;
 pub mod zipf;
 
+pub use aggregate::{
+    is_virtual_client, virtual_client_base, AggregateLoad, AggregateStream, VIRTUAL_CLIENT_BASE,
+    VIRTUAL_CLIENT_STRIDE,
+};
 pub use spec::{ClientWorkload, WorkloadSpec, YCSB_DEFAULT};
 pub use zipf::Zipfian;

@@ -10,6 +10,7 @@
 
 pub use ava_bench as bench;
 pub use ava_bftsmart as bftsmart;
+pub use ava_broker as broker;
 pub use ava_consensus as consensus;
 pub use ava_crypto as crypto;
 pub use ava_fuzz as fuzz;

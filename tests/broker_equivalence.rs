@@ -1,0 +1,83 @@
+//! Broker-path vs direct-path equivalence.
+//!
+//! The broker tier must be a *transport* for virtual-client operations, not a
+//! semantic change: at low load with batch size 1, routing the aggregate
+//! arrival stream through brokers must ack exactly the same transaction
+//! multiset as submitting it directly at replicas, on the same seed. The
+//! arrival stream owns its RNG (`ava_workload::AggregateStream`), so the
+//! issued sequence is identical across both paths by construction — what this
+//! test pins is that nothing along the broker path (batching, certification,
+//! admission, TOB dedup, ack demultiplexing) loses, duplicates or invents an
+//! operation.
+
+use hamava_repro::broker::BrokerTier;
+use hamava_repro::scenario::{Protocol, Scenario};
+use hamava_repro::types::{Duration, Output, Region, SystemConfig, TxId};
+use hamava_repro::workload::AggregateLoad;
+
+fn config() -> SystemConfig {
+    let mut config = SystemConfig::even_split_single_region(8, 2, Region::UsWest);
+    config.params.batch_size = 20;
+    config
+}
+
+fn tier(brokers_per_cluster: usize) -> BrokerTier {
+    BrokerTier {
+        brokers_per_cluster,
+        // Batch size 1: every operation travels as its own certified batch, so
+        // the only difference from the direct path is the broker hop itself.
+        max_batch_ops: 1,
+        load: AggregateLoad {
+            virtual_clients: 5_000,
+            offered_tps: 400,
+            issue_for: Duration::from_secs(4),
+            ..AggregateLoad::default()
+        },
+        ..BrokerTier::default()
+    }
+}
+
+/// Sorted multiset of acked virtual-client transactions (reads and writes).
+fn acked(brokers_per_cluster: usize, seed: u64) -> Vec<(TxId, bool)> {
+    let run = Scenario::builder(Protocol::AvaHotStuff, config())
+        .seed(seed)
+        .run_for(Duration::from_secs(12))
+        .brokers(tier(brokers_per_cluster))
+        .build()
+        .run();
+    let mut acks: Vec<(TxId, bool)> = run
+        .outputs
+        .iter()
+        .filter_map(|o| match o {
+            Output::TxCompleted { tx, client, is_write, .. }
+                if hamava_repro::workload::is_virtual_client(*client) =>
+            {
+                Some((*tx, *is_write))
+            }
+            _ => None,
+        })
+        .collect();
+    acks.sort();
+    acks
+}
+
+#[test]
+fn batch_size_one_broker_path_acks_the_same_multiset_as_the_direct_path() {
+    let direct = acked(0, 77);
+    let brokered = acked(1, 77);
+    // ~400 tps for 4 s across two clusters: both paths must ack the bulk of
+    // ~3 200 issued operations, and exactly the same ones.
+    assert!(direct.len() > 2_500, "direct path acked only {}", direct.len());
+    assert_eq!(direct, brokered, "broker path must ack exactly the direct path's multiset");
+    // No duplicates in either (a multiset equality alone would tolerate
+    // matching duplicates on both sides).
+    let mut dedup = direct.clone();
+    dedup.dedup();
+    assert_eq!(dedup.len(), direct.len(), "duplicate acks");
+}
+
+#[test]
+fn the_acked_multiset_is_seed_deterministic() {
+    assert_eq!(acked(1, 9), acked(1, 9));
+    assert_ne!(acked(1, 9), acked(1, 10));
+}

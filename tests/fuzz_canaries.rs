@@ -48,6 +48,21 @@ fn a_short_seed_sweep_passes_every_checker() {
 }
 
 #[test]
+fn broker_tier_cases_pass_every_checker_including_conservation() {
+    // Force a broker tier onto every case: fault schedules (crashes, restarts,
+    // partitions, churn) now run with aggregate virtual-client load through
+    // brokers, and the broker-conservation checker judges the committed traces.
+    let cfg = FuzzConfig { broker_probability: 1.0, ..FuzzConfig::quick() };
+    let summary = fuzz_many(cfg, 0, 3, 2, |_| {});
+    assert!(
+        summary.all_passed(),
+        "failing seeds: {:?}\n{}",
+        summary.failing_seeds(),
+        summary.to_json("quick")
+    );
+}
+
+#[test]
 fn parallel_fuzz_campaign_matches_serial_digests() {
     // The fan-out contract: a campaign on 4 workers must produce the same
     // reports — same seed order, same schedule and output digests — as the
