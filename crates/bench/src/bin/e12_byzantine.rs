@@ -1,0 +1,42 @@
+//! E12: Byzantine adversary sweep — every [`ByzantineBehavior`] at every
+//! corruption count within the f-per-cluster adversary model, with the fuzzer's
+//! full invariant-checker suite observing each run. Safety must stay green in
+//! every cell; the sweep measures the liveness price (committed throughput vs
+//! the `Honest` decorator baseline) and the rejection/equivocation evidence
+//! honest replicas emit against each behavior.
+//!
+//! Usage: `e12_byzantine [--jobs N] [--json PATH]` (reduced scale, f = 1) or
+//! `AVA_FULL=1 e12_byzantine` / `e12_byzantine --full` (paper-style scale,
+//! f = 2). Prints the sweep table, then the machine-readable JSON document
+//! (also written to `PATH` when `--json` is given). The JSON's
+//! `"total_violations"` field is the CI gate: any non-zero value means a
+//! behavior broke a safety invariant, and the binary exits non-zero.
+//!
+//! [`ByzantineBehavior`]: ava_scenario::ByzantineBehavior
+use ava_bench::experiments::{e12_byzantine, e12_json, ExperimentScale};
+
+fn main() {
+    let scale = ExperimentScale::from_env_and_args();
+    let cells = e12_byzantine(&scale);
+    let json = e12_json(&scale, &cells);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(path) = args.windows(2).find(|w| w[0] == "--json").map(|w| w[1].clone()) {
+        std::fs::write(&path, &json).expect("write --json output");
+        eprintln!("wrote {path}");
+    }
+    println!("{json}");
+    let violating = cells.iter().filter(|c| !c.violations.is_empty()).count();
+    if violating > 0 {
+        for cell in cells.iter().filter(|c| !c.violations.is_empty()) {
+            eprintln!(
+                "SAFETY VIOLATION: behavior={} corrupted={}:",
+                cell.behavior.label(),
+                cell.corrupted_per_cluster
+            );
+            for v in &cell.violations {
+                eprintln!("  {v}");
+            }
+        }
+        std::process::exit(1);
+    }
+}

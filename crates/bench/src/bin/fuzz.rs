@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! fuzz [--seeds N] [--start-seed S] [--jobs N] [--quick|--full] [--brokers]
-//!      [--seed X] [--canaries] [--no-shrink] [--json FILE]
+//!      [--byzantine] [--seed X] [--canaries] [--no-shrink] [--json FILE]
 //! ```
 //!
 //! * `--seeds N` (default 25): run seeds `S..S+N` (`S` from `--start-seed`,
@@ -18,6 +18,11 @@
 //! * `--brokers`: deploy a broker tier on half the cases (seed-derived draw;
 //!   the schedule a seed generates is unshifted). The full profile draws broker
 //!   tiers on its own; `--brokers` forces the knob on in either profile.
+//! * `--byzantine`: corrupt replicas with Byzantine behaviors on half the cases
+//!   (seed-derived draw sharing the per-cluster fault budget; the non-corrupt
+//!   schedule a seed generates is unshifted). The full profile draws
+//!   corruptions on its own; `--byzantine` forces the knob on in either
+//!   profile.
 //! * `--seed X`: run exactly one seed (prints its schedule digest and snippet —
 //!   the reproduction entry point for a seed reported by CI).
 //! * `--canaries`: run the canary suite instead of fuzzing — every deliberate
@@ -37,6 +42,7 @@ fn main() {
     let mut one_seed: Option<u64> = None;
     let mut canaries = false;
     let mut brokers = false;
+    let mut byzantine = false;
     let mut shrink = true;
     let mut json_path: Option<String> = None;
 
@@ -55,6 +61,7 @@ fn main() {
             "--seed" => one_seed = Some(next_value(&mut args, "--seed").parse().expect("--seed X")),
             "--canaries" => canaries = true,
             "--brokers" => brokers = true,
+            "--byzantine" => byzantine = true,
             "--no-shrink" => shrink = false,
             "--json" => json_path = Some(next_value(&mut args, "--json")),
             other => {
@@ -72,6 +79,9 @@ fn main() {
     let mut cfg = if full { FuzzConfig::full() } else { FuzzConfig::quick() };
     if brokers {
         cfg.broker_probability = 0.5;
+    }
+    if byzantine {
+        cfg.byzantine_probability = 0.5;
     }
     let mode = if full { "full" } else { "quick" };
     let (start, count) = match one_seed {

@@ -14,10 +14,12 @@
 //! functions.
 
 use crate::report::{fmt, print_table, summarize, RunMetrics};
+use ava_fuzz::CheckerSet;
 use ava_hamava::harness::DeploymentOptions;
 use ava_scenario::{
-    BrokerStatsObserver, BrokerTier, ReconfigTraceObserver, RecoveryObserver, RunPool, Scenario,
-    ScenarioBuilder, StageBreakdownObserver, ThroughputObserver,
+    BrokerStatsObserver, BrokerTier, ByzantineBehavior, ByzantineObserver, ReconfigTraceObserver,
+    RecoveryObserver, RunPool, Scenario, ScenarioBuilder, StageBreakdownObserver,
+    ThroughputObserver,
 };
 use ava_simnet::{CostModel, LatencyModel};
 use ava_store::StoreConfig;
@@ -1048,6 +1050,188 @@ pub fn e11_json(scale: &ExperimentScale, points: &[SaturationPoint], knee: Optio
             p.shed,
             p.batch_occupancy,
             if i + 1 == points.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+// ---------------------------------------------------------------------------------
+// E12: Byzantine adversary sweep (beyond the paper)
+// ---------------------------------------------------------------------------------
+
+/// One cell of the E12 Byzantine sweep: one behavior at one per-cluster
+/// corruption count, with the full invariant-checker suite riding along.
+#[derive(Clone, Debug)]
+pub struct ByzantineCell {
+    /// The adversary behavior every corrupted replica exhibits.
+    pub behavior: ByzantineBehavior,
+    /// Distinct replicas corrupted in each cluster (≤ f by construction).
+    pub corrupted_per_cluster: usize,
+    /// Committed throughput over the measurement window, in transactions per
+    /// second.
+    pub committed_tps: f64,
+    /// Throughput loss relative to the `Honest` baseline cell at the same
+    /// corruption count, in percent (0 for the baseline itself).
+    pub degradation_pct: f64,
+    /// `ByzantineRejected` evidence honest replicas emitted during the run.
+    pub rejections: u64,
+    /// `EquivocationObserved` evidence honest replicas emitted during the run.
+    pub equivocations: u64,
+    /// Safety-checker violations — the sweep's acceptance bar is that this is
+    /// empty in every cell.
+    pub violations: Vec<String>,
+}
+
+/// Per-cluster corruption counts the sweep covers: `1..=f` for the scale's
+/// cluster size (quick: f = 1; full: f = 2).
+pub fn e12_corrupt_counts(scale: &ExperimentScale) -> Vec<usize> {
+    let f = (e12_nodes_per_cluster(scale) - 1) / 3;
+    (1..=f).collect()
+}
+
+fn e12_nodes_per_cluster(scale: &ExperimentScale) -> usize {
+    if scale.full {
+        7
+    } else {
+        4
+    }
+}
+
+fn e12_config(scale: &ExperimentScale) -> SystemConfig {
+    let n = e12_nodes_per_cluster(scale);
+    let mut config = SystemConfig::homogeneous_regions(&[(n, Region::UsWest), (n, Region::Europe)]);
+    adjust_batch(&mut config, scale);
+    // Corrupting a leader must be recoverable inside a reduced run: tighten the
+    // leader-change and BRD timeouts the same way the E4 failure sweeps do.
+    adjust_timeouts(&mut config, scale);
+    config
+}
+
+/// Run one E12 cell: corrupt `corrupted_per_cluster` replicas in *every*
+/// cluster (the initial leader first — the most disruptive target — then the
+/// members after it) at 20% of the run, with `behavior`. The fuzzer's full
+/// [`CheckerSet`] observes the run, so any safety regression a behavior causes
+/// fails the sweep rather than hiding in a throughput number.
+pub fn e12_cell(
+    scale: &ExperimentScale,
+    behavior: ByzantineBehavior,
+    corrupted_per_cluster: usize,
+) -> ByzantineCell {
+    let config = e12_config(scale);
+    let corrupt_at = Time(scale.run.as_micros() / 5);
+    let mut builder =
+        scenario(Protocol::AvaHotStuff, config.clone(), default_opts(12, scale), scale);
+    for cluster in &config.clusters {
+        let leader = config.initial_leader(cluster.id);
+        let mut targets = vec![leader];
+        targets.extend(cluster.replicas.iter().map(|(id, _)| *id).filter(|id| *id != leader));
+        for id in targets.into_iter().take(corrupted_per_cluster) {
+            builder = builder.corrupt_at(corrupt_at, id, behavior);
+        }
+    }
+    let mut checkers = CheckerSet::standard();
+    let mut evidence = ByzantineObserver::new();
+    let run = builder.build().run_observed(&mut [&mut checkers, &mut evidence]);
+    let (start, end) = scale.window();
+    let m = summarize(&run.outputs, start, end);
+    ByzantineCell {
+        behavior,
+        corrupted_per_cluster,
+        committed_tps: m.throughput_tps,
+        degradation_pct: 0.0, // filled in against the Honest baseline by the sweep
+        rejections: evidence.total_rejections(),
+        equivocations: evidence.equivocations(),
+        violations: checkers.violations().iter().map(|v| v.to_string()).collect(),
+    }
+}
+
+/// E12: behavior × corruption-count sweep. Every cell stays within the f-per-
+/// cluster adversary model (the scenario builder enforces it), every cell runs
+/// under the full checker suite, and the table reports the liveness price of
+/// each behavior against the `Honest` decorator baseline.
+pub fn e12_byzantine(scale: &ExperimentScale) -> Vec<ByzantineCell> {
+    let grid: Vec<(ByzantineBehavior, usize)> = e12_corrupt_counts(scale)
+        .into_iter()
+        .flat_map(|count| ByzantineBehavior::ALL.into_iter().map(move |b| (b, count)))
+        .collect();
+    let mut cells = scale.pool().map(grid, |_, (b, count)| e12_cell(scale, b, count));
+    // Degradation is relative to the Honest cell at the same corruption count:
+    // same schedule shape, same decorators, zero deviation.
+    let baselines: Vec<(usize, f64)> = cells
+        .iter()
+        .filter(|c| c.behavior == ByzantineBehavior::Honest)
+        .map(|c| (c.corrupted_per_cluster, c.committed_tps))
+        .collect();
+    for cell in &mut cells {
+        let base = baselines
+            .iter()
+            .find(|(count, _)| *count == cell.corrupted_per_cluster)
+            .map(|(_, tps)| *tps)
+            .unwrap_or(0.0);
+        cell.degradation_pct =
+            if base > 0.0 { ((base - cell.committed_tps) / base * 100.0).max(0.0) } else { 0.0 };
+    }
+    let rows: Vec<Vec<String>> = cells
+        .iter()
+        .map(|c| {
+            vec![
+                c.behavior.label().to_string(),
+                c.corrupted_per_cluster.to_string(),
+                fmt(c.committed_tps, 1),
+                fmt(c.degradation_pct, 1),
+                c.rejections.to_string(),
+                c.equivocations.to_string(),
+                c.violations.len().to_string(),
+            ]
+        })
+        .collect();
+    let total_violations: usize = cells.iter().map(|c| c.violations.len()).sum();
+    print_table(
+        &format!(
+            "E12: Byzantine adversary sweep, corruption at {}s ({} safety violations)",
+            Time(scale.run.as_micros() / 5).as_secs_f64(),
+            total_violations
+        ),
+        &[
+            "behavior",
+            "corrupt/cluster",
+            "committed (txn/s)",
+            "vs honest (%)",
+            "rejections",
+            "equivocations",
+            "violations",
+        ],
+        &rows,
+    );
+    cells
+}
+
+/// Serialize an E12 sweep into the JSON document the binary prints. The CI gate
+/// greps for `"total_violations": 0` — the sweep's safety bar in one line.
+pub fn e12_json(scale: &ExperimentScale, cells: &[ByzantineCell]) -> String {
+    let total_violations: usize = cells.iter().map(|c| c.violations.len()).sum();
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!(
+        "  \"experiment\": \"e12_byzantine\",\n  \"mode\": \"{}\",\n",
+        if scale.full { "full" } else { "quick" }
+    ));
+    out.push_str(&format!("  \"total_violations\": {total_violations},\n"));
+    out.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"behavior\": \"{}\", \"corrupted_per_cluster\": {}, \
+             \"committed_tps\": {:.1}, \"degradation_pct\": {:.1}, \"rejections\": {}, \
+             \"equivocations\": {}, \"violations\": {}}}{}\n",
+            c.behavior.label(),
+            c.corrupted_per_cluster,
+            c.committed_tps,
+            c.degradation_pct,
+            c.rejections,
+            c.equivocations,
+            c.violations.len(),
+            if i + 1 == cells.len() { "" } else { "," },
         ));
     }
     out.push_str("  ]\n}\n");

@@ -36,17 +36,26 @@ pub enum Canary {
     /// A virtual client is acked for a write no replica ever committed from a
     /// batch (the broker invented or misrouted an acknowledgement).
     PhantomBrokerAck,
+    /// An honest run emits rejection evidence (`ByzantineRejected`) with no
+    /// corruption ever scheduled — an honest artifact failed verification,
+    /// i.e. a false positive in the evidence path.
+    ForgedCertificateRejection,
+    /// An honest run emits equivocation evidence (`EquivocationObserved`) with
+    /// no package-mutating corruption ever scheduled — a false accusation.
+    UnjustifiedEquivocationEvidence,
 }
 
 impl Canary {
     /// Every canary, in suite order.
-    pub const ALL: [Canary; 6] = [
+    pub const ALL: [Canary; 8] = [
         Canary::DivergentRoundTxns,
         Canary::DuplicateRoundExecution,
         Canary::ForgedCheckpointDigest,
         Canary::MismatchedReconfigSet,
         Canary::LostRecoveryCompletion,
         Canary::PhantomBrokerAck,
+        Canary::ForgedCertificateRejection,
+        Canary::UnjustifiedEquivocationEvidence,
     ];
 
     /// Short label for reports.
@@ -58,6 +67,8 @@ impl Canary {
             Canary::MismatchedReconfigSet => "mismatched-reconfig-set",
             Canary::LostRecoveryCompletion => "lost-recovery-completion",
             Canary::PhantomBrokerAck => "phantom-broker-ack",
+            Canary::ForgedCertificateRejection => "forged-certificate-rejection",
+            Canary::UnjustifiedEquivocationEvidence => "unjustified-equivocation-evidence",
         }
     }
 
@@ -70,6 +81,8 @@ impl Canary {
             Canary::MismatchedReconfigSet => "reconfig-agreement",
             Canary::LostRecoveryCompletion => "catch-up-liveness",
             Canary::PhantomBrokerAck => "broker-conservation",
+            Canary::ForgedCertificateRejection => "certificate-validity",
+            Canary::UnjustifiedEquivocationEvidence => "equivocation-exposure",
         }
     }
 
@@ -206,8 +219,51 @@ impl Canary {
                 });
                 true
             }
+            Canary::ForgedCertificateRejection => {
+                // Plant rejection evidence anchored on the first executed round.
+                // The fixture schedule holds no Corrupt event, so the evidence
+                // is unjustified by construction.
+                let Some((replica, cluster, round, at)) = first_execution(outputs) else {
+                    return false;
+                };
+                outputs.push(Output::ByzantineRejected {
+                    replica,
+                    cluster,
+                    round,
+                    kind: ava_types::RejectKind::PackageCert,
+                    at,
+                });
+                true
+            }
+            Canary::UnjustifiedEquivocationEvidence => {
+                // Plant conflicting-package evidence with no package-mutating
+                // corruption anywhere in the schedule.
+                let Some((replica, cluster, round, at)) = first_execution(outputs) else {
+                    return false;
+                };
+                outputs.push(Output::EquivocationObserved {
+                    replica,
+                    cluster,
+                    round,
+                    first: [0x11; 32],
+                    second: [0x22; 32],
+                    at,
+                });
+                true
+            }
         }
     }
+}
+
+/// The `(replica, cluster, round, at)` of the first `RoundExecuted` in the
+/// stream — the anchor the evidence canaries attach their forgeries to.
+fn first_execution(outputs: &[Output]) -> Option<(ReplicaId, ClusterId, ava_types::Round, Time)> {
+    outputs.iter().find_map(|o| match o {
+        Output::RoundExecuted { replica, cluster, round, at, .. } => {
+            Some((*replica, *cluster, *round, *at))
+        }
+        _ => None,
+    })
 }
 
 /// Round-number holder used by the divergent-txns scan (avoids borrowing the
@@ -413,6 +469,24 @@ mod tests {
         assert!(Canary::PhantomBrokerAck.inject(&mut outputs));
         let violations = CheckerSet::replay(&outputs, &[], Time::from_secs(14));
         assert!(violations.iter().any(|v| v.checker == "broker-conservation"));
+    }
+
+    #[test]
+    fn forged_rejection_canary_trips_certificate_validity_on_a_synthetic_trace() {
+        let outputs_base = vec![executed(0, 1, 20)];
+        assert!(CheckerSet::replay(&outputs_base, &[], Time::from_secs(10)).is_empty());
+        let mut outputs = outputs_base;
+        assert!(Canary::ForgedCertificateRejection.inject(&mut outputs));
+        let violations = CheckerSet::replay(&outputs, &[], Time::from_secs(10));
+        assert!(violations.iter().any(|v| v.checker == "certificate-validity"));
+    }
+
+    #[test]
+    fn unjustified_equivocation_canary_trips_equivocation_exposure_on_a_synthetic_trace() {
+        let mut outputs = vec![executed(0, 1, 20)];
+        assert!(Canary::UnjustifiedEquivocationEvidence.inject(&mut outputs));
+        let violations = CheckerSet::replay(&outputs, &[], Time::from_secs(10));
+        assert!(violations.iter().any(|v| v.checker == "equivocation-exposure"));
     }
 
     #[test]

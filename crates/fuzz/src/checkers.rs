@@ -489,6 +489,133 @@ impl InvariantChecker for BrokerConservationChecker {
     }
 }
 
+/// Certificate-validity soundness: honest runs never produce
+/// [`Output::ByzantineRejected`] — every emission site sits on a path only
+/// forged, tampered or lying artifacts can reach. Rejection evidence on a run
+/// whose schedule holds no `Corrupt` event, or emitted *before* the first
+/// corruption was applied, means an honest artifact failed verification: a
+/// false positive that would poison every adversary experiment built on the
+/// evidence stream.
+#[derive(Default)]
+pub struct CertificateValidityChecker {
+    first_corrupt: Option<Time>,
+    violations: Vec<Violation>,
+}
+
+impl CertificateValidityChecker {
+    /// A fresh checker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl InvariantChecker for CertificateValidityChecker {
+    fn name(&self) -> &'static str {
+        "certificate-validity"
+    }
+
+    fn observe(&mut self, output: &Output) {
+        let Output::ByzantineRejected { replica, round, kind, at, .. } = output else {
+            return;
+        };
+        let justified = self.first_corrupt.is_some_and(|first| *at >= first);
+        if !justified {
+            self.violations.push(Violation {
+                checker: self.name(),
+                details: format!(
+                    "{replica} rejected a {} artifact at {:.1}s round {round}, but {} — honest \
+                     material must never fail verification",
+                    kind.label(),
+                    at.as_secs_f64(),
+                    match self.first_corrupt {
+                        None => "no replica was ever corrupted".to_string(),
+                        Some(first) =>
+                            format!("the first corruption applies at {:.1}s", first.as_secs_f64()),
+                    }
+                ),
+            });
+        }
+    }
+
+    fn scheduled(&mut self, at: Time, event: &ScenarioEvent) {
+        if matches!(event, ScenarioEvent::Corrupt { .. }) {
+            self.first_corrupt = Some(self.first_corrupt.map_or(at, |f| f.min(at)));
+        }
+    }
+
+    fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+}
+
+/// Equivocation-exposure soundness: [`Output::EquivocationObserved`] must carry
+/// genuinely conflicting contents (`first != second`) and must only appear
+/// after a *package-mutating* corruption
+/// ([`ava_scenario::ByzantineBehavior::mutates_packages`]) was applied —
+/// suppression, stale replay, BRD forgery and lying catch-up never produce
+/// conflicting same-slot packages, so evidence under those schedules is a
+/// false accusation.
+#[derive(Default)]
+pub struct EquivocationExposureChecker {
+    first_mutating_corrupt: Option<Time>,
+    violations: Vec<Violation>,
+}
+
+impl EquivocationExposureChecker {
+    /// A fresh checker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl InvariantChecker for EquivocationExposureChecker {
+    fn name(&self) -> &'static str {
+        "equivocation-exposure"
+    }
+
+    fn observe(&mut self, output: &Output) {
+        let Output::EquivocationObserved { replica, round, first, second, at, .. } = output else {
+            return;
+        };
+        if first == second {
+            self.violations.push(Violation {
+                checker: self.name(),
+                details: format!(
+                    "{replica} reported an equivocation at {:.1}s round {round} with identical \
+                     digests — same-content packages are not an equivocation",
+                    at.as_secs_f64()
+                ),
+            });
+            return;
+        }
+        let justified = self.first_mutating_corrupt.is_some_and(|f| *at >= f);
+        if !justified {
+            self.violations.push(Violation {
+                checker: self.name(),
+                details: format!(
+                    "{replica} exposed an equivocation at {:.1}s round {round}, but no \
+                     package-mutating corruption was active — honest replicas never ship \
+                     conflicting packages for one slot",
+                    at.as_secs_f64()
+                ),
+            });
+        }
+    }
+
+    fn scheduled(&mut self, at: Time, event: &ScenarioEvent) {
+        if let ScenarioEvent::Corrupt { behavior, .. } = event {
+            if behavior.mutates_packages() {
+                self.first_mutating_corrupt =
+                    Some(self.first_mutating_corrupt.map_or(at, |f| f.min(at)));
+            }
+        }
+    }
+
+    fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+}
+
 /// The full checker suite, usable as one [`RunObserver`] (wire it into
 /// `Scenario::run_observed`) or offline via [`CheckerSet::replay`].
 pub struct CheckerSet {
@@ -504,7 +631,8 @@ impl Default for CheckerSet {
 
 impl CheckerSet {
     /// The standard always-on suite: execution agreement, prefix, checkpoint
-    /// chain, reconfig-set agreement, catch-up liveness, broker conservation.
+    /// chain, reconfig-set agreement, catch-up liveness, broker conservation,
+    /// certificate validity, equivocation exposure.
     pub fn standard() -> Self {
         CheckerSet {
             checkers: vec![
@@ -514,6 +642,8 @@ impl CheckerSet {
                 Box::new(ReconfigAgreementChecker::new()),
                 Box::new(CatchUpChecker::new()),
                 Box::new(BrokerConservationChecker::new()),
+                Box::new(CertificateValidityChecker::new()),
+                Box::new(EquivocationExposureChecker::new()),
             ],
             end: Time::ZERO,
         }
@@ -750,7 +880,7 @@ mod tests {
     }
 
     #[test]
-    fn standard_set_has_six_named_checkers() {
+    fn standard_set_has_eight_named_checkers() {
         let names = CheckerSet::standard_names();
         assert_eq!(
             names,
@@ -760,9 +890,86 @@ mod tests {
                 "checkpoint-chain",
                 "reconfig-agreement",
                 "catch-up-liveness",
-                "broker-conservation"
+                "broker-conservation",
+                "certificate-validity",
+                "equivocation-exposure"
             ]
         );
+    }
+
+    fn rejected(at_s: u64) -> Output {
+        Output::ByzantineRejected {
+            replica: ReplicaId(2),
+            cluster: ClusterId(0),
+            round: Round(5),
+            kind: ava_types::RejectKind::PackageCert,
+            at: Time::from_secs(at_s),
+        }
+    }
+
+    fn equivocation(at_s: u64, first: [u8; 32], second: [u8; 32]) -> Output {
+        Output::EquivocationObserved {
+            replica: ReplicaId(2),
+            cluster: ClusterId(0),
+            round: Round(5),
+            first,
+            second,
+            at: Time::from_secs(at_s),
+        }
+    }
+
+    fn corrupt_event(behavior: ava_scenario::ByzantineBehavior) -> ScenarioEvent {
+        ScenarioEvent::Corrupt { replica: ReplicaId(1), behavior }
+    }
+
+    #[test]
+    fn certificate_validity_flags_unjustified_rejections() {
+        use ava_scenario::ByzantineBehavior;
+        // Rejection with no Corrupt scheduled at all: violation.
+        let mut c = CertificateValidityChecker::new();
+        feed(&mut c, &[rejected(5)]);
+        assert_eq!(c.violations().len(), 1);
+        assert!(c.violations()[0].details.contains("no replica was ever corrupted"));
+
+        // Rejection before the first corruption applies: violation.
+        let mut c = CertificateValidityChecker::new();
+        c.scheduled(Time::from_secs(8), &corrupt_event(ByzantineBehavior::InvalidCert));
+        feed(&mut c, &[rejected(5)]);
+        assert_eq!(c.violations().len(), 1);
+        assert!(c.violations()[0].details.contains("first corruption applies at 8.0s"));
+
+        // Rejection after the corruption: justified.
+        let mut c = CertificateValidityChecker::new();
+        c.scheduled(Time::from_secs(2), &corrupt_event(ByzantineBehavior::InvalidCert));
+        feed(&mut c, &[rejected(5)]);
+        assert!(c.violations().is_empty());
+    }
+
+    #[test]
+    fn equivocation_exposure_requires_conflict_and_a_mutating_corruption() {
+        use ava_scenario::ByzantineBehavior;
+        // Identical digests are never an equivocation, corruption or not.
+        let mut c = EquivocationExposureChecker::new();
+        c.scheduled(Time::from_secs(2), &corrupt_event(ByzantineBehavior::EquivocateLocal));
+        feed(&mut c, &[equivocation(5, [7; 32], [7; 32])]);
+        assert_eq!(c.violations().len(), 1);
+        assert!(c.violations()[0].details.contains("identical digests"));
+
+        // A non-package-mutating corruption cannot justify the evidence.
+        let mut c = EquivocationExposureChecker::new();
+        c.scheduled(
+            Time::from_secs(2),
+            &corrupt_event(ByzantineBehavior::SuppressShares { permille: 500 }),
+        );
+        feed(&mut c, &[equivocation(5, [1; 32], [2; 32])]);
+        assert_eq!(c.violations().len(), 1);
+        assert!(c.violations()[0].details.contains("no package-mutating corruption"));
+
+        // Conflicting digests after a mutating corruption: sound evidence.
+        let mut c = EquivocationExposureChecker::new();
+        c.scheduled(Time::from_secs(2), &corrupt_event(ByzantineBehavior::EquivocateLocal));
+        feed(&mut c, &[equivocation(5, [1; 32], [2; 32])]);
+        assert!(c.violations().is_empty());
     }
 
     fn virtual_ack(client: u32, seq: u64, is_write: bool) -> Output {

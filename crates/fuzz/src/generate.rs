@@ -12,7 +12,9 @@
 //! run time to quiesce — so a checker violation on a generated case is a protocol
 //! bug, not a schedule that asked for the impossible.
 
-use ava_scenario::{BrokerTier, Protocol, Scenario, ScenarioBuilder, ScenarioEvent, Schedule};
+use ava_scenario::{
+    BrokerTier, ByzantineBehavior, Protocol, Scenario, ScenarioBuilder, ScenarioEvent, Schedule,
+};
 use ava_simnet::LatencyModel;
 use ava_store::StoreConfig;
 use ava_types::{ClusterId, Duration, Region, ReplicaId, SystemConfig, Time};
@@ -45,6 +47,13 @@ pub struct FuzzConfig {
     /// schedule/topology a seed generates. `0.0` in the quick profile — the
     /// fuzz determinism goldens pin quick-profile cases byte-for-byte.
     pub broker_probability: f64,
+    /// Probability that a case corrupts replicas with Byzantine behaviors
+    /// (`ScenarioEvent::Corrupt`). Like the broker knob, drawn from its own
+    /// salted RNG stream so enabling it never shifts the schedule/topology a
+    /// seed generates; the corrupt draws *do* share the per-cluster fault
+    /// budget with crashes/mutes/leaves, so total faulty replicas stay ≤ f
+    /// per cluster. `0.0` in the quick profile (golden-pinned).
+    pub byzantine_probability: f64,
 }
 
 impl FuzzConfig {
@@ -60,6 +69,7 @@ impl FuzzConfig {
             cluster_size: (4, 5),
             client_concurrency: 32,
             broker_probability: 0.0,
+            byzantine_probability: 0.0,
         }
     }
 
@@ -74,6 +84,7 @@ impl FuzzConfig {
             cluster_size: (4, 7),
             client_concurrency: 128,
             broker_probability: 0.35,
+            byzantine_probability: 0.25,
         }
     }
 }
@@ -295,6 +306,10 @@ fn encode_event(out: &mut Vec<u8>, event: &ScenarioEvent) {
             out.extend_from_slice(&b.0.to_le_bytes());
         }
         ScenarioEvent::LatencyShift { latency } => encode_latency(out, latency),
+        ScenarioEvent::Corrupt { replica, behavior } => {
+            out.extend_from_slice(&replica.0.to_le_bytes());
+            out.extend_from_slice(&behavior.to_tag().to_le_bytes());
+        }
     }
 }
 
@@ -350,6 +365,9 @@ fn event_call(at: Time, event: &ScenarioEvent) -> String {
             ".latency_shift_at({t}, LatencyModel::uniform({:?}))",
             latency.rtt_ms(Region::UsWest, Region::Europe)
         ),
+        ScenarioEvent::Corrupt { replica, behavior } => {
+            format!(".corrupt_at({t}, ReplicaId({}), ByzantineBehavior::{behavior:?})", replica.0)
+        }
     }
 }
 
@@ -407,9 +425,62 @@ impl ScheduleGenerator {
             ..Default::default()
         };
 
-        let schedule = self.draw_schedule(&mut rng, protocol, &config, store.is_some());
+        let membership = config.membership();
+        let mut budget = FaultBudget {
+            used_ms: BTreeSet::new(),
+            harmed: vec![0; config.clusters.len()],
+            harmed_replicas: BTreeSet::new(),
+        };
+        let mut schedule =
+            self.draw_schedule(&mut rng, protocol, &config, store.is_some(), &mut budget);
+        self.draw_byzantine(seed, &config, &membership, &mut schedule, &mut budget);
         let brokers = self.draw_brokers(seed);
         FuzzCase { seed, protocol, clusters, config, opts, schedule, brokers, run: cfg.run }
+    }
+
+    /// Draw 1–2 `Corrupt` events for `seed` from a *separately derived* RNG
+    /// stream (same pattern as the broker draw): turning the knob on never
+    /// shifts the schedule/topology a seed generates. Unlike the broker draw
+    /// the corrupt targets *do* consume the shared fault budget, so crashes,
+    /// mutes, leaves and corruptions together never exceed `f` faulty replicas
+    /// in any cluster — the adversary model the safety checkers assume.
+    fn draw_byzantine(
+        &self,
+        seed: u64,
+        config: &SystemConfig,
+        membership: &ava_types::Membership,
+        schedule: &mut Schedule,
+        budget: &mut FaultBudget,
+    ) {
+        let cfg = &self.cfg;
+        if cfg.byzantine_probability <= 0.0 {
+            return;
+        }
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x6279_7a61_6e74_696e); // "byzantin"
+        if !rng.gen_bool(cfg.byzantine_probability) {
+            return;
+        }
+        let lo_ms = 1_000u64;
+        let hi_ms = (cfg.run.as_micros() - cfg.grace.as_micros()) / 1_000;
+        let n = rng.gen_range(1..=2usize);
+        for _ in 0..n {
+            let Some(at_ms) = fresh_time(&mut rng, &mut budget.used_ms, lo_ms, hi_ms) else {
+                continue;
+            };
+            let Some((ci, replica)) = pick_harmable(
+                &mut rng,
+                config,
+                membership,
+                &budget.harmed,
+                &budget.harmed_replicas,
+            ) else {
+                continue;
+            };
+            budget.harmed[ci] += 1;
+            budget.harmed_replicas.insert(replica);
+            let behavior = draw_behavior(&mut rng);
+            schedule.add(Time::from_millis(at_ms), ScenarioEvent::Corrupt { replica, behavior });
+        }
     }
 
     /// Draw an optional broker tier for `seed` from a *separately derived* RNG:
@@ -456,6 +527,7 @@ impl ScheduleGenerator {
         protocol: Protocol,
         config: &SystemConfig,
         has_store: bool,
+        budget: &mut FaultBudget,
     ) -> Schedule {
         let cfg = &self.cfg;
         let mut schedule = Schedule::new();
@@ -464,16 +536,17 @@ impl ScheduleGenerator {
         let hi_ms = (cfg.run.as_micros() - cfg.grace.as_micros()) / 1_000;
         // All event times are distinct, so the canonical (time, kind, ids) order
         // is total and payload-blind ties cannot occur.
-        let mut used_ms: BTreeSet<u64> = BTreeSet::new();
+        let used_ms = &mut budget.used_ms;
         // Per-cluster count of harmed replicas ({crash, mute, silence, leave}
-        // targets); kept within f = (n-1)/3 so every cluster stays live.
-        let mut harmed: Vec<usize> = vec![0; config.clusters.len()];
-        let mut harmed_replicas: BTreeSet<ReplicaId> = BTreeSet::new();
+        // targets); kept within f = (n-1)/3 so every cluster stays live. The
+        // later byzantine draw spends from the same budget.
+        let harmed = &mut budget.harmed;
+        let harmed_replicas = &mut budget.harmed_replicas;
         let mut partitioned: BTreeSet<(u32, u32)> = BTreeSet::new();
 
         let n_events = rng.gen_range(0..=cfg.max_events);
         for _ in 0..n_events {
-            let Some(at_ms) = fresh_time(rng, &mut used_ms, lo_ms, hi_ms) else {
+            let Some(at_ms) = fresh_time(rng, used_ms, lo_ms, hi_ms) else {
                 continue;
             };
             let at = Time::from_millis(at_ms);
@@ -595,6 +668,32 @@ impl ScheduleGenerator {
             }
         }
         schedule
+    }
+}
+
+/// The shared fault-injection state one case's draws spend from: distinct
+/// event times, per-cluster harm counts and the set of already-faulty replicas.
+/// Both the schedule draw and the byzantine draw debit it, so their combined
+/// targets stay within `f` per cluster.
+struct FaultBudget {
+    used_ms: BTreeSet<u64>,
+    harmed: Vec<usize>,
+    harmed_replicas: BTreeSet<ReplicaId>,
+}
+
+/// Draw one non-honest Byzantine behavior, uniformly across the adversary
+/// families (suppression permilles from a small fixed set).
+fn draw_behavior(rng: &mut StdRng) -> ByzantineBehavior {
+    match rng.gen_range(0u32..7) {
+        0 => ByzantineBehavior::EquivocateLocal,
+        1 => ByzantineBehavior::EquivocateRemote,
+        2 => ByzantineBehavior::InvalidCert,
+        3 => ByzantineBehavior::StaleCert,
+        4 => ByzantineBehavior::SuppressShares {
+            permille: [250, 500, 800][rng.gen_range(0..3usize)],
+        },
+        5 => ByzantineBehavior::LyingCatchUp,
+        _ => ByzantineBehavior::BrdForgery,
     }
 }
 
@@ -748,6 +847,73 @@ mod tests {
     }
 
     #[test]
+    fn byzantine_draws_share_the_fault_budget_and_never_shift_the_stream() {
+        // Turning the byzantine knob on must reproduce the exact same topology,
+        // options and non-corrupt schedule per seed, reproduce byte-for-byte
+        // from the seed, and keep total faulty replicas (crash/mute/silence/
+        // leave/corrupt targets combined) within f per cluster.
+        let plain = ScheduleGenerator::new(FuzzConfig::quick());
+        let byz = ScheduleGenerator::new(FuzzConfig {
+            byzantine_probability: 1.0,
+            ..FuzzConfig::quick()
+        });
+        let non_corrupt = |s: &Schedule| -> String {
+            let kept: Vec<_> = s
+                .sorted()
+                .into_iter()
+                .filter(|(_, ev)| !matches!(ev, ScenarioEvent::Corrupt { .. }))
+                .collect();
+            format!("{kept:?}")
+        };
+        let mut corrupts_drawn = 0usize;
+        for seed in 0..60 {
+            let a = plain.case(seed);
+            let b = byz.case(seed);
+            assert_eq!(a.clusters, b.clusters, "seed {seed}: topology shifted");
+            assert_eq!(a.opts.seed, b.opts.seed, "seed {seed}: sim seed shifted");
+            assert_eq!(
+                non_corrupt(&a.schedule),
+                non_corrupt(&b.schedule),
+                "seed {seed}: non-corrupt schedule shifted"
+            );
+            assert_eq!(b.encode(), byz.case(seed).encode(), "seed {seed}: not reproducible");
+            b.try_scenario().unwrap_or_else(|e| panic!("seed {seed}: invalid scenario: {e}"));
+            let membership = b.config.membership();
+            for spec in &b.config.clusters {
+                let faulty: BTreeSet<ReplicaId> = b
+                    .schedule
+                    .iter()
+                    .filter_map(|(_, ev)| match ev {
+                        ScenarioEvent::Crash { replica }
+                        | ScenarioEvent::MuteInterCluster { replica }
+                        | ScenarioEvent::SilenceLocalLeader { replica }
+                        | ScenarioEvent::Leave { replica }
+                        | ScenarioEvent::Corrupt { replica, .. }
+                            if spec.replicas.iter().any(|(id, _)| id == replica) =>
+                        {
+                            Some(*replica)
+                        }
+                        _ => None,
+                    })
+                    .collect();
+                assert!(
+                    faulty.len() <= membership.f(spec.id),
+                    "seed {seed}: cluster {} has {} faulty replicas with f={}",
+                    spec.id,
+                    faulty.len(),
+                    membership.f(spec.id)
+                );
+            }
+            corrupts_drawn += b
+                .schedule
+                .iter()
+                .filter(|(_, ev)| matches!(ev, ScenarioEvent::Corrupt { .. }))
+                .count();
+        }
+        assert!(corrupts_drawn > 0, "probability 1.0 must actually draw corrupt events");
+    }
+
+    #[test]
     fn drawn_broker_tiers_are_well_formed_and_retry_free() {
         let generator =
             ScheduleGenerator::new(FuzzConfig { broker_probability: 1.0, ..FuzzConfig::quick() });
@@ -791,6 +957,7 @@ mod tests {
                 ScenarioEvent::Partition { .. } => ".partition_at(",
                 ScenarioEvent::Heal { .. } => ".heal_at(",
                 ScenarioEvent::LatencyShift { .. } => ".latency_shift_at(",
+                ScenarioEvent::Corrupt { .. } => ".corrupt_at(",
             };
             assert!(snippet.contains(needle), "snippet misses {event:?}");
         }

@@ -9,8 +9,10 @@
 //! 2. **[`CheckerSet`]** wires the always-on invariant checkers into the run as
 //!    a scenario `RunObserver`: cross-replica agreement on executed rounds, the
 //!    prefix property, checkpoint-chain integrity, same-round reconfig-set
-//!    agreement, catch-up liveness, and broker conservation (every acked
-//!    virtual-client write exists exactly once in committed state).
+//!    agreement, catch-up liveness, broker conservation (every acked
+//!    virtual-client write exists exactly once in committed state), and the two
+//!    Byzantine-evidence soundness checkers (rejection and equivocation
+//!    evidence only ever appears after a scheduled corruption justifies it).
 //! 3. **[`run_case`]** executes a case and reports violations plus schedule and
 //!    output fingerprints.
 //! 4. **[`shrink_with`]** reduces a violating schedule to a 1-minimal core and
@@ -30,9 +32,9 @@ pub mod shrink;
 
 pub use canary::{canary_suite, fixture_scenario, Canary, CanaryResult};
 pub use checkers::{
-    BrokerConservationChecker, CatchUpChecker, CheckerSet, CheckpointChecker,
-    ExecutionAgreementChecker, InvariantChecker, PrefixChecker, ReconfigAgreementChecker,
-    Violation,
+    BrokerConservationChecker, CatchUpChecker, CertificateValidityChecker, CheckerSet,
+    CheckpointChecker, EquivocationExposureChecker, ExecutionAgreementChecker, InvariantChecker,
+    PrefixChecker, ReconfigAgreementChecker, Violation,
 };
 pub use generate::{FuzzCase, FuzzConfig, ScheduleGenerator};
 pub use runner::{fingerprint_outputs, fuzz_many, run_case, CampaignSummary, CaseReport};

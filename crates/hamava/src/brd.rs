@@ -217,6 +217,15 @@ pub enum BrdAction {
     },
     /// Charge CPU time for signature work.
     Consume(Duration),
+    /// An `Echo`/`Ready` vote from a known member failed signature
+    /// verification — Byzantine evidence. Honest members sign exactly what
+    /// they send, so a cryptographically invalid vote can only be a forgery
+    /// (a membership-view mismatch, which *can* occur honestly around a
+    /// reconfiguration boundary, is dropped silently instead).
+    Reject {
+        /// The round the forged vote claimed.
+        round: Round,
+    },
 }
 
 /// A `valid` record: a set that is safe to re-propose under a new leader.
@@ -600,7 +609,11 @@ impl Brd {
         }
         out.push(BrdAction::Consume(self.verify_cost));
         let digest = echo_digest(self.round, &recs);
-        if !self.members.contains(&sig.signer) || !self.registry.verify(&digest, &sig) {
+        if !self.members.contains(&sig.signer) {
+            return;
+        }
+        if !self.registry.verify(&digest, &sig) {
+            out.push(BrdAction::Reject { round: self.round });
             return;
         }
         let quorum = self.quorum();
@@ -633,7 +646,11 @@ impl Brd {
         }
         out.push(BrdAction::Consume(self.verify_cost));
         let digest = ready_digest(self.round, &recs);
-        if !self.members.contains(&sig.signer) || !self.registry.verify(&digest, &sig) {
+        if !self.members.contains(&sig.signer) {
+            return;
+        }
+        if !self.registry.verify(&digest, &sig) {
+            out.push(BrdAction::Reject { round: self.round });
             return;
         }
         let f_plus_one = self.f() + 1;
@@ -744,6 +761,7 @@ mod tests {
                     }
                     BrdAction::Complain { .. } => *self.complaints.get_mut(&at).unwrap() += 1,
                     BrdAction::Consume(_) => {}
+                    BrdAction::Reject { .. } => {}
                 }
             }
         }
@@ -968,5 +986,53 @@ mod tests {
             !actions.iter().any(|a| matches!(a, BrdAction::Send { msg: BrdMsg::Echo { .. }, .. })),
             "under-justified aggregation must not be echoed"
         );
+    }
+
+    #[test]
+    fn forged_votes_yield_reject_evidence_but_membership_skew_stays_silent() {
+        let registry = KeyRegistry::new();
+        let members: Vec<ReplicaId> = (0..4).map(ReplicaId).collect();
+        let kp1 = registry.register(ReplicaId(1));
+        let kp0 = registry.register(ReplicaId(0));
+        let outsider = registry.register(ReplicaId(9));
+        let mut brd = Brd::new(
+            ReplicaId(0),
+            members,
+            kp0,
+            registry.clone(),
+            ReplicaId(3),
+            Timestamp(0),
+            Round(1),
+            Duration::from_secs(5),
+        );
+        // A member's honest Echo signature re-attached to a tampered set fails
+        // cryptographic verification: forgery evidence.
+        let honest = vec![join(7)];
+        let sig = kp1.sign(&echo_digest(Round(1), &honest));
+        let mut forged = honest.clone();
+        forged.push(join(8));
+        let actions = brd.on_message(
+            ReplicaId(1),
+            BrdMsg::Echo { round: Round(1), recs: forged.clone(), sig, ts: 0 },
+            Time::ZERO,
+        );
+        assert!(actions.iter().any(|a| matches!(a, BrdAction::Reject { .. })));
+        // A well-signed vote from a non-member (honest around reconfiguration
+        // boundaries) is dropped without evidence.
+        let sig = outsider.sign(&echo_digest(Round(1), &honest));
+        let actions = brd.on_message(
+            ReplicaId(9),
+            BrdMsg::Echo { round: Round(1), recs: honest.clone(), sig, ts: 0 },
+            Time::ZERO,
+        );
+        assert!(!actions.iter().any(|a| matches!(a, BrdAction::Reject { .. })));
+        // Forged Ready votes produce the same evidence.
+        let sig = kp1.sign(&ready_digest(Round(1), &honest));
+        let actions = brd.on_message(
+            ReplicaId(1),
+            BrdMsg::Ready { round: Round(1), recs: forged, sig, ts: 0 },
+            Time::ZERO,
+        );
+        assert!(actions.iter().any(|a| matches!(a, BrdAction::Reject { .. })));
     }
 }

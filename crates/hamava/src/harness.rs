@@ -2,6 +2,7 @@
 //! clients, key registry, latency model) from a [`SystemConfig`], for use by the
 //! examples, the integration tests and the benchmark harness.
 
+use crate::byzantine::{ByzantineBehavior, CorruptReplica};
 use crate::client::{Client, ClientConfig};
 use crate::messages::{AvaMsg, ClientCtl, ControlCmd};
 use crate::replica::{Replica, ReplicaConfig};
@@ -96,7 +97,10 @@ where
                     ReplicaConfig::new(id, region, spec.id, config.params, membership.clone());
                 rcfg.store = opts.store;
                 let replica = Replica::new(rcfg, keypair, registry.clone(), tob);
-                sim.add_node(id, region, spec.id.0, Box::new(replica));
+                // Every replica is wrapped in the (dormant) Byzantine decorator
+                // so a scheduled `corrupt_at` can arm any of them mid-run; while
+                // dormant the wrapper is a byte-exact pass-through.
+                sim.add_node(id, region, spec.id.0, Box::new(CorruptReplica::new(replica)));
             }
         }
 
@@ -181,7 +185,7 @@ where
         rcfg.joining = true;
         rcfg.store = self.opts.store;
         let replica = Replica::new(rcfg, keypair, self.registry.clone(), tob);
-        self.sim.add_node(id, region, cluster.0, Box::new(replica));
+        self.sim.add_node(id, region, cluster.0, Box::new(CorruptReplica::new(replica)));
         id
     }
 
@@ -212,6 +216,14 @@ where
     /// Crash `replica` at `at`.
     pub fn crash_at(&mut self, replica: ReplicaId, at: Time) {
         self.sim.crash_at(replica, at);
+    }
+
+    /// Turn `replica` Byzantine at `at`: from the first event processed at or
+    /// after `at`, its outbound traffic is mutated per `behavior` (see
+    /// [`ByzantineBehavior`]). Corruption persists across crash/restart — the
+    /// Byzantine fault model assigns faults to processes, not uptime intervals.
+    pub fn corrupt_at(&mut self, replica: ReplicaId, at: Time, behavior: ByzantineBehavior) {
+        self.sim.corrupt_at(replica, at, behavior.to_tag());
     }
 
     /// Restart a crashed `replica` at `at`: it comes back with only its persisted

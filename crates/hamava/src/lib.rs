@@ -41,6 +41,7 @@
 //! event schedules and run observers.
 
 pub mod brd;
+pub mod byzantine;
 pub mod client;
 pub mod harness;
 pub mod leader_election;
@@ -49,6 +50,7 @@ pub mod remote_leader;
 pub mod replica;
 
 pub use brd::{Brd, BrdAction, BrdCert, BrdMsg};
+pub use byzantine::{ByzantineBehavior, CorruptReplica};
 pub use client::{Client, ClientConfig};
 pub use harness::{bftsmart_factory, hotstuff_factory, Deployment, DeploymentOptions, TobFactory};
 pub use leader_election::{ElectionAction, ElectionMsg, LeaderElection};

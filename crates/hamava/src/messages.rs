@@ -10,7 +10,7 @@ use crate::brd::{BrdCert, BrdMsg};
 use crate::leader_election::ElectionMsg;
 use crate::remote_leader::RemoteLeaderMsg;
 use ava_consensus::{CommittedBlock, WireSize};
-use ava_crypto::{Digest, KeyRegistry, Keypair, Signature};
+use ava_crypto::{Digest, KeyRegistry, Keypair, Sha256, Signature};
 use ava_simnet::SimMessage;
 use ava_store::{Checkpoint, StoredEntry};
 use ava_types::{
@@ -124,6 +124,26 @@ impl RoundPackage {
     /// Number of transactions carried by the package.
     pub fn tx_count(&self) -> usize {
         self.blocks.iter().map(|b| b.block.tx_count()).sum()
+    }
+
+    /// Digest of the package *content* (cluster, round, block digests,
+    /// reconfiguration set) — certificate signatures excluded. Two honest
+    /// packages for the same `(cluster, round)` always match content-wise, so a
+    /// mismatch between same-slot packages is equivocation evidence. Not
+    /// memoised: the only caller is the duplicate-package conflict check, which
+    /// honest runs reach only with pointer-equal `Arc`s (no digest computed).
+    pub fn content_digest(&self) -> [u8; 32] {
+        let mut h = Sha256::new();
+        h.update(&self.cluster.0.to_le_bytes());
+        h.update(&self.round.0.to_le_bytes());
+        h.update(&(self.blocks.len() as u64).to_le_bytes());
+        for b in &self.blocks {
+            h.update(&b.block.digest().0);
+        }
+        for rec in &self.recs {
+            h.update(format!("{rec:?}").as_bytes());
+        }
+        h.finalize()
     }
 
     /// Approximate wire size in bytes. Computed once and memoised, so sizing the
@@ -380,9 +400,9 @@ pub enum AvaMsg<TM> {
     CurrState {
         /// The sender's key-value state.
         state: BTreeMap<u64, u64>,
-        /// The sender's full membership map after applying the round's
-        /// reconfigurations.
-        membership: Membership,
+        /// The sender's membership views, boxed so this (largest) variant does
+        /// not inflate every `AvaMsg` moved through the event queue.
+        views: Box<CurrStateViews>,
         /// The round the joining replica should start participating in.
         round: Round,
         /// The sender's current leader timestamp for the cluster.
@@ -466,6 +486,20 @@ pub enum AvaMsg<TM> {
     ClientControl(ClientCtl),
 }
 
+/// The membership views shipped in [`AvaMsg::CurrState`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CurrStateViews {
+    /// The sender's full membership map after applying the round's
+    /// reconfigurations.
+    pub membership: Membership,
+    /// The sender's trailing view (one reconfiguration back). The joiner
+    /// adopts both so it verifies in-flight packages certified under the
+    /// outgoing view exactly like its established peers — without it, a join
+    /// racing another cluster's same-round reconfiguration would reject honest
+    /// traffic.
+    pub prev_membership: Membership,
+}
+
 impl<TM: WireSize> SimMessage for AvaMsg<TM>
 where
     TM: Clone + Send,
@@ -479,8 +513,10 @@ where
             AvaMsg::Inter(p) | AvaMsg::LocalShare(p) => p.wire_size(),
             AvaMsg::RequestJoin { .. } | AvaMsg::RequestLeave { .. } => 96,
             AvaMsg::Ack { members, .. } => 64 + members.len() * 8,
-            AvaMsg::CurrState { state, membership, .. } => {
-                128 + state.len() * 16 + membership.total_replicas() * 12
+            AvaMsg::CurrState { state, views, .. } => {
+                128 + state.len() * 16
+                    + (views.membership.total_replicas() + views.prev_membership.total_replicas())
+                        * 12
             }
             AvaMsg::CatchUpRequest { .. } => 72,
             AvaMsg::CatchUpReply { checkpoint, suffix, .. } => {
@@ -543,6 +579,37 @@ mod tests {
         assert!(pkg.wire_size() > 1024);
         // The memoised size is stable across calls and across clones.
         assert_eq!(pkg.wire_size(), pkg.clone().wire_size());
+    }
+
+    #[test]
+    fn content_digest_commits_to_blocks_and_recs_but_not_certs() {
+        let registry = KeyRegistry::new();
+        let kp = registry.register(ReplicaId(0));
+        let block = Block::new(
+            ClusterId(0),
+            0,
+            ReplicaId(0),
+            vec![Operation::Trans(Transaction::write(ClientId(0), 0, 1, 256))],
+        );
+        let digest = block.digest();
+        let sigs: SigSet = [kp.sign(&digest)].into_iter().collect();
+        let committed = CommittedBlock {
+            block: std::sync::Arc::new(block),
+            cert: QuorumCert::new(ClusterId(0), digest, sigs),
+        };
+        let base = RoundPackage::new(ClusterId(0), Round(1), vec![committed.clone()], vec![], None);
+        let same = RoundPackage::new(ClusterId(0), Round(1), vec![committed.clone()], vec![], None);
+        assert_eq!(base.content_digest(), same.content_digest());
+        let tampered_recs = RoundPackage::new(
+            ClusterId(0),
+            Round(1),
+            vec![committed.clone()],
+            vec![Reconfig::Leave { replica: ReplicaId(u32::MAX) }],
+            None,
+        );
+        assert_ne!(base.content_digest(), tampered_recs.content_digest());
+        let other_round = RoundPackage::new(ClusterId(0), Round(2), vec![committed], vec![], None);
+        assert_ne!(base.content_digest(), other_round.content_digest());
     }
 
     #[test]

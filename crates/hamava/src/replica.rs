@@ -3,7 +3,7 @@
 
 use crate::brd::{Brd, BrdAction, BrdCert};
 use crate::leader_election::{ElectionAction, LeaderElection};
-use crate::messages::{AvaMsg, ControlCmd, RoundPackage, RoundRecord, TxBatch};
+use crate::messages::{AvaMsg, ControlCmd, CurrStateViews, RoundPackage, RoundRecord, TxBatch};
 use crate::remote_leader::{RemoteLeaderAction, RemoteLeaderChange};
 use ava_consensus::{CommittedBlock, FaultMode, TobAction, TotalOrderBroadcast};
 use ava_crypto::{KeyRegistry, Keypair};
@@ -11,7 +11,7 @@ use ava_simnet::{Actor, Context, SimMessage};
 use ava_store::{Checkpoint, CheckpointCollector, ReplicaStore, StoreConfig};
 use ava_types::{
     ClientId, ClusterId, Duration, Membership, Operation, Output, ProtocolParams, Reconfig, Region,
-    ReplicaId, Round, StageKind, Time, Timestamp, Transaction, TxId, TxKind,
+    RejectKind, ReplicaId, Round, StageKind, Time, Timestamp, Transaction, TxId, TxKind,
 };
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
@@ -441,6 +441,15 @@ impl<T: TotalOrderBroadcast> Replica<T> {
                         self.check_stage1(ctx);
                     }
                 }
+                BrdAction::Reject { round } => {
+                    ctx.emit(Output::ByzantineRejected {
+                        replica: self.cfg.me,
+                        cluster: self.cfg.cluster,
+                        round,
+                        kind: RejectKind::BrdSignature,
+                        at: ctx.now(),
+                    });
+                }
             }
         }
     }
@@ -764,6 +773,22 @@ impl<T: TotalOrderBroadcast> Replica<T> {
             ),
         );
         if !self.verify_package(&package) {
+            // Only a failure at our *current* round is sound Byzantine
+            // evidence: having executed every earlier round, we hold the exact
+            // certifying view (and the previous-view fallback covers the
+            // reconfiguration boundary). A future-round package may be honestly
+            // certified under a membership we have not executed up to yet — a
+            // straggler racing a cross-cluster reconfig hits exactly this — so
+            // those drop silently and the sender's retry path recovers them.
+            if package.round == self.round {
+                ctx.emit(Output::ByzantineRejected {
+                    replica: self.cfg.me,
+                    cluster: package.cluster,
+                    round: package.round,
+                    kind: RejectKind::PackageCert,
+                    at: ctx.now(),
+                });
+            }
             return;
         }
         // Alg. 1 line 16: re-broadcast as a Local message within the local cluster,
@@ -784,7 +809,29 @@ impl<T: TotalOrderBroadcast> Replica<T> {
             self.future_packages.push(package);
             return;
         }
-        if package.round < self.round || self.round_state.packages.contains_key(&package.cluster) {
+        if package.round < self.round {
+            return;
+        }
+        if let Some(existing) = self.round_state.packages.get(&package.cluster) {
+            // Honest duplicates share the originating leader's single `Arc`
+            // through every fan-out, so pointer equality is the (free) common
+            // case. A different allocation with different *content* for the
+            // same slot is equivocation — two packages claiming the same
+            // `(cluster, round)` cannot both be honest.
+            if !Arc::ptr_eq(existing, &package) {
+                let first = existing.content_digest();
+                let second = package.content_digest();
+                if first != second {
+                    ctx.emit(Output::EquivocationObserved {
+                        replica: self.cfg.me,
+                        cluster: package.cluster,
+                        round: package.round,
+                        first,
+                        second,
+                        at: ctx.now(),
+                    });
+                }
+            }
             return;
         }
         ctx.consume(
@@ -793,6 +840,13 @@ impl<T: TotalOrderBroadcast> Replica<T> {
             ),
         );
         if !self.verify_package(&package) {
+            ctx.emit(Output::ByzantineRejected {
+                replica: self.cfg.me,
+                cluster: package.cluster,
+                round: package.round,
+                kind: RejectKind::PackageCert,
+                at: ctx.now(),
+            });
             return;
         }
         self.rlc.mark_received(package.cluster);
@@ -895,7 +949,10 @@ impl<T: TotalOrderBroadcast> Replica<T> {
                         *replica,
                         AvaMsg::CurrState {
                             state: self.kv.clone(),
-                            membership: self.membership.clone(),
+                            views: Box::new(CurrStateViews {
+                                membership: self.membership.clone(),
+                                prev_membership: self.prev_membership.clone(),
+                            }),
                             round: next_round,
                             leader_ts: self.leader_ts.0,
                             next_height: self.next_local_height,
@@ -1085,11 +1142,12 @@ impl<T: TotalOrderBroadcast> Replica<T> {
         ctx.broadcast(members, msg);
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn on_curr_state(
         &mut self,
         from: ReplicaId,
         state: BTreeMap<u64, u64>,
-        membership: Membership,
+        views: CurrStateViews,
         round: Round,
         leader_ts: u64,
         next_height: u64,
@@ -1113,8 +1171,11 @@ impl<T: TotalOrderBroadcast> Replica<T> {
         // already folded into `state`, and the joiner must cut its first rounds
         // at the same height boundaries as its new peers.
         self.kv = state;
-        self.membership = membership;
-        self.prev_membership = self.membership.clone();
+        self.membership = views.membership;
+        // Adopt the sender's trailing window too: packages certified under the
+        // outgoing view are still in flight, and the joiner must verify them
+        // exactly like its established peers do.
+        self.prev_membership = views.prev_membership;
         self.round = round;
         self.leader_ts = Timestamp(leader_ts);
         self.next_local_height = next_height;
@@ -1340,7 +1401,15 @@ impl<T: TotalOrderBroadcast> Replica<T> {
             return;
         };
         // Corrupted snapshots (digest ≠ content) are dropped before they can vote.
+        // Honest senders never ship one, so the rejection is Byzantine evidence.
         if !rec.collector.offer(from, Arc::clone(&checkpoint)) {
+            ctx.emit(Output::ByzantineRejected {
+                replica: self.cfg.me,
+                cluster: self.cfg.cluster,
+                round: checkpoint.round,
+                kind: RejectKind::CatchUpCheckpoint,
+                at: ctx.now(),
+            });
             return;
         }
         rec.offers.insert(from, CatchUpOffer { checkpoint, suffix, round, leader_ts });
@@ -1355,6 +1424,12 @@ impl<T: TotalOrderBroadcast> Replica<T> {
         struct Adoption {
             state: BTreeMap<u64, u64>,
             membership: Membership,
+            // The view one reconfig behind `membership` (the replay's trailing
+            // window), preserved so the recovered replica keeps verifying
+            // honest in-flight packages certified just before its adopted view
+            // — flattening it to `membership` would turn those drops into
+            // false Byzantine evidence.
+            prev_membership: Membership,
             round: Round,
             leader_ts: u64,
             checkpoint: Option<Arc<Checkpoint>>,
@@ -1443,6 +1518,7 @@ impl<T: TotalOrderBroadcast> Replica<T> {
                     adoption = Some(Adoption {
                         state,
                         membership,
+                        prev_membership: replay_prev,
                         round: next,
                         leader_ts: offer.leader_ts,
                         checkpoint: use_checkpoint.then(|| Arc::clone(&agreed)),
@@ -1466,7 +1542,7 @@ impl<T: TotalOrderBroadcast> Replica<T> {
         // Commit: adopt the transferred state and make it durable in one batch.
         self.kv = adoption.state;
         self.membership = adoption.membership;
-        self.prev_membership = self.membership.clone();
+        self.prev_membership = adoption.prev_membership;
         self.leader_ts = Timestamp(adoption.leader_ts);
         // Recycle blocks consumed into the abandoned in-flight round — the
         // transferred records may stop short of them — then re-anchor. Covered
@@ -1531,7 +1607,21 @@ impl<T: TotalOrderBroadcast> Replica<T> {
                 }
             }
         }
-        let buffered = self.recovery.take().map(|r| r.buffered).unwrap_or_default();
+        let rec = self.recovery.take();
+        // Two same-round checkpoint digests among the offers is sound evidence a
+        // peer fabricated one (snapshots are round-deterministic at correct
+        // replicas): the f+1 agreement outvoted it; record that it happened.
+        let conflicting = rec.as_ref().map(|r| r.collector.conflicting()).unwrap_or(false);
+        let buffered = rec.map(|r| r.buffered).unwrap_or_default();
+        if conflicting {
+            ctx.emit(Output::ByzantineRejected {
+                replica: self.cfg.me,
+                cluster: self.cfg.cluster,
+                round: adoption.round,
+                kind: RejectKind::CatchUpCheckpoint,
+                at: ctx.now(),
+            });
+        }
         self.status = ReplicaStatus::Active;
         ctx.emit(Output::RecoveryCompleted {
             replica: self.cfg.me,
@@ -1783,8 +1873,8 @@ where
                         acks.insert(from);
                     }
                 }
-                AvaMsg::CurrState { state, membership, round, leader_ts, next_height } => {
-                    self.on_curr_state(from, state, membership, round, leader_ts, next_height, ctx);
+                AvaMsg::CurrState { state, views, round, leader_ts, next_height } => {
+                    self.on_curr_state(from, state, *views, round, leader_ts, next_height, ctx);
                 }
                 _ => {}
             }

@@ -11,7 +11,7 @@
 use ava_broker::{AttachedTier, BrokerTier};
 use ava_consensus::{TotalOrderBroadcast, WireSize};
 use ava_hamava::harness::{bftsmart_factory, hotstuff_factory, Deployment, DeploymentOptions};
-use ava_hamava::AvaMsg;
+use ava_hamava::{AvaMsg, ByzantineBehavior};
 use ava_simnet::{LatencyModel, NetStats, SimMessage};
 use ava_types::{ClientId, ClusterId, Duration, Output, Region, ReplicaId, SystemConfig, Time};
 use ava_workload::WorkloadSpec;
@@ -127,6 +127,11 @@ pub trait DynDeployment: Send {
     /// Make `replica` silent in its local ordering role when it is the leader.
     fn silence_local_leader(&mut self, replica: ReplicaId);
 
+    /// Turn `replica` Byzantine with `behavior` at `at`: it keeps running the
+    /// honest protocol internally but mutates its outbound traffic (see
+    /// [`ByzantineBehavior`]). Corruption persists across crash/restart.
+    fn corrupt_at(&mut self, replica: ReplicaId, at: Time, behavior: ByzantineBehavior);
+
     /// Ask `replica` to request leaving its cluster.
     ///
     /// # Panics
@@ -220,6 +225,10 @@ where
 
     fn silence_local_leader(&mut self, replica: ReplicaId) {
         self.inner.silence_local_leader(replica);
+    }
+
+    fn corrupt_at(&mut self, replica: ReplicaId, at: Time, behavior: ByzantineBehavior) {
+        self.inner.corrupt_at(replica, at, behavior);
     }
 
     fn request_leave(&mut self, replica: ReplicaId) {

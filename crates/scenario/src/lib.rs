@@ -54,10 +54,11 @@ pub mod parallel;
 pub mod scenario;
 
 pub use ava_broker::{AttachedTier, BrokerTier};
+pub use ava_hamava::ByzantineBehavior;
 pub use deployment::{DynDeployment, Protocol};
 pub use observer::{
-    BrokerStatsObserver, BrokerTrace, ReconfigTraceObserver, RecoveryObserver, RecoveryTrace,
-    RoundTrace, RunObserver, StageBreakdownObserver, ThroughputObserver,
+    BrokerStatsObserver, BrokerTrace, ByzantineObserver, ReconfigTraceObserver, RecoveryObserver,
+    RecoveryTrace, RoundTrace, RunObserver, StageBreakdownObserver, ThroughputObserver,
 };
 pub use parallel::{default_jobs, thread_cpu_time, RunPool, RunTiming};
 pub use scenario::{Scenario, ScenarioBuilder, ScenarioEvent, ScenarioRun, Schedule};

@@ -8,7 +8,7 @@
 
 use crate::deployment::DynDeployment;
 use crate::scenario::ScenarioEvent;
-use ava_types::{ClusterId, Duration, Output, ReplicaId, Round, StageKind, Time};
+use ava_types::{ClusterId, Duration, Output, RejectKind, ReplicaId, Round, StageKind, Time};
 use std::collections::BTreeMap;
 
 /// A probe tapping a scenario run as it executes.
@@ -445,6 +445,70 @@ impl RunObserver for BrokerStatsObserver {
     }
 }
 
+/// Collects Byzantine-evidence outputs while the run executes: how many forged or
+/// stale artifacts honest replicas rejected (by [`RejectKind`]), how many
+/// equivocations they exposed, and which `Corrupt` events the schedule applied —
+/// the per-behavior evidence series the `e12_byzantine` sweep reports.
+#[derive(Clone, Debug, Default)]
+pub struct ByzantineObserver {
+    rejections: BTreeMap<RejectKind, u64>,
+    equivocations: u64,
+    corrupt_events: Vec<(Time, ReplicaId)>,
+}
+
+impl ByzantineObserver {
+    /// A fresh observer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total rejected-artifact evidence events across all kinds.
+    pub fn total_rejections(&self) -> u64 {
+        self.rejections.values().sum()
+    }
+
+    /// Rejected-artifact evidence events of one kind.
+    pub fn rejections_of(&self, kind: RejectKind) -> u64 {
+        self.rejections.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Equivocation-evidence events (same slot, conflicting package contents).
+    pub fn equivocations(&self) -> u64 {
+        self.equivocations
+    }
+
+    /// The `Corrupt` schedule events applied during the run, in application
+    /// order, as `(at, replica)` pairs.
+    pub fn corrupt_events(&self) -> &[(Time, ReplicaId)] {
+        &self.corrupt_events
+    }
+
+    /// Whether any Byzantine evidence (rejection or equivocation) was recorded.
+    pub fn any_evidence(&self) -> bool {
+        self.equivocations > 0 || self.total_rejections() > 0
+    }
+}
+
+impl RunObserver for ByzantineObserver {
+    fn on_output(&mut self, output: &Output) {
+        match output {
+            Output::ByzantineRejected { kind, .. } => {
+                *self.rejections.entry(*kind).or_insert(0) += 1;
+            }
+            Output::EquivocationObserved { .. } => {
+                self.equivocations += 1;
+            }
+            _ => {}
+        }
+    }
+
+    fn on_event(&mut self, at: Time, event: &ScenarioEvent) {
+        if let ScenarioEvent::Corrupt { replica, .. } = event {
+            self.corrupt_events.push((at, *replica));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -554,6 +618,44 @@ mod tests {
         assert!((obs.mean_occupancy() - 80.0).abs() < 1e-9);
         assert_eq!(obs.batch_ops_committed(), 1);
         assert_eq!(obs.total_shed(), 7);
+    }
+
+    #[test]
+    fn byzantine_observer_tallies_evidence_by_kind() {
+        use ava_hamava::ByzantineBehavior;
+        let mut obs = ByzantineObserver::new();
+        assert!(!obs.any_evidence());
+        let reject = |kind| Output::ByzantineRejected {
+            replica: ReplicaId(2),
+            cluster: ClusterId(0),
+            round: Round(4),
+            kind,
+            at: Time::from_secs(3),
+        };
+        obs.on_output(&reject(RejectKind::PackageCert));
+        obs.on_output(&reject(RejectKind::PackageCert));
+        obs.on_output(&reject(RejectKind::BrdSignature));
+        obs.on_output(&Output::EquivocationObserved {
+            replica: ReplicaId(5),
+            cluster: ClusterId(1),
+            round: Round(4),
+            first: [1; 32],
+            second: [2; 32],
+            at: Time::from_secs(3),
+        });
+        obs.on_event(
+            Time::from_secs(2),
+            &ScenarioEvent::Corrupt {
+                replica: ReplicaId(0),
+                behavior: ByzantineBehavior::EquivocateLocal,
+            },
+        );
+        assert_eq!(obs.total_rejections(), 3);
+        assert_eq!(obs.rejections_of(RejectKind::PackageCert), 2);
+        assert_eq!(obs.rejections_of(RejectKind::CatchUpCheckpoint), 0);
+        assert_eq!(obs.equivocations(), 1);
+        assert_eq!(obs.corrupt_events(), &[(Time::from_secs(2), ReplicaId(0))]);
+        assert!(obs.any_evidence());
     }
 
     #[test]

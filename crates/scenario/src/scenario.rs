@@ -5,6 +5,7 @@ use crate::deployment::{DynDeployment, Protocol};
 use crate::observer::RunObserver;
 use ava_broker::BrokerTier;
 use ava_hamava::harness::DeploymentOptions;
+use ava_hamava::ByzantineBehavior;
 use ava_simnet::{LatencyModel, NetStats};
 use ava_types::{ClientId, ClusterId, Duration, Output, Region, ReplicaId, SystemConfig, Time};
 use ava_workload::WorkloadSpec;
@@ -80,6 +81,17 @@ pub enum ScenarioEvent {
         /// The new latency model.
         latency: LatencyModel,
     },
+    /// Turn a replica Byzantine with a concrete adversarial behavior: from this
+    /// point on it runs the honest protocol internally but mutates its outbound
+    /// traffic (equivocation, certificate forgery, share suppression, lying
+    /// catch-up — see [`ByzantineBehavior`]). The builder rejects schedules that
+    /// corrupt more than `f` distinct replicas in any one cluster.
+    Corrupt {
+        /// The replica to corrupt.
+        replica: ReplicaId,
+        /// The adversarial behavior it adopts.
+        behavior: ByzantineBehavior,
+    },
 }
 
 impl ScenarioEvent {
@@ -103,6 +115,7 @@ impl ScenarioEvent {
             ScenarioEvent::Partition { .. } => "partition",
             ScenarioEvent::Heal { .. } => "heal",
             ScenarioEvent::LatencyShift { .. } => "latency-shift",
+            ScenarioEvent::Corrupt { .. } => "corrupt",
         }
     }
 
@@ -126,6 +139,9 @@ impl ScenarioEvent {
             // Appended after the original keys so pre-existing schedules keep
             // their canonical order bit-for-bit.
             ScenarioEvent::Restart { replica } => (10, replica.0 as u64, 0),
+            ScenarioEvent::Corrupt { replica, behavior } => {
+                (11, replica.0 as u64, behavior.to_tag())
+            }
         }
     }
 }
@@ -315,6 +331,13 @@ impl ScenarioBuilder {
         self.at(at, ScenarioEvent::LatencyShift { latency })
     }
 
+    /// Schedule `replica` to turn Byzantine with `behavior` at `at`. The builder
+    /// rejects schedules that corrupt more than `f` distinct replicas in any one
+    /// cluster — the adversary model every safety claim is stated under.
+    pub fn corrupt_at(self, at: Time, replica: ReplicaId, behavior: ByzantineBehavior) -> Self {
+        self.at(at, ScenarioEvent::Corrupt { replica, behavior })
+    }
+
     /// Finish building.
     ///
     /// # Panics
@@ -360,6 +383,35 @@ impl ScenarioBuilder {
             if !crashed_before {
                 return Err(format!(
                     "Restart of {replica} at {at} has no earlier Crash of the same replica"
+                ));
+            }
+        }
+        // The adversary model caps corruption at `f` distinct replicas per
+        // cluster: with more, the safety checkers are meaningless (BFT makes no
+        // guarantees past `f`), so such schedules are authoring errors.
+        let membership = self.config.membership();
+        let mut corrupted: std::collections::BTreeMap<
+            ClusterId,
+            std::collections::BTreeSet<ReplicaId>,
+        > = std::collections::BTreeMap::new();
+        for (at, ev) in &self.schedule.entries {
+            let ScenarioEvent::Corrupt { replica, .. } = ev else {
+                continue;
+            };
+            let Some(cluster) = membership.cluster_of(*replica) else {
+                return Err(format!(
+                    "Corrupt of {replica} at {at} targets a replica outside the initial configuration"
+                ));
+            };
+            let set = corrupted.entry(cluster).or_default();
+            set.insert(*replica);
+            let f = membership.f(cluster);
+            if set.len() > f {
+                return Err(format!(
+                    "schedule corrupts {} distinct replicas of {cluster}, above its failure \
+                     threshold f={f}: safety is only claimed for at most f Byzantine replicas \
+                     per cluster",
+                    set.len()
                 ));
             }
         }
@@ -561,6 +613,9 @@ fn apply_event(
         ScenarioEvent::Partition { a, b } => dep.partition(*a, *b),
         ScenarioEvent::Heal { a, b } => dep.heal(*a, *b),
         ScenarioEvent::LatencyShift { latency } => dep.set_latency(latency.clone()),
+        ScenarioEvent::Corrupt { replica, behavior } => {
+            dep.corrupt_at(*replica, dep.now(), *behavior);
+        }
     }
 }
 
@@ -789,6 +844,66 @@ mod tests {
             ..BrokerTier::default()
         };
         let _ = quick(Protocol::AvaHotStuff).brokers(tier).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "above its failure threshold")]
+    fn corrupting_more_than_f_replicas_per_cluster_is_rejected() {
+        // 4-replica clusters have f = 1: a second distinct corrupt target in the
+        // same cluster exceeds the adversary model, whatever the behaviors are.
+        let _ = quick(Protocol::AvaHotStuff)
+            .corrupt_at(Time::from_secs(2), ReplicaId(1), ByzantineBehavior::EquivocateLocal)
+            .corrupt_at(
+                Time::from_secs(3),
+                ReplicaId(2),
+                ByzantineBehavior::SuppressShares { permille: 500 },
+            )
+            .build();
+    }
+
+    #[test]
+    fn corrupting_the_same_replica_twice_stays_within_the_model() {
+        // Re-corrupting one replica (e.g. escalating its behavior) is one faulty
+        // node, not two; and a second corrupt replica in the *other* cluster is
+        // fine — the bound is per cluster.
+        let scenario = quick(Protocol::AvaHotStuff)
+            .corrupt_at(Time::from_secs(2), ReplicaId(1), ByzantineBehavior::EquivocateLocal)
+            .corrupt_at(Time::from_secs(3), ReplicaId(1), ByzantineBehavior::InvalidCert)
+            .corrupt_at(Time::from_secs(3), ReplicaId(5), ByzantineBehavior::BrdForgery)
+            .build();
+        assert_eq!(scenario.schedule().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the initial configuration")]
+    fn corrupting_an_unknown_replica_is_rejected() {
+        let _ = quick(Protocol::AvaHotStuff)
+            .corrupt_at(Time::from_secs(2), ReplicaId(99), ByzantineBehavior::InvalidCert)
+            .build();
+    }
+
+    #[test]
+    fn corrupt_event_yields_rejection_evidence_but_no_safety_loss() {
+        // A non-leader replica starts forging BRD vote payloads at 2 s: honest
+        // peers must reject the forged signatures (evidence appears) while the
+        // remaining honest quorum keeps the system live.
+        use crate::observer::ByzantineObserver;
+        let mut obs = ByzantineObserver::new();
+        let run = quick(Protocol::AvaHotStuff)
+            .run_for(Duration::from_secs(10))
+            .corrupt_at(Time::from_secs(2), ReplicaId(1), ByzantineBehavior::BrdForgery)
+            .build()
+            .run_observed(&mut [&mut obs]);
+        assert_eq!(obs.corrupt_events().len(), 1);
+        assert!(
+            obs.rejections_of(ava_types::RejectKind::BrdSignature) > 0,
+            "honest replicas must reject forged BRD votes"
+        );
+        assert!(
+            run.outputs.iter().any(|o| matches!(o, Output::TxCompleted { completed_at, .. }
+                if completed_at.as_secs_f64() > 3.0)),
+            "an f-bounded adversary must not halt the system"
+        );
     }
 
     #[test]

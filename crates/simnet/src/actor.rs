@@ -53,6 +53,16 @@ pub trait Actor<M: SimMessage> {
     fn on_restart(&mut self, ctx: &mut Context<'_, M>) {
         self.on_start(ctx);
     }
+
+    /// Called when the node is scheduled to turn Byzantine (see
+    /// `Simulation::corrupt_at`). `tag` is an opaque behavior code the scheduling
+    /// layer and the actor agree on; the default ignores it — honest actors stay
+    /// honest. No [`Context`] is passed: like a scheduled crash, corruption flips
+    /// actor-internal state without producing events, costs or RNG draws, so a
+    /// schedule whose corruption is a no-op stays byte-identical to a plain run.
+    fn on_corrupt(&mut self, tag: u64) {
+        let _ = tag;
+    }
 }
 
 /// One buffered send request: either a point-to-point message or a fan-out sharing
@@ -64,6 +74,19 @@ pub(crate) enum SendOp<M> {
     /// Send clones of one shared `msg` to each target, in order. The simulator
     /// computes the payload size once for the whole fan-out.
     Many(Vec<ReplicaId>, M),
+}
+
+/// One send request drained out of a handler's buffered effects by
+/// [`Context::take_sends`], in a shape a decorating actor can inspect and
+/// mutate: the target list and the shared payload. Requeuing an unmodified
+/// captured send via [`Context::broadcast`] reproduces the original scheduling
+/// byte-for-byte — the simulator sizes the payload once per operation and
+/// routes the targets in order in both cases.
+pub struct CapturedSend<M> {
+    /// The recipients, in the order the wrapped actor listed them.
+    pub to: Vec<ReplicaId>,
+    /// The message each recipient gets a clone of.
+    pub msg: M,
 }
 
 /// Buffered side effects of one handler invocation, applied by the simulator after
@@ -156,6 +179,21 @@ impl<'a, M> Context<'a, M> {
     pub fn rng(&mut self) -> &mut StdRng {
         self.rng
     }
+
+    /// Drain every send buffered so far into an inspectable list, in order.
+    /// Decorating actors (the Byzantine behavior wrappers) use this to intercept
+    /// a wrapped handler's outbound traffic, mutate or drop individual sends,
+    /// and requeue the rest via [`Context::broadcast`] — which preserves the
+    /// original scheduling exactly for unmodified sends.
+    pub fn take_sends(&mut self) -> Vec<CapturedSend<M>> {
+        std::mem::take(&mut self.effects.sends)
+            .into_iter()
+            .map(|op| match op {
+                SendOp::One(to, msg) => CapturedSend { to: vec![to], msg },
+                SendOp::Many(to, msg) => CapturedSend { to, msg },
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -189,5 +227,31 @@ mod tests {
         assert_eq!(effects.timers, vec![(Duration::from_millis(10), 7)]);
         assert_eq!(effects.consumed, Duration::from_micros(30));
         assert_eq!(effects.outputs.len(), 1);
+    }
+
+    #[test]
+    fn take_sends_drains_and_requeue_preserves_targets() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut effects = Effects::<()>::default();
+        let mut ctx = Context {
+            node: ReplicaId(3),
+            now: Time::from_millis(5),
+            costs: CostModel::zero(),
+            rng: &mut rng,
+            effects: &mut effects,
+        };
+        ctx.send(ReplicaId(1), ());
+        ctx.send_many([ReplicaId(2), ReplicaId(4)], ());
+        let captured = ctx.take_sends();
+        assert_eq!(captured.len(), 2);
+        assert_eq!(captured[0].to, vec![ReplicaId(1)]);
+        assert_eq!(captured[1].to, vec![ReplicaId(2), ReplicaId(4)]);
+        // The buffer is empty after the drain; requeuing restores the fan-outs.
+        assert!(ctx.effects.sends.is_empty());
+        for send in captured {
+            ctx.broadcast(send.to, send.msg);
+        }
+        assert_eq!(ctx.effects.sends.len(), 2);
+        assert!(matches!(&ctx.effects.sends[0], SendOp::Many(ts, ()) if ts == &[ReplicaId(1)]));
     }
 }

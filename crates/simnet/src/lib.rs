@@ -31,7 +31,7 @@ pub mod latency;
 pub mod sim;
 pub mod stats;
 
-pub use actor::{Actor, Context, SimMessage};
+pub use actor::{Actor, CapturedSend, Context, SimMessage};
 pub use cost::CostModel;
 pub use latency::LatencyModel;
 pub use sim::{client_node_id, DropRule, Simulation};

@@ -143,6 +143,18 @@ impl CheckpointCollector {
         self.rejected
     }
 
+    /// Whether two *same-round* candidates with different digests have been
+    /// offered. Correct replicas compute round-deterministic snapshots, so two
+    /// digests for one round is sound evidence that some sender lied (a
+    /// self-consistent fabrication passes `verify()` but cannot match the
+    /// honest digest). Candidates at *different* rounds are not evidence —
+    /// peers legitimately straddle a checkpoint cadence boundary.
+    pub fn conflicting(&self) -> bool {
+        let mut rounds: Vec<Round> = self.votes.keys().map(|(round, _)| *round).collect();
+        rounds.sort();
+        rounds.windows(2).any(|w| w[0] == w[1])
+    }
+
     /// Number of distinct `(round, digest)` candidates seen.
     pub fn candidates(&self) -> usize {
         self.votes.len()
@@ -225,6 +237,18 @@ mod tests {
         assert!(c.offer(ReplicaId(5), Arc::new(checkpoint(16, 5))));
         assert_eq!(c.agreed().expect("agreed").round, Round(16));
         assert_eq!(c.candidates(), 2);
+    }
+
+    #[test]
+    fn conflicting_flags_same_round_digest_splits_only() {
+        let mut c = CheckpointCollector::new(2);
+        assert!(c.offer(ReplicaId(1), Arc::new(checkpoint(8, 3))));
+        // Different rounds: a cadence-boundary straddle, not a lie.
+        assert!(c.offer(ReplicaId(2), Arc::new(checkpoint(16, 5))));
+        assert!(!c.conflicting());
+        // Same round, different state ⇒ different digest ⇒ someone fabricated one.
+        assert!(c.offer(ReplicaId(3), Arc::new(checkpoint(8, 4))));
+        assert!(c.conflicting());
     }
 
     #[test]

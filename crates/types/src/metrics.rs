@@ -200,6 +200,42 @@ pub enum Output {
         /// When it was committed.
         at: Time,
     },
+    /// A replica rejected a message whose cryptographic material failed
+    /// verification — evidence of a Byzantine sender. Honest replicas never
+    /// produce unverifiable certificates or signatures, so in a run with no
+    /// `Corrupt` event scheduled this output must never appear (the fuzzer's
+    /// certificate-validity checker pins exactly that).
+    ByzantineRejected {
+        /// The rejecting replica.
+        replica: ReplicaId,
+        /// The cluster the rejected material claims to originate from.
+        cluster: ClusterId,
+        /// The round the rejected material belongs to.
+        round: Round,
+        /// What kind of material failed verification.
+        kind: RejectKind,
+        /// When the rejection happened.
+        at: Time,
+    },
+    /// A replica observed two different round packages for the same
+    /// `(cluster, round)` — equivocation evidence. Honest packages for one
+    /// round are identical at every replica (they share one `Arc` through the
+    /// fan-out and their content digests match), so this output can only
+    /// follow a scheduled package-mutating `Corrupt` event.
+    EquivocationObserved {
+        /// The observing replica.
+        replica: ReplicaId,
+        /// The cluster both conflicting packages claim to originate from.
+        cluster: ClusterId,
+        /// The round both packages belong to.
+        round: Round,
+        /// Content digest of the package accepted first.
+        first: [u8; 32],
+        /// Content digest of the conflicting package.
+        second: [u8; 32],
+        /// When the conflict was observed.
+        at: Time,
+    },
     /// Free-form named measurement (used by benches for auxiliary series).
     Custom {
         /// Metric name.
@@ -209,6 +245,31 @@ pub enum Output {
         /// When it was recorded.
         at: Time,
     },
+}
+
+/// The kind of cryptographic material a [`Output::ByzantineRejected`] event
+/// reports as failing verification.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum RejectKind {
+    /// A round package whose block or BRD certificates failed verification
+    /// (`Inter` or `LocalShare` path).
+    PackageCert,
+    /// A BRD `Echo`/`Ready` vote whose signature failed verification.
+    BrdSignature,
+    /// A `CatchUpReply` checkpoint whose stored digest does not match its
+    /// content.
+    CatchUpCheckpoint,
+}
+
+impl RejectKind {
+    /// Human-readable label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            RejectKind::PackageCert => "package-cert",
+            RejectKind::BrdSignature => "brd-signature",
+            RejectKind::CatchUpCheckpoint => "catch-up-checkpoint",
+        }
+    }
 }
 
 impl Output {
@@ -225,6 +286,8 @@ impl Output {
             | Output::RecoveryCompleted { at, .. }
             | Output::BrokerFlushed { at, .. }
             | Output::BatchOpCommitted { at, .. }
+            | Output::ByzantineRejected { at, .. }
+            | Output::EquivocationObserved { at, .. }
             | Output::Custom { at, .. } => *at,
         }
     }
@@ -254,5 +317,31 @@ mod tests {
         assert_eq!(o.at(), Time(42));
         let o = Output::Custom { name: "x", value: 1.0, at: Time(7) };
         assert_eq!(o.at(), Time(7));
+    }
+
+    #[test]
+    fn byzantine_evidence_outputs_carry_their_time() {
+        let o = Output::ByzantineRejected {
+            replica: ReplicaId(3),
+            cluster: ClusterId(1),
+            round: Round(9),
+            kind: RejectKind::PackageCert,
+            at: Time(55),
+        };
+        assert_eq!(o.at(), Time(55));
+        let o = Output::EquivocationObserved {
+            replica: ReplicaId(3),
+            cluster: ClusterId(1),
+            round: Round(9),
+            first: [1; 32],
+            second: [2; 32],
+            at: Time(56),
+        };
+        assert_eq!(o.at(), Time(56));
+        for kind in
+            [RejectKind::PackageCert, RejectKind::BrdSignature, RejectKind::CatchUpCheckpoint]
+        {
+            assert!(!kind.label().is_empty());
+        }
     }
 }

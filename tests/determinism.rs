@@ -206,6 +206,29 @@ fn parallel_executor_matches_serial_byte_for_byte() {
 }
 
 #[test]
+fn honest_corruption_is_byte_identical_to_the_plain_golden() {
+    // The PR 9 adversary suite wraps every replica in a `CorruptReplica`
+    // decorator; a `Corrupt` event carrying `ByzantineBehavior::Honest` arms the
+    // decorator without any deviation. The equivalence contract: such a run must
+    // reproduce the plain golden byte for byte — the decorator drains no sends,
+    // draws no randomness and charges no costs while honest.
+    use hamava_repro::scenario::ByzantineBehavior;
+    use hamava_repro::types::{ReplicaId, Time};
+    let run = Scenario::builder(Protocol::AvaHotStuff, golden_config())
+        .options(golden_opts())
+        .run_for(Duration::from_secs(8))
+        .corrupt_at(Time::from_secs(2), ReplicaId(1), ByzantineBehavior::Honest)
+        .corrupt_at(Time::from_secs(3), ReplicaId(5), ByzantineBehavior::Honest)
+        .build()
+        .run();
+    assert_eq!(
+        fingerprint(&run.outputs, &run.stats),
+        HOTSTUFF_GOLDEN,
+        "a Corrupt(Honest) run must be byte-identical to the plain golden"
+    );
+}
+
+#[test]
 fn observers_and_ticks_do_not_perturb_the_run() {
     // Attaching observers chunks the run into tick-bounded `run_until` segments;
     // scheduling must be bit-identical to the unobserved run.

@@ -114,6 +114,52 @@ fn storeless_deployments_still_recover_via_synthesized_checkpoints() {
 }
 
 #[test]
+fn lying_catch_up_peer_is_outvoted_by_digest_agreement() {
+    // PR 9 regression: a Byzantine peer serves catch-up requesters a
+    // self-consistent lie — a checkpoint rebuilt over tampered state whose
+    // digest matches its (tampered) content, so it passes integrity
+    // verification. The f+1 distinct-sender digest agreement must outvote it:
+    // the restarted replica adopts the honest checkpoint, completes recovery,
+    // and records the same-round digest conflict as Byzantine evidence.
+    use hamava_repro::scenario::{ByzantineBehavior, ByzantineObserver};
+    use hamava_repro::types::{RejectKind, ReplicaId, Time};
+    let config = config();
+    let mut recovery = RecoveryObserver::new();
+    let mut evidence = ByzantineObserver::new();
+    let run = Scenario::builder(Protocol::AvaHotStuff, config)
+        .seed(11)
+        .workload(WorkloadSpec { key_space: 1_000, ..WorkloadSpec::default() })
+        .store(StoreConfig::every(4))
+        .run_for(Duration::from_secs(24))
+        .crash_at(Time::from_secs(4), ReplicaId(1))
+        // Corrupt a same-cluster peer while the victim is down, so every
+        // catch-up reply it serves after the restart is a lie (well within
+        // f = 2 for the 7-replica cluster).
+        .corrupt_at(Time::from_secs(5), ReplicaId(2), ByzantineBehavior::LyingCatchUp)
+        .restart_at(Time::from_secs(8), ReplicaId(1))
+        .build()
+        .run_observed(&mut [&mut recovery, &mut evidence]);
+
+    // Recovery still completes, from honest peers.
+    assert_eq!(recovery.traces().len(), 1);
+    assert!(recovery.all_caught_up(), "digest agreement must outvote the liar: {recovery:?}");
+    // The lie was told and rejected: the same-round checkpoint-digest conflict
+    // among the offers is recorded as catch-up-checkpoint evidence.
+    assert!(
+        evidence.rejections_of(RejectKind::CatchUpCheckpoint) > 0,
+        "the fabricated checkpoint must surface as rejection evidence"
+    );
+    // And the rejoined replica executes real rounds afterwards — it adopted the
+    // honest state, not the fabricated one.
+    let caught_up = recovery.traces()[&ReplicaId(1)].caught_up_round.expect("caught up");
+    assert!(
+        run.outputs.iter().any(|o| matches!(o, Output::RoundExecuted { replica, round, .. }
+            if *replica == ReplicaId(1) && *round >= caught_up)),
+        "the recovered replica must rejoin ordering after {caught_up}"
+    );
+}
+
+#[test]
 #[should_panic(expected = "no earlier Crash")]
 fn restart_without_crash_is_rejected_at_build_time() {
     let _ = Scenario::builder(Protocol::AvaHotStuff, config())
