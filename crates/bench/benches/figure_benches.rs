@@ -22,6 +22,7 @@ fn opts(seed: u64) -> DeploymentOptions {
         clients_per_cluster: 1,
         client_concurrency: 32,
         store: None,
+        state_machine: ava_hamava::StateMachineKind::Counter,
     }
 }
 

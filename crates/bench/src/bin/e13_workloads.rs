@@ -1,0 +1,22 @@
+//! E13: keyed KV state machine — read-ratio × Zipfian-skew workload sweep with
+//! the full invariant-checker suite (per-round state-digest agreement included)
+//! riding along in every cell.
+//!
+//! Usage: `e13_workloads [--jobs N] [--json PATH]` (reduced scale) or
+//! `AVA_FULL=1 e13_workloads` / `e13_workloads --full` (paper-style scale).
+//! Prints the sweep table, then the machine-readable JSON document (also written
+//! to `PATH` when `--json` is given). The CI gate greps the JSON for
+//! `"total_violations": 0`.
+use ava_bench::experiments::{e13_json, e13_workloads, ExperimentScale};
+
+fn main() {
+    let scale = ExperimentScale::from_env_and_args();
+    let cells = e13_workloads(&scale);
+    let json = e13_json(&scale, &cells);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(path) = args.windows(2).find(|w| w[0] == "--json").map(|w| w[1].clone()) {
+        std::fs::write(&path, &json).expect("write --json output");
+        eprintln!("wrote {path}");
+    }
+    println!("{json}");
+}

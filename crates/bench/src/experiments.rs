@@ -142,6 +142,7 @@ fn default_opts(seed: u64, scale: &ExperimentScale) -> DeploymentOptions {
         clients_per_cluster: 1,
         client_concurrency: if scale.full { 128 } else { 64 },
         store: None,
+        state_machine: ava_hamava::StateMachineKind::Counter,
     }
 }
 
@@ -1238,6 +1239,195 @@ pub fn e12_json(scale: &ExperimentScale, cells: &[ByzantineCell]) -> String {
     out
 }
 
+// ---------------------------------------------------------------------------------
+// E13: keyed KV state machine — read-ratio × skew workload sweep (beyond the paper)
+// ---------------------------------------------------------------------------------
+
+/// One cell of the E13 workload sweep: one YCSB-style mix executed against the
+/// real keyed KV state machine, with the full invariant-checker suite (including
+/// per-round state-digest agreement) riding along.
+#[derive(Clone, Debug)]
+pub struct WorkloadCell {
+    /// Fraction of read transactions in the mix.
+    pub read_ratio: f64,
+    /// Zipfian skew parameter of the key-selection distribution.
+    pub zipf_theta: f64,
+    /// Committed throughput over the measurement window, in transactions per
+    /// second.
+    pub committed_tps: f64,
+    /// Mean latency of reads (answered cluster-locally, E2's read path), in
+    /// milliseconds.
+    pub read_latency_ms: f64,
+    /// Mean latency of writes (three-stage ordered), in milliseconds.
+    pub write_latency_ms: f64,
+    /// Distinct keys in the replicated state at the end of the run.
+    pub state_entries: u64,
+    /// Total stored value bytes at the end of the run (state-size growth).
+    pub state_value_bytes: u64,
+    /// Executed rounds that reported a state digest during the run.
+    pub digest_rounds: u64,
+    /// Safety-checker violations — the sweep's acceptance bar is that this is
+    /// empty in every cell.
+    pub violations: Vec<String>,
+}
+
+impl WorkloadCell {
+    /// The cluster-local read advantage: write latency over read latency.
+    /// Reads skip Stages 1–3 entirely (E2), so read-heavy mixes must show this
+    /// well above 1.
+    pub fn read_advantage(&self) -> f64 {
+        if self.read_latency_ms > 0.0 {
+            self.write_latency_ms / self.read_latency_ms
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The E13 sweep grid: read ratio × Zipfian skew. The quick grid covers the
+/// update-heavy / read-heavy / read-mostly corners at uniform and paper skew;
+/// the full grid fills the YCSB-A/B/C axis in and adds hot-key contention
+/// (θ = 1.2).
+pub fn e13_grid(scale: &ExperimentScale) -> Vec<(f64, f64)> {
+    let (ratios, thetas): (Vec<f64>, Vec<f64>) = if scale.full {
+        (vec![0.5, 0.85, 0.9, 0.95, 0.99], vec![0.0, 0.9, 1.2])
+    } else {
+        (vec![0.5, 0.9, 0.95], vec![0.0, 0.9])
+    };
+    ratios.iter().flat_map(|&r| thetas.iter().map(move |&t| (r, t))).collect()
+}
+
+/// Run one E13 cell: the KV state machine under a YCSB-style mix with
+/// `read_ratio` and `zipf_theta`, a 10% multi-key write fraction and 1 KiB
+/// values, judged by the full [`CheckerSet`] (whose execution-agreement checker
+/// now compares full state digests across replicas every round).
+pub fn e13_cell(scale: &ExperimentScale, read_ratio: f64, zipf_theta: f64) -> WorkloadCell {
+    let n = if scale.full { 7 } else { 4 };
+    let mut config = SystemConfig::homogeneous_regions(&[(n, Region::UsWest), (n, Region::Europe)]);
+    adjust_batch(&mut config, scale);
+    let mut opts = default_opts(15, scale);
+    opts.state_machine = ava_hamava::StateMachineKind::Kv;
+    opts.workload = WorkloadSpec {
+        key_space: if scale.full { 100_000 } else { 5_000 },
+        ..WorkloadSpec::default()
+    }
+    .with_read_ratio(read_ratio)
+    .with_zipf(zipf_theta)
+    .with_multi_key(0.1, 4);
+    let mut checkers = CheckerSet::standard();
+    let run = scenario(Protocol::AvaHotStuff, config, opts, scale)
+        .build()
+        .run_observed(&mut [&mut checkers]);
+    let (start, end) = scale.window();
+    let m = summarize(&run.outputs, start, end);
+    // The state machine reports its size with every per-round digest; the last
+    // report of the run is the final state footprint.
+    let (mut entries, mut value_bytes, mut digest_rounds) = (0u64, 0u64, 0u64);
+    let mut seen_rounds = std::collections::BTreeSet::new();
+    for o in &run.outputs {
+        if let Output::StateDigest { round, entries: e, value_bytes: v, .. } = o {
+            if seen_rounds.insert(*round) {
+                digest_rounds += 1;
+            }
+            entries = *e;
+            value_bytes = *v;
+        }
+    }
+    WorkloadCell {
+        read_ratio,
+        zipf_theta,
+        committed_tps: m.throughput_tps,
+        read_latency_ms: m.read_latency_ms,
+        write_latency_ms: m.write_latency_ms,
+        state_entries: entries,
+        state_value_bytes: value_bytes,
+        digest_rounds,
+        violations: checkers.violations().iter().map(|v| v.to_string()).collect(),
+    }
+}
+
+/// E13: the read-ratio × skew sweep over the KV state machine. Every cell runs
+/// under the full checker suite; the table reports the committed throughput,
+/// the read/write latency split (the cluster-local read advantage of E2) and
+/// the state-size growth per mix.
+pub fn e13_workloads(scale: &ExperimentScale) -> Vec<WorkloadCell> {
+    let cells = scale.pool().map(e13_grid(scale), |_, (r, t)| e13_cell(scale, r, t));
+    let total_violations: usize = cells.iter().map(|c| c.violations.len()).sum();
+    let rows: Vec<Vec<String>> = cells
+        .iter()
+        .map(|c| {
+            vec![
+                fmt(c.read_ratio, 2),
+                fmt(c.zipf_theta, 1),
+                fmt(c.committed_tps, 1),
+                fmt(c.read_latency_ms, 1),
+                fmt(c.write_latency_ms, 1),
+                fmt(c.read_advantage(), 1),
+                c.state_entries.to_string(),
+                c.state_value_bytes.to_string(),
+                c.digest_rounds.to_string(),
+                c.violations.len().to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "E13: KV state machine, read-ratio × skew sweep ({total_violations} safety violations)"
+        ),
+        &[
+            "read ratio",
+            "zipf θ",
+            "committed (txn/s)",
+            "read lat (ms)",
+            "write lat (ms)",
+            "read advantage",
+            "state keys",
+            "state bytes",
+            "digest rounds",
+            "violations",
+        ],
+        &rows,
+    );
+    cells
+}
+
+/// Serialize an E13 sweep into the JSON document the binary prints. The CI gate
+/// greps for `"total_violations": 0` — digest-level execution agreement held in
+/// every cell.
+pub fn e13_json(scale: &ExperimentScale, cells: &[WorkloadCell]) -> String {
+    let total_violations: usize = cells.iter().map(|c| c.violations.len()).sum();
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!(
+        "  \"experiment\": \"e13_workloads\",\n  \"mode\": \"{}\",\n",
+        if scale.full { "full" } else { "quick" }
+    ));
+    out.push_str("  \"state_machine\": \"kv\",\n");
+    out.push_str(&format!("  \"total_violations\": {total_violations},\n"));
+    out.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"read_ratio\": {:.2}, \"zipf_theta\": {:.1}, \"committed_tps\": {:.1}, \
+             \"read_latency_ms\": {:.2}, \"write_latency_ms\": {:.2}, \
+             \"read_advantage\": {:.2}, \"state_entries\": {}, \"state_value_bytes\": {}, \
+             \"digest_rounds\": {}, \"violations\": {}}}{}\n",
+            c.read_ratio,
+            c.zipf_theta,
+            c.committed_tps,
+            c.read_latency_ms,
+            c.write_latency_ms,
+            c.read_advantage(),
+            c.state_entries,
+            c.state_value_bytes,
+            c.digest_rounds,
+            c.violations.len(),
+            if i + 1 == cells.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1328,6 +1518,45 @@ mod tests {
         assert_eq!(json.matches("\"committed_tps\"").count(), 4);
         let no_knee = e11_json(&ExperimentScale::quick(), &points[..2], None);
         assert!(no_knee.contains("\"knee_offered_tps\": null"));
+    }
+
+    #[test]
+    fn e13_cell_executes_kv_state_under_the_checker_suite() {
+        let scale = tiny_scale();
+        let c = e13_cell(&scale, 0.95, 0.9);
+        assert!(c.committed_tps > 0.0, "no committed transactions");
+        assert!(c.digest_rounds > 0, "KV runs must report per-round state digests");
+        assert!(c.state_entries > 0, "writes must land in the state");
+        assert!(c.state_value_bytes >= c.state_entries * 1024, "1 KiB values");
+        assert!(c.violations.is_empty(), "checker violations: {:?}", c.violations);
+        assert!(
+            c.read_advantage() > 1.0,
+            "cluster-local reads must beat ordered writes (read {} ms, write {} ms)",
+            c.read_latency_ms,
+            c.write_latency_ms
+        );
+    }
+
+    #[test]
+    fn e13_grid_and_json_rendering() {
+        let quick = e13_grid(&ExperimentScale::quick());
+        assert_eq!(quick.len(), 6, "3 read ratios × 2 skews at quick scale");
+        let cell = WorkloadCell {
+            read_ratio: 0.9,
+            zipf_theta: 0.9,
+            committed_tps: 1_000.0,
+            read_latency_ms: 2.0,
+            write_latency_ms: 400.0,
+            state_entries: 500,
+            state_value_bytes: 512_000,
+            digest_rounds: 40,
+            violations: Vec::new(),
+        };
+        assert!((cell.read_advantage() - 200.0).abs() < 1e-9);
+        let json = e13_json(&ExperimentScale::quick(), &[cell]);
+        assert!(json.contains("\"total_violations\": 0"));
+        assert!(json.contains("\"state_machine\": \"kv\""));
+        assert!(json.contains("\"read_advantage\": 200.00"));
     }
 
     #[test]

@@ -54,6 +54,7 @@ fn opts(seed: u64) -> DeploymentOptions {
         clients_per_cluster: 1,
         client_concurrency: 32,
         store: None,
+        state_machine: ava_hamava::StateMachineKind::Counter,
     }
 }
 
@@ -240,6 +241,26 @@ fn quick_shape_set() -> Vec<Shape> {
         Duration::from_micros(250),
         9,
     ));
+    // KV state-machine hot path (the PR10 subsystem): real value bytes move
+    // through execution, reads answer from versioned state, every round folds
+    // the incremental set-hash digest, and the per-value-byte cost model is
+    // live. One read-heavy shape (the cluster-local read path dominates) and
+    // one write-heavy 1 KiB shape (apply + digest update dominate).
+    let kv_shape = |name: &str, read_ratio: f64, seed: u64| -> Shape {
+        let mut o = opts(seed);
+        o.state_machine = ava_hamava::StateMachineKind::Kv;
+        o.workload = WorkloadSpec { read_ratio, ..o.workload };
+        (
+            name.to_string(),
+            Box::new(move || {
+                let mut dep = Protocol::AvaHotStuff.deploy(small_config(2), o.clone());
+                dep.run_for(run_secs);
+                (dep.net_stats().events_processed, completed(dep.outputs()))
+            }),
+        )
+    };
+    shapes.push(kv_shape("e13/hotstuff_2clusters_kv_readheavy_5s", 0.95, 10));
+    shapes.push(kv_shape("e13/hotstuff_2clusters_kv_writeheavy_1kib_5s", 0.1, 11));
     shapes
 }
 
@@ -314,7 +335,7 @@ pub fn render_json(
     baseline: &BTreeMap<String, BaselineEntry>,
 ) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"pr\": 8,\n");
+    out.push_str("  \"pr\": 10,\n");
     out.push_str("  \"harness\": \"perf_wallclock\",\n");
     out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
     out.push_str(&format!("  \"iters\": {iters},\n"));

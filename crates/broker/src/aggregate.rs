@@ -241,8 +241,18 @@ mod tests {
             .expect("stream issues within 40 ms at 500 tps");
         // Ack the same issued transaction twice: one completion, not two.
         let now = sim.now();
-        sim.external_send(ReplicaId(0), node, AvaMsg::ClientResponse { tx, is_write: true }, now);
-        sim.external_send(ReplicaId(0), node, AvaMsg::ClientResponse { tx, is_write: true }, now);
+        sim.external_send(
+            ReplicaId(0),
+            node,
+            AvaMsg::ClientResponse { tx, is_write: true, value_len: 0 },
+            now,
+        );
+        sim.external_send(
+            ReplicaId(0),
+            node,
+            AvaMsg::ClientResponse { tx, is_write: true, value_len: 0 },
+            now,
+        );
         sim.run_for(Duration::from_millis(50));
         let completions = sim
             .outputs()

@@ -195,7 +195,7 @@ where
             }
             // Per-operation write acks: the replica records the broker as the
             // submitting "client node", so committed writes come back here.
-            AvaMsg::ClientResponse { tx, is_write } => {
+            AvaMsg::ClientResponse { tx, is_write, .. } => {
                 self.pending_acks.push((tx, is_write));
             }
             _ => {}

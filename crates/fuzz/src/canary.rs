@@ -43,11 +43,16 @@ pub enum Canary {
     /// An honest run emits equivocation evidence (`EquivocationObserved`) with
     /// no package-mutating corruption ever scheduled — a false accusation.
     UnjustifiedEquivocationEvidence,
+    /// Two replicas report different full-state digests for the same executed
+    /// round (a planted value mismatch the txn-count arm cannot see: both
+    /// executed the same *number* of transactions but diverged on the bytes).
+    /// Needs the KV state machine — the legacy counter emits no `StateDigest`.
+    DivergentStateDigest,
 }
 
 impl Canary {
     /// Every canary, in suite order.
-    pub const ALL: [Canary; 8] = [
+    pub const ALL: [Canary; 9] = [
         Canary::DivergentRoundTxns,
         Canary::DuplicateRoundExecution,
         Canary::ForgedCheckpointDigest,
@@ -56,6 +61,7 @@ impl Canary {
         Canary::PhantomBrokerAck,
         Canary::ForgedCertificateRejection,
         Canary::UnjustifiedEquivocationEvidence,
+        Canary::DivergentStateDigest,
     ];
 
     /// Short label for reports.
@@ -69,6 +75,7 @@ impl Canary {
             Canary::PhantomBrokerAck => "phantom-broker-ack",
             Canary::ForgedCertificateRejection => "forged-certificate-rejection",
             Canary::UnjustifiedEquivocationEvidence => "unjustified-equivocation-evidence",
+            Canary::DivergentStateDigest => "state-digest-divergence",
         }
     }
 
@@ -83,6 +90,7 @@ impl Canary {
             Canary::PhantomBrokerAck => "broker-conservation",
             Canary::ForgedCertificateRejection => "certificate-validity",
             Canary::UnjustifiedEquivocationEvidence => "equivocation-exposure",
+            Canary::DivergentStateDigest => "execution-agreement",
         }
     }
 
@@ -251,6 +259,25 @@ impl Canary {
                 });
                 true
             }
+            Canary::DivergentStateDigest => {
+                // Flip a byte in the second state-digest report of the first
+                // round reported by two replicas: a single value diverged on
+                // one replica while its txn count stayed identical.
+                let mut first: Option<Round2> = None;
+                for o in outputs.iter_mut() {
+                    if let Output::StateDigest { round, digest, .. } = o {
+                        match first {
+                            Some(r) if r.0 == round.0 => {
+                                digest[0] ^= 0xff;
+                                return true;
+                            }
+                            Some(_) => {}
+                            None => first = Some(Round2(round.0)),
+                        }
+                    }
+                }
+                false
+            }
         }
     }
 }
@@ -292,10 +319,11 @@ impl CanaryResult {
 }
 
 /// The fixture scenario the canary suite records: a store-backed run with a
-/// crash→restart, a join and a broker tier, so the clean stream holds
-/// executions, checkpoints, a recovery, a reconfiguration and committed batch
-/// traces — material for every canary. (The fixture is not a determinism
-/// golden; it only needs to stay clean under the standard suite.)
+/// crash→restart, a join and a broker tier, executing against the real KV
+/// state machine, so the clean stream holds executions, checkpoints, per-round
+/// state digests, a recovery, a reconfiguration and committed batch traces —
+/// material for every canary. (The fixture is not a determinism golden; it
+/// only needs to stay clean under the standard suite.)
 pub fn fixture_scenario() -> Scenario {
     let mut config = SystemConfig::homogeneous_regions(&[(4, Region::UsWest), (4, Region::Europe)]);
     config.params.batch_size = 20;
@@ -305,6 +333,7 @@ pub fn fixture_scenario() -> Scenario {
     Scenario::builder(Protocol::AvaHotStuff, config)
         .seed(11)
         .workload(WorkloadSpec { key_space: 500, ..WorkloadSpec::default() })
+        .state_machine(ava_hamava::StateMachineKind::Kv)
         .store(StoreConfig::every(4))
         .run_for(Duration::from_secs(14))
         .brokers(BrokerTier {
@@ -487,6 +516,26 @@ mod tests {
         assert!(Canary::UnjustifiedEquivocationEvidence.inject(&mut outputs));
         let violations = CheckerSet::replay(&outputs, &[], Time::from_secs(10));
         assert!(violations.iter().any(|v| v.checker == "equivocation-exposure"));
+    }
+
+    #[test]
+    fn divergent_state_digest_canary_trips_execution_agreement_on_a_synthetic_trace() {
+        let digest_of = |replica: u32| Output::StateDigest {
+            replica: ReplicaId(replica),
+            cluster: ClusterId(0),
+            round: ava_types::Round(1),
+            digest: [9; 32],
+            entries: 5,
+            value_bytes: 5_120,
+            at: Time::from_millis(100),
+        };
+        // Same txn counts everywhere: only the digest arm can see this bug.
+        let outputs_base = vec![executed(0, 1, 20), executed(1, 1, 20), digest_of(0), digest_of(1)];
+        assert!(CheckerSet::replay(&outputs_base, &[], Time::from_secs(10)).is_empty());
+        let mut outputs = outputs_base;
+        assert!(Canary::DivergentStateDigest.inject(&mut outputs));
+        let violations = CheckerSet::replay(&outputs, &[], Time::from_secs(10));
+        assert!(violations.iter().any(|v| v.checker == "execution-agreement"));
     }
 
     #[test]

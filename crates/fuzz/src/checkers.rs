@@ -61,14 +61,23 @@ pub trait InvariantChecker {
 }
 
 /// Cross-replica agreement on executed rounds: every replica that executes round
-/// `r` must report the same global transaction count. `RoundExecuted.txns` is
-/// the number of transactions the round carried across *all* clusters, so two
-/// replicas disagreeing on it have diverged states.
+/// `r` must report the same global transaction count, and — when a real state
+/// machine is deployed — the same full state digest. `RoundExecuted.txns` is
+/// the number of transactions the round carried across *all* clusters, and
+/// `StateDigest.digest` fingerprints the entire replicated state after Stage 3
+/// of the round, so replicas disagreeing on either have diverged. The digest
+/// comparison is global (not per-cluster): Stage 3 executes the union of every
+/// cluster's batch deterministically, so all replicas of all clusters hold the
+/// same state at the same round. Legacy counter-machine runs emit no
+/// `StateDigest`, leaving the digest arm dormant.
 #[derive(Default)]
 pub struct ExecutionAgreementChecker {
     /// round -> (txns, first reporter).
     rounds: BTreeMap<Round, (usize, ReplicaId)>,
+    /// round -> (state digest, first reporter).
+    digests: BTreeMap<Round, ([u8; 32], ReplicaId)>,
     flagged: BTreeSet<Round>,
+    digest_flagged: BTreeSet<Round>,
     violations: Vec<Violation>,
 }
 
@@ -85,24 +94,42 @@ impl InvariantChecker for ExecutionAgreementChecker {
     }
 
     fn observe(&mut self, output: &Output) {
-        let Output::RoundExecuted { replica, round, txns, .. } = output else {
-            return;
-        };
-        match self.rounds.get(round) {
-            None => {
-                self.rounds.insert(*round, (*txns, *replica));
-            }
-            Some((first_txns, first_replica)) => {
-                if txns != first_txns && self.flagged.insert(*round) {
-                    self.violations.push(Violation {
-                        checker: self.name(),
-                        details: format!(
-                            "round {round}: {replica} executed {txns} txns but {first_replica} \
-                             executed {first_txns}"
-                        ),
-                    });
+        match output {
+            Output::RoundExecuted { replica, round, txns, .. } => match self.rounds.get(round) {
+                None => {
+                    self.rounds.insert(*round, (*txns, *replica));
                 }
-            }
+                Some((first_txns, first_replica)) => {
+                    if txns != first_txns && self.flagged.insert(*round) {
+                        self.violations.push(Violation {
+                            checker: self.name(),
+                            details: format!(
+                                "round {round}: {replica} executed {txns} txns but \
+                                 {first_replica} executed {first_txns}"
+                            ),
+                        });
+                    }
+                }
+            },
+            Output::StateDigest { replica, round, digest, .. } => match self.digests.get(round) {
+                None => {
+                    self.digests.insert(*round, (*digest, *replica));
+                }
+                Some((first_digest, first_replica)) => {
+                    if digest != first_digest && self.digest_flagged.insert(*round) {
+                        self.violations.push(Violation {
+                            checker: self.name(),
+                            details: format!(
+                                "round {round}: {replica} reports state digest {} but \
+                                     {first_replica} reports {}",
+                                hex8(digest),
+                                hex8(first_digest)
+                            ),
+                        });
+                    }
+                }
+            },
+            _ => {}
         }
     }
 
@@ -746,6 +773,40 @@ mod tests {
             checker.observe(o);
         }
         checker.finish(Time::from_secs(60));
+    }
+
+    fn state_digest(replica: u32, round: u64, digest: [u8; 32]) -> Output {
+        Output::StateDigest {
+            replica: ReplicaId(replica),
+            cluster: ClusterId(0),
+            round: Round(round),
+            digest,
+            entries: 10,
+            value_bytes: 1_000,
+            at: Time::from_millis(round * 100),
+        }
+    }
+
+    #[test]
+    fn execution_agreement_flags_divergent_state_digests_once_per_round() {
+        let mut c = ExecutionAgreementChecker::new();
+        feed(
+            &mut c,
+            &[
+                // Identical txn counts everywhere: the legacy arm stays quiet.
+                executed(0, 1, 20),
+                executed(1, 1, 20),
+                state_digest(0, 1, [1; 32]),
+                state_digest(1, 1, [1; 32]),
+                state_digest(2, 1, [2; 32]),
+                state_digest(3, 1, [3; 32]),
+            ],
+        );
+        assert_eq!(c.violations().len(), 1, "one violation per divergent round");
+        assert!(c.violations()[0].details.contains("state digest"));
+        let mut ok = ExecutionAgreementChecker::new();
+        feed(&mut ok, &[state_digest(0, 1, [1; 32]), state_digest(1, 1, [1; 32])]);
+        assert!(ok.violations().is_empty(), "agreeing digests must not fire");
     }
 
     #[test]

@@ -60,6 +60,7 @@ mod tests {
             clients_per_cluster: 1,
             client_concurrency: 32,
             store: None,
+            state_machine: ava_hamava::StateMachineKind::Counter,
         }
     }
 

@@ -30,6 +30,7 @@ use crate::messages::{AvaMsg, RoundPackage};
 use crate::replica::Replica;
 use ava_consensus::{TotalOrderBroadcast, WireSize};
 use ava_simnet::{Actor, CapturedSend, Context, SimMessage};
+use ava_state::{KvEntry, StateSnapshot};
 use ava_store::Checkpoint;
 use ava_types::{Reconfig, ReplicaId};
 use std::sync::Arc;
@@ -209,9 +210,23 @@ fn tamper(package: &RoundPackage) -> RoundPackage {
 /// tampered content. Passes `Checkpoint::verify()`; only `f + 1` digest
 /// agreement across distinct senders exposes it.
 fn lying_checkpoint(genuine: &Checkpoint) -> Checkpoint {
-    let mut state = genuine.state.clone();
-    let poisoned = state.get(&u64::MAX).copied().unwrap_or(0) + 1;
-    state.insert(u64::MAX, poisoned);
+    let state = match &genuine.state {
+        StateSnapshot::Counter(map) => {
+            let mut map = map.clone();
+            let poisoned = map.get(&u64::MAX).copied().unwrap_or(0) + 1;
+            map.insert(u64::MAX, poisoned);
+            StateSnapshot::Counter(map)
+        }
+        StateSnapshot::Kv(map) => {
+            let mut map = map.clone();
+            let version = map.get(&u64::MAX).map(|e| e.version).unwrap_or(0) + 1;
+            map.insert(
+                u64::MAX,
+                KvEntry { version, last_writer_round: genuine.round.0, value: vec![0xab; 8] },
+            );
+            StateSnapshot::Kv(map)
+        }
+    };
     Checkpoint::new(
         genuine.round,
         state,
@@ -390,7 +405,7 @@ mod tests {
     fn lying_checkpoints_are_self_consistent_but_digest_distinct() {
         let genuine = Checkpoint::new(
             ava_types::Round(6),
-            std::collections::BTreeMap::from([(1, 2), (3, 4)]),
+            StateSnapshot::Counter(std::collections::BTreeMap::from([(1, 2), (3, 4)])),
             ava_types::Membership::new(),
             9,
             18,
@@ -399,5 +414,22 @@ mod tests {
         assert!(lie.verify(), "the lie must pass single-checkpoint integrity verification");
         assert_eq!(lie.round, genuine.round);
         assert_ne!(lie.digest, genuine.digest, "f+1 digest agreement is what rejects it");
+    }
+
+    #[test]
+    fn lying_checkpoints_poison_kv_snapshots_too() {
+        let mut machine = ava_state::machine_for(ava_state::StateMachineKind::Kv);
+        let tx = ava_types::Transaction::write(ava_types::ClientId(0), 0, 5, 128);
+        machine.apply(ava_types::Round(3), &tx);
+        let genuine = Checkpoint::new(
+            ava_types::Round(6),
+            machine.snapshot(),
+            ava_types::Membership::new(),
+            9,
+            18,
+        );
+        let lie = lying_checkpoint(&genuine);
+        assert!(lie.verify(), "the KV lie must also pass integrity verification");
+        assert_ne!(lie.digest, genuine.digest);
     }
 }

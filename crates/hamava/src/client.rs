@@ -98,7 +98,7 @@ where
 
     fn on_message(&mut self, _from: ReplicaId, msg: AvaMsg<TM>, ctx: &mut Context<'_, AvaMsg<TM>>) {
         match msg {
-            AvaMsg::ClientResponse { tx, is_write } => {
+            AvaMsg::ClientResponse { tx, is_write, .. } => {
                 if let Some((issued_at, _)) = self.outstanding.remove(&tx) {
                     self.completed += 1;
                     ctx.emit(Output::TxCompleted {

@@ -9,6 +9,7 @@ use crate::replica::{Replica, ReplicaConfig};
 use ava_consensus::{TobConfig, TotalOrderBroadcast, WireSize};
 use ava_crypto::{KeyRegistry, Keypair};
 use ava_simnet::{client_node_id, CostModel, LatencyModel, NetStats, SimMessage, Simulation};
+use ava_state::StateMachineKind;
 use ava_store::StoreConfig;
 use ava_types::{ClientId, ClusterId, Duration, Output, Region, ReplicaId, SystemConfig, Time};
 use ava_workload::{ClientWorkload, WorkloadSpec};
@@ -33,6 +34,12 @@ pub struct DeploymentOptions {
     /// determinism golden tests pin this); `Some` enables the round log +
     /// checkpoints that crash→restart recovery (`restart_at`) catches up from.
     pub store: Option<StoreConfig>,
+    /// The deterministic state machine every replica executes against. The
+    /// default counter machine is bit-identical to pre-`ava-state` builds (the
+    /// determinism goldens pin this); [`StateMachineKind::Kv`] stores real
+    /// versioned values, serves value-bearing reads/scans and emits per-round
+    /// `Output::StateDigest` events.
+    pub state_machine: StateMachineKind,
 }
 
 impl Default for DeploymentOptions {
@@ -45,6 +52,7 @@ impl Default for DeploymentOptions {
             clients_per_cluster: 1,
             client_concurrency: 128,
             store: None,
+            state_machine: StateMachineKind::default(),
         }
     }
 }
@@ -96,6 +104,7 @@ where
                 let mut rcfg =
                     ReplicaConfig::new(id, region, spec.id, config.params, membership.clone());
                 rcfg.store = opts.store;
+                rcfg.machine = opts.state_machine;
                 let replica = Replica::new(rcfg, keypair, registry.clone(), tob);
                 // Every replica is wrapped in the (dormant) Byzantine decorator
                 // so a scheduled `corrupt_at` can arm any of them mid-run; while
@@ -184,6 +193,7 @@ where
         let mut rcfg = ReplicaConfig::new(id, region, cluster, self.config.params, membership);
         rcfg.joining = true;
         rcfg.store = self.opts.store;
+        rcfg.machine = self.opts.state_machine;
         let replica = Replica::new(rcfg, keypair, self.registry.clone(), tob);
         self.sim.add_node(id, region, cluster.0, Box::new(CorruptReplica::new(replica)));
         id

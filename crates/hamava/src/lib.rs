@@ -57,3 +57,6 @@ pub use leader_election::{ElectionAction, ElectionMsg, LeaderElection};
 pub use messages::{AvaMsg, ClientCtl, ControlCmd, RoundPackage, RoundRecord, TxBatch};
 pub use remote_leader::{RemoteLeaderAction, RemoteLeaderChange, RemoteLeaderMsg};
 pub use replica::{Replica, ReplicaConfig, ReplicaStatus};
+// Re-exported so downstream crates can pick a state machine for
+// `DeploymentOptions::state_machine` without a direct `ava-state` dependency.
+pub use ava_state::StateMachineKind;

@@ -12,12 +12,12 @@ use crate::remote_leader::RemoteLeaderMsg;
 use ava_consensus::{CommittedBlock, WireSize};
 use ava_crypto::{Digest, KeyRegistry, Keypair, Sha256, Signature};
 use ava_simnet::SimMessage;
+use ava_state::StateSnapshot;
 use ava_store::{Checkpoint, StoredEntry};
 use ava_types::{
     ClientId, ClusterId, Encode, EncodeSink, Membership, Reconfig, Region, ReplicaId, Round,
     Transaction, TxId,
 };
-use std::collections::BTreeMap;
 use std::sync::{Arc, OnceLock};
 
 /// Everything a cluster ships to other clusters for one round: its committed blocks
@@ -398,8 +398,9 @@ pub enum AvaMsg<TM> {
     },
     /// State transfer to a joining replica (Alg. 10 line 33).
     CurrState {
-        /// The sender's key-value state.
-        state: BTreeMap<u64, u64>,
+        /// The sender's full state-machine snapshot (counter or keyed KV,
+        /// matching the deployment's configured machine).
+        state: StateSnapshot,
         /// The sender's membership views, boxed so this (largest) variant does
         /// not inflate every `AvaMsg` moved through the event queue.
         views: Box<CurrStateViews>,
@@ -451,6 +452,10 @@ pub enum AvaMsg<TM> {
         tx: TxId,
         /// Whether it was a write (went through the three stages).
         is_write: bool,
+        /// Bytes of value payload carried back (reads and scans against the
+        /// keyed KV machine; zero for writes and for the legacy counter
+        /// machine, which keeps counter-run reply sizes byte-identical).
+        value_len: u32,
     },
     /// Aggregate workload → broker: one tick's worth of virtual-client
     /// submissions (the collapsed open-loop arrival stream).
@@ -514,7 +519,7 @@ where
             AvaMsg::RequestJoin { .. } | AvaMsg::RequestLeave { .. } => 96,
             AvaMsg::Ack { members, .. } => 64 + members.len() * 8,
             AvaMsg::CurrState { state, views, .. } => {
-                128 + state.len() * 16
+                128 + state.wire_bytes()
                     + (views.membership.total_replicas() + views.prev_membership.total_replicas())
                         * 12
             }
@@ -523,7 +528,7 @@ where
                 80 + checkpoint.wire_size() + suffix.iter().map(|r| r.wire_size()).sum::<usize>()
             }
             AvaMsg::ClientRequest { tx, .. } => tx.payload_size as usize + 64,
-            AvaMsg::ClientResponse { .. } => 64,
+            AvaMsg::ClientResponse { value_len, .. } => 64 + *value_len as usize,
             AvaMsg::BrokerSubmit { ops } => {
                 32 + ops.iter().map(|t| t.payload_size as usize + 48).sum::<usize>()
             }

@@ -8,6 +8,9 @@ use crate::remote_leader::{RemoteLeaderAction, RemoteLeaderChange};
 use ava_consensus::{CommittedBlock, FaultMode, TobAction, TotalOrderBroadcast};
 use ava_crypto::{KeyRegistry, Keypair};
 use ava_simnet::{Actor, Context, SimMessage};
+use ava_state::{
+    machine_for, machine_from_snapshot, StateMachine, StateMachineKind, StateSnapshot,
+};
 use ava_store::{Checkpoint, CheckpointCollector, ReplicaStore, StoreConfig};
 use ava_types::{
     ClientId, ClusterId, Duration, Membership, Operation, Output, ProtocolParams, Reconfig, Region,
@@ -94,6 +97,10 @@ pub struct ReplicaConfig {
     pub stage1_max_wait: Duration,
     /// If true, start in joining mode (the replica is not yet a member).
     pub joining: bool,
+    /// Which deterministic state machine executes committed transactions. The
+    /// default counter machine keeps legacy runs byte-identical; the keyed KV
+    /// machine stores real versioned values and emits per-round state digests.
+    pub machine: StateMachineKind,
     /// Durable-store configuration. `None` (the default) runs the replica without
     /// persistence: nothing is logged, no fsync cost is charged, and a crashed
     /// replica can only rejoin via a full current-state transfer — behaviour is
@@ -119,6 +126,7 @@ impl ReplicaConfig {
             tick_interval: Duration::from_millis(10),
             stage1_max_wait: Duration::from_millis(1500),
             joining: false,
+            machine: StateMachineKind::default(),
             store: None,
         }
     }
@@ -213,8 +221,11 @@ pub struct Replica<T: TotalOrderBroadcast> {
     /// that re-submits after a reply was lost (or slow) gets an idempotent ack
     /// instead of a double admission.
     seen_batches: BTreeSet<(ReplicaId, u64)>,
-    /// The replicated key-value state (key → write counter).
-    kv: BTreeMap<u64, u64>,
+    /// The replicated deterministic state machine (counter or keyed KV,
+    /// per `ReplicaConfig::machine`). Execution, log replay and snapshot
+    /// adoption all mutate state exclusively through `StateMachine::apply`,
+    /// so live and replayed replicas cannot diverge.
+    machine: Box<dyn StateMachine>,
     /// Blocks delivered by the local TOB but not yet packed into a round, keyed
     /// by height. Rounds consume this queue in contiguous height order (see
     /// `consume_ready_blocks`), so the block→round partition is a pure function
@@ -297,6 +308,7 @@ impl<T: TotalOrderBroadcast> Replica<T> {
         } else {
             ReplicaStatus::Active
         };
+        let machine = machine_for(cfg.machine);
         let mut replica = Replica {
             membership: cfg.membership.clone(),
             prev_membership: cfg.membership.clone(),
@@ -317,7 +329,7 @@ impl<T: TotalOrderBroadcast> Replica<T> {
             pending_clients: HashMap::new(),
             pending_batch: HashMap::new(),
             seen_batches: BTreeSet::new(),
-            kv: BTreeMap::new(),
+            machine,
             pending_blocks: BTreeMap::new(),
             next_local_height: 0,
             round_base_height: 0,
@@ -355,9 +367,9 @@ impl<T: TotalOrderBroadcast> Replica<T> {
         &self.membership
     }
 
-    /// Current key-value state (for tests).
-    pub fn kv(&self) -> &BTreeMap<u64, u64> {
-        &self.kv
+    /// The replicated state machine (for tests).
+    pub fn machine(&self) -> &dyn StateMachine {
+        self.machine.as_ref()
     }
 
     fn my_members(&self) -> Vec<ReplicaId> {
@@ -876,9 +888,10 @@ impl<T: TotalOrderBroadcast> Replica<T> {
 
     // ---- stage 3: execution (Alg. 10) -------------------------------------------
 
-    // NOTE: the state mutations below (kv writes, membership updates) are
+    // NOTE: the state mutations below (machine applies, membership updates) are
     // mirrored by `apply_record_contents` for log replay and state transfer —
-    // keep the two in sync or recovered replicas diverge (see its doc comment).
+    // both funnel transactions through `StateMachine::apply`, so keeping them
+    // in sync means keeping the *iteration order* identical (see its doc).
     fn execute(&mut self, ctx: &mut Context<'_, AvaMsg<T::Msg>>) {
         let now = ctx.now();
         let stage_start = now;
@@ -891,6 +904,7 @@ impl<T: TotalOrderBroadcast> Replica<T> {
             self.persist_record(record, ctx);
         }
         let mut executed_txns = 0usize;
+        let mut value_bytes = 0u64;
         let mut all_recs: Vec<(ClusterId, Vec<Reconfig>)> = Vec::new();
 
         // Transactions first, cluster by cluster in the predefined (ascending) order.
@@ -899,7 +913,7 @@ impl<T: TotalOrderBroadcast> Replica<T> {
                 for op in &block.block.ops {
                     match op {
                         Operation::Trans(tx) => {
-                            self.apply_transaction(tx, ctx);
+                            value_bytes += self.apply_transaction(tx, ctx);
                             executed_txns += 1;
                         }
                         Operation::ReconfigSet { recs, .. } => {
@@ -914,6 +928,11 @@ impl<T: TotalOrderBroadcast> Replica<T> {
             }
         }
         ctx.consume(ctx.costs().per_tx_execute.saturating_mul(executed_txns as u64));
+        // Value movement is charged separately so counter deployments (zero
+        // value bytes) never reach this consume and stay golden-stable.
+        if value_bytes > 0 {
+            ctx.consume(ctx.costs().value_cost(value_bytes));
+        }
 
         // Then reconfigurations, uniformly, updating membership and thresholds.
         // Keep the outgoing view around: blocks certified under it are still in
@@ -948,7 +967,7 @@ impl<T: TotalOrderBroadcast> Replica<T> {
                     ctx.send(
                         *replica,
                         AvaMsg::CurrState {
-                            state: self.kv.clone(),
+                            state: self.machine.snapshot(),
                             views: Box::new(CurrStateViews {
                                 membership: self.membership.clone(),
                                 prev_membership: self.prev_membership.clone(),
@@ -982,6 +1001,21 @@ impl<T: TotalOrderBroadcast> Replica<T> {
             txns: executed_txns,
             at: ctx.now(),
         });
+        // KV deployments publish the machine's history-independent digest each
+        // round; the fuzzer's execution-agreement checker compares these across
+        // replicas (including snapshot-recovered ones). Counter deployments
+        // never emit it, keeping their output streams golden-stable.
+        if self.machine.kind() == StateMachineKind::Kv {
+            ctx.emit(Output::StateDigest {
+                replica: self.cfg.me,
+                cluster: self.cfg.cluster,
+                round: self.round,
+                digest: self.machine.digest(),
+                entries: self.machine.entries(),
+                value_bytes: self.machine.value_bytes(),
+                at: ctx.now(),
+            });
+        }
 
         // Remember own package for Alg. 8's previous-round re-broadcast.
         if let Some(own) = packages.get(&self.cfg.cluster) {
@@ -1022,7 +1056,7 @@ impl<T: TotalOrderBroadcast> Replica<T> {
         }
         let checkpoint = Arc::new(Checkpoint::new(
             self.round,
-            self.kv.clone(),
+            self.machine.snapshot(),
             self.membership.clone(),
             self.leader_ts.0,
             self.next_local_height,
@@ -1044,14 +1078,19 @@ impl<T: TotalOrderBroadcast> Replica<T> {
         }
     }
 
-    fn apply_transaction(&mut self, tx: &Transaction, ctx: &mut Context<'_, AvaMsg<T::Msg>>) {
-        if let TxKind::Write { key, .. } = tx.kind {
-            *self.kv.entry(key).or_insert(0) += 1;
-        }
+    /// Apply one ordered transaction to the state machine, answer its pending
+    /// client (writes complete at execution), and return the value bytes the
+    /// apply moved (for the per-round value-movement cost charge).
+    fn apply_transaction(
+        &mut self,
+        tx: &Transaction,
+        ctx: &mut Context<'_, AvaMsg<T::Msg>>,
+    ) -> u64 {
+        let outcome = self.machine.apply(self.round, tx);
         if let Some((client_node, _client)) = self.pending_clients.remove(&tx.id) {
             ctx.send(
                 client_node,
-                AvaMsg::ClientResponse { tx: tx.id, is_write: tx.kind.is_write() },
+                AvaMsg::ClientResponse { tx: tx.id, is_write: tx.kind.is_write(), value_len: 0 },
             );
         }
         if let Some((broker, batch)) = self.pending_batch.remove(&tx.id) {
@@ -1064,6 +1103,7 @@ impl<T: TotalOrderBroadcast> Replica<T> {
                 at: ctx.now(),
             });
         }
+        outcome.value_bytes
     }
 
     fn start_round(&mut self, round: Round, ctx: &mut Context<'_, AvaMsg<T::Msg>>) {
@@ -1146,7 +1186,7 @@ impl<T: TotalOrderBroadcast> Replica<T> {
     fn on_curr_state(
         &mut self,
         from: ReplicaId,
-        state: BTreeMap<u64, u64>,
+        state: StateSnapshot,
         views: CurrStateViews,
         round: Round,
         leader_ts: u64,
@@ -1170,7 +1210,7 @@ impl<T: TotalOrderBroadcast> Replica<T> {
         // sender's packing anchor comes with it: heights below `next_height` are
         // already folded into `state`, and the joiner must cut its first rounds
         // at the same height boundaries as its new peers.
-        self.kv = state;
+        self.machine = machine_from_snapshot(&state);
         self.membership = views.membership;
         // Adopt the sender's trailing window too: packages certified under the
         // outgoing view are still in flight, and the joiner must verify them
@@ -1241,7 +1281,7 @@ impl<T: TotalOrderBroadcast> Replica<T> {
         self.pending_clients.clear();
         self.pending_batch.clear();
         self.seen_batches.clear();
-        self.kv.clear();
+        self.machine = machine_for(self.cfg.machine);
         self.prev_package = None;
         self.future_packages.clear();
         self.ordered_reconfig_sets.clear();
@@ -1297,7 +1337,7 @@ impl<T: TotalOrderBroadcast> Replica<T> {
         let (checkpoint, suffix) = store.recover();
         let mut round = Round(1);
         if let Some(cp) = checkpoint {
-            self.kv = cp.state.clone();
+            self.machine = machine_from_snapshot(&cp.state);
             self.membership = cp.membership.clone();
             self.prev_membership = cp.membership.clone();
             self.leader_ts = Timestamp(cp.leader_ts);
@@ -1309,7 +1349,7 @@ impl<T: TotalOrderBroadcast> Replica<T> {
             if record.round < round {
                 continue;
             }
-            Self::apply_record_contents(&record, &mut self.kv, &mut self.membership);
+            Self::apply_record_contents(&record, self.machine.as_mut(), &mut self.membership);
             if let Some(h) = Self::record_next_height(&record, self.cfg.cluster) {
                 self.next_local_height = self.next_local_height.max(h);
             }
@@ -1356,7 +1396,7 @@ impl<T: TotalOrderBroadcast> Replica<T> {
                     // with the empty round-0 snapshot every replica agrees on.
                     let cp = Arc::new(Checkpoint::new(
                         Round(0),
-                        BTreeMap::new(),
+                        StateSnapshot::empty(self.machine.kind()),
                         self.cfg.membership.clone(),
                         0,
                         0,
@@ -1369,7 +1409,7 @@ impl<T: TotalOrderBroadcast> Replica<T> {
                 let last_executed = Round(self.round.0.saturating_sub(1));
                 let cp = Arc::new(Checkpoint::new(
                     last_executed,
-                    self.kv.clone(),
+                    self.machine.snapshot(),
                     self.membership.clone(),
                     self.leader_ts.0,
                     self.round_base_height,
@@ -1422,7 +1462,7 @@ impl<T: TotalOrderBroadcast> Replica<T> {
     /// with a gap or an unverifiable record is rejected and the next one is tried.
     fn try_complete_recovery(&mut self, ctx: &mut Context<'_, AvaMsg<T::Msg>>) {
         struct Adoption {
-            state: BTreeMap<u64, u64>,
+            machine: Box<dyn StateMachine>,
             membership: Membership,
             // The view one reconfig behind `membership` (the replay's trailing
             // window), preserved so the recovered replica keeps verifying
@@ -1461,15 +1501,20 @@ impl<T: TotalOrderBroadcast> Replica<T> {
                 // Base: the agreed checkpoint if it is ahead of local recovery,
                 // else the locally recovered state.
                 let use_checkpoint = agreed.round.next() > rec.recovered_round;
-                let (mut state, mut membership, mut next, mut bytes) = if use_checkpoint {
+                let (mut machine, mut membership, mut next, mut bytes) = if use_checkpoint {
                     (
-                        agreed.state.clone(),
+                        machine_from_snapshot(&agreed.state),
                         agreed.membership.clone(),
                         agreed.round.next(),
                         agreed.wire_size() as u64,
                     )
                 } else {
-                    (self.kv.clone(), self.membership.clone(), rec.recovered_round, 0)
+                    (
+                        machine_from_snapshot(&self.machine.snapshot()),
+                        self.membership.clone(),
+                        rec.recovered_round,
+                        0,
+                    )
                 };
                 let gap_rounds =
                     if use_checkpoint { agreed.round.next().0 - rec.recovered_round.0 } else { 0 };
@@ -1504,7 +1549,7 @@ impl<T: TotalOrderBroadcast> Replica<T> {
                         break;
                     }
                     replay_prev = membership.clone();
-                    Self::apply_record_contents(record, &mut state, &mut membership);
+                    Self::apply_record_contents(record, machine.as_mut(), &mut membership);
                     if let Some(h) = Self::record_next_height(record, self.cfg.cluster) {
                         next_height = next_height.max(h);
                     }
@@ -1516,7 +1561,7 @@ impl<T: TotalOrderBroadcast> Replica<T> {
                 // rejoin behind the cluster with no way to fetch the missing rounds.
                 if ok && next >= offer.round {
                     adoption = Some(Adoption {
-                        state,
+                        machine,
                         membership,
                         prev_membership: replay_prev,
                         round: next,
@@ -1540,7 +1585,7 @@ impl<T: TotalOrderBroadcast> Replica<T> {
         };
 
         // Commit: adopt the transferred state and make it durable in one batch.
-        self.kv = adoption.state;
+        self.machine = adoption.machine;
         self.membership = adoption.membership;
         self.prev_membership = adoption.prev_membership;
         self.leader_ts = Timestamp(adoption.leader_ts);
@@ -1589,6 +1634,7 @@ impl<T: TotalOrderBroadcast> Replica<T> {
                                     AvaMsg::ClientResponse {
                                         tx: tx.id,
                                         is_write: tx.kind.is_write(),
+                                        value_len: 0,
                                     },
                                 );
                             }
@@ -1655,19 +1701,22 @@ impl<T: TotalOrderBroadcast> Replica<T> {
         }
     }
 
-    /// Apply one round record to a state/membership pair, mirroring `execute`:
+    /// Apply one round record to a machine/membership pair, mirroring `execute`:
     /// transactions first (cluster by cluster in package order), then every
     /// reconfiguration uniformly. Used for local log replay and for replaying
     /// transferred suffixes — no client responses, no outputs.
     ///
     /// INVARIANT: this must stay semantically identical to the state mutations
-    /// of [`Replica::execute`] (write-counter increments; recs from both
-    /// block-carried `ReconfigSet` ops and package-level sets). If the two ever
-    /// diverge, replayed replicas compute different checkpoint digests than
-    /// live ones and f+1 agreement breaks — change both together.
+    /// of [`Replica::execute`]. Both funnel every transaction through
+    /// `StateMachine::apply` with the record's round, so the remaining sync
+    /// obligation is the iteration order (packages ascending by cluster, blocks
+    /// and ops in package order) and the reconfiguration handling (recs from
+    /// both block-carried `ReconfigSet` ops and package-level sets). If the two
+    /// ever diverge, replayed replicas compute different checkpoint and state
+    /// digests than live ones and f+1 agreement breaks — change both together.
     fn apply_record_contents(
         record: &RoundRecord,
-        state: &mut BTreeMap<u64, u64>,
+        machine: &mut dyn StateMachine,
         membership: &mut Membership,
     ) {
         let mut all_recs: Vec<(ClusterId, Vec<Reconfig>)> = Vec::new();
@@ -1676,9 +1725,7 @@ impl<T: TotalOrderBroadcast> Replica<T> {
                 for op in &block.block.ops {
                     match op {
                         Operation::Trans(tx) => {
-                            if let TxKind::Write { key, .. } = tx.kind {
-                                *state.entry(key).or_insert(0) += 1;
-                            }
+                            machine.apply(record.round, tx);
                         }
                         Operation::ReconfigSet { recs, .. } => {
                             all_recs.push((package.cluster, recs.clone()));
@@ -1738,11 +1785,25 @@ impl<T: TotalOrderBroadcast> Replica<T> {
             TxKind::Read { key } => {
                 // Reads are served locally without going through the three stages
                 // (the paper's E2 latency breakdown relies on this).
-                let _ = self.kv.get(&key);
+                let value_len = self.machine.read_len(key);
                 ctx.consume(ctx.costs().per_tx_execute);
-                ctx.send(from, AvaMsg::ClientResponse { tx: tx.id, is_write: false });
+                if value_len > 0 {
+                    ctx.consume(ctx.costs().value_cost(value_len as u64));
+                }
+                ctx.send(from, AvaMsg::ClientResponse { tx: tx.id, is_write: false, value_len });
             }
-            TxKind::Write { .. } => {
+            TxKind::Scan { start_key, count } => {
+                // Range reads are served cluster-locally from committed state,
+                // exactly like point reads.
+                let bytes = self.machine.scan_bytes(start_key, count);
+                ctx.consume(ctx.costs().per_tx_execute);
+                if bytes > 0 {
+                    ctx.consume(ctx.costs().value_cost(bytes));
+                }
+                let value_len = bytes.min(u32::MAX as u64) as u32;
+                ctx.send(from, AvaMsg::ClientResponse { tx: tx.id, is_write: false, value_len });
+            }
+            TxKind::Write { .. } | TxKind::MultiWrite { .. } => {
                 self.pending_clients.insert(tx.id, (from, client));
                 let actions = self.tob.broadcast(Operation::Trans(tx), ctx.now());
                 self.apply_tob_actions(actions, ctx);
@@ -1774,13 +1835,18 @@ impl<T: TotalOrderBroadcast> Replica<T> {
             return;
         }
         let mut reads = Vec::new();
+        let mut read_bytes = 0u64;
         for tx in &batch.ops {
             match tx.kind {
                 TxKind::Read { key } => {
-                    let _ = self.kv.get(&key);
+                    read_bytes += self.machine.read_len(key) as u64;
                     reads.push(tx.id);
                 }
-                TxKind::Write { .. } => {
+                TxKind::Scan { start_key, count } => {
+                    read_bytes += self.machine.scan_bytes(start_key, count);
+                    reads.push(tx.id);
+                }
+                TxKind::Write { .. } | TxKind::MultiWrite { .. } => {
                     self.pending_clients.insert(tx.id, (from, tx.id.client));
                     self.pending_batch.insert(tx.id, (batch.broker, batch.id));
                     let actions = self.tob.broadcast(Operation::Trans(tx.clone()), ctx.now());
@@ -1789,6 +1855,9 @@ impl<T: TotalOrderBroadcast> Replica<T> {
             }
         }
         ctx.consume(ctx.costs().per_tx_execute.saturating_mul(reads.len() as u64));
+        if read_bytes > 0 {
+            ctx.consume(ctx.costs().value_cost(read_bytes));
+        }
         ctx.send(from, AvaMsg::BatchReply { batch: batch.id, reads });
     }
 

@@ -301,6 +301,15 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Select the replicated state machine every replica executes against
+    /// (default: the legacy counter machine, whose runs are bit-identical to
+    /// pre-KV builds; `StateMachineKind::Kv` stores real versioned values and
+    /// emits per-round `Output::StateDigest`).
+    pub fn state_machine(mut self, kind: ava_hamava::StateMachineKind) -> Self {
+        self.opts.state_machine = kind;
+        self
+    }
+
     /// Schedule `replica` to start withholding inter-cluster messages at `at`.
     pub fn mute_inter_cluster_at(self, at: Time, replica: ReplicaId) -> Self {
         self.at(at, ScenarioEvent::MuteInterCluster { replica })

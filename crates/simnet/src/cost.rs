@@ -39,6 +39,11 @@ pub struct CostModel {
     /// (deserializing and routing one operation out of an already-verified
     /// batch; far cheaper than `per_event` dispatch of a standalone request).
     pub per_batch_op_ns: u64,
+    /// Cost per committed value byte materialised or served by the state
+    /// machine, in nanoseconds (value copies on write, value serving on read).
+    /// The legacy counter machine moves zero value bytes, so it never pays
+    /// this — which keeps pre-`ava-state` runs cost-identical.
+    pub per_value_byte_ns: u64,
 }
 
 impl CostModel {
@@ -58,6 +63,7 @@ impl CostModel {
             persist_byte_ns: 1,
             per_batch_verify: Duration::from_micros(40),
             per_batch_op_ns: 500,
+            per_value_byte_ns: 1,
         }
     }
 
@@ -74,6 +80,7 @@ impl CostModel {
             persist_byte_ns: 0,
             per_batch_verify: Duration::ZERO,
             per_batch_op_ns: 0,
+            per_value_byte_ns: 0,
         }
     }
 
@@ -93,6 +100,12 @@ impl CostModel {
     /// signature verification plus the amortized per-operation unpacking cost.
     pub fn batch_cost(&self, ops: usize) -> Duration {
         self.per_batch_verify + Duration::from_micros((ops as u64 * self.per_batch_op_ns) / 1_000)
+    }
+
+    /// Service time of moving `bytes` committed value bytes through the state
+    /// machine (zero for zero bytes — the counter machine never pays it).
+    pub fn value_cost(&self, bytes: u64) -> Duration {
+        Duration::from_micros((bytes * self.per_value_byte_ns) / 1_000)
     }
 }
 
@@ -131,6 +144,14 @@ mod tests {
     fn event_cost_scales_with_size() {
         let c = CostModel::cloud_vm();
         assert!(c.event_cost(100_000) > c.event_cost(100));
+    }
+
+    #[test]
+    fn value_cost_is_zero_for_zero_bytes() {
+        let c = CostModel::cloud_vm();
+        assert_eq!(c.value_cost(0), Duration::ZERO);
+        assert!(c.value_cost(1_000_000) > Duration::ZERO);
+        assert_eq!(CostModel::zero().value_cost(1 << 20), Duration::ZERO);
     }
 
     #[test]

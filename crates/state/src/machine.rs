@@ -1,0 +1,415 @@
+//! The [`StateMachine`] trait and its two implementations: the legacy
+//! [`CounterMachine`] and the real keyed [`KvMachine`].
+
+use crate::snapshot::StateSnapshot;
+use ava_crypto::Sha256;
+use ava_types::{Round, Transaction, TxKind};
+use std::collections::BTreeMap;
+
+/// Which replicated state machine a deployment executes against.
+///
+/// `Counter` is the default: every configuration that predates `ava-state`
+/// behaves byte-identically under it (the determinism goldens pin this).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum StateMachineKind {
+    /// Legacy placeholder: key → write counter, no value bytes.
+    #[default]
+    Counter,
+    /// Real keyed KV store: key → versioned value bytes.
+    Kv,
+}
+
+impl StateMachineKind {
+    /// Short label used in reports and bench shape names.
+    pub fn label(self) -> &'static str {
+        match self {
+            StateMachineKind::Counter => "counter",
+            StateMachineKind::Kv => "kv",
+        }
+    }
+}
+
+/// What applying one transaction did to the state, for cost accounting.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ApplyOutcome {
+    /// Value bytes materialised by the write (0 for reads and for the counter
+    /// machine — the execution layer charges `CostModel::per_value_byte_ns`
+    /// only when this is nonzero, which keeps legacy runs cost-identical).
+    pub value_bytes: u64,
+    /// Number of keys written (>1 for `TxKind::MultiWrite`).
+    pub keys_written: u32,
+}
+
+/// A deterministic replicated state machine: Stage 3 applies the globally
+/// ordered transaction stream through this interface, and the read path serves
+/// committed values from it cluster-locally (E2 semantics).
+///
+/// Implementations must be deterministic functions of the applied `(round, tx)`
+/// sequence — every correct replica applies the same stream and must land on
+/// the same [`StateMachine::digest`]. The digest must also be
+/// history-independent (a function of the current state only), so a replica
+/// that restores from a peer snapshot agrees with peers that executed the full
+/// history.
+pub trait StateMachine: Send {
+    /// Which machine this is.
+    fn kind(&self) -> StateMachineKind;
+
+    /// Apply one committed transaction for `round`. Read-only kinds
+    /// (`Read`/`Scan`) are no-ops — they never enter the ordered stream, but a
+    /// machine must tolerate them defensively.
+    fn apply(&mut self, round: Round, tx: &Transaction) -> ApplyOutcome;
+
+    /// Length in bytes of the committed value under `key` (0 if absent, and
+    /// always 0 for the counter machine — read replies carry no value bytes).
+    fn read_len(&self, key: u64) -> u32;
+
+    /// Total value bytes a `Scan { start_key, count }` would return: the
+    /// values of the first `count` present keys at or after `start_key`.
+    fn scan_bytes(&self, start_key: u64, count: u32) -> u64;
+
+    /// Number of keys present.
+    fn entries(&self) -> u64;
+
+    /// Total committed value bytes across all keys (0 for the counter machine).
+    fn value_bytes(&self) -> u64;
+
+    /// History-independent digest of the current state (XOR set-hash of
+    /// per-entry SHA-256 hashes).
+    fn digest(&self) -> [u8; 32];
+
+    /// A serialisable point-in-time image of the state.
+    fn snapshot(&self) -> StateSnapshot;
+}
+
+/// Build a fresh, empty machine of `kind`.
+pub fn machine_for(kind: StateMachineKind) -> Box<dyn StateMachine> {
+    match kind {
+        StateMachineKind::Counter => Box::new(CounterMachine::default()),
+        StateMachineKind::Kv => Box::new(KvMachine::default()),
+    }
+}
+
+fn xor_acc(acc: &mut [u8; 32], h: &[u8; 32]) {
+    for (a, b) in acc.iter_mut().zip(h) {
+        *a ^= *b;
+    }
+}
+
+/// The legacy placeholder machine: `key → write counter`. Kept bit-compatible
+/// with the pre-`ava-state` execution layer — same state map, same snapshot
+/// byte stream, zero value bytes. Its digest is computed on demand, not
+/// incrementally: counter deployments never emit `StateDigest` outputs, so a
+/// per-write hash would tax the hot execute loop for a value nobody reads
+/// (the KV machine, whose digest *is* read every round, pays the incremental
+/// set-hash instead).
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct CounterMachine {
+    state: BTreeMap<u64, u64>,
+}
+
+impl CounterMachine {
+    /// Restore from a counter snapshot map.
+    pub fn from_state(state: BTreeMap<u64, u64>) -> Self {
+        CounterMachine { state }
+    }
+
+    /// The underlying counter map.
+    pub fn state(&self) -> &BTreeMap<u64, u64> {
+        &self.state
+    }
+
+    fn entry_hash(key: u64, count: u64) -> [u8; 32] {
+        let mut h = Sha256::new();
+        h.update(b"ava-counter-entry");
+        h.update(&key.to_le_bytes());
+        h.update(&count.to_le_bytes());
+        h.finalize()
+    }
+
+    fn bump(&mut self, key: u64) {
+        *self.state.entry(key).or_insert(0) += 1;
+    }
+}
+
+impl StateMachine for CounterMachine {
+    fn kind(&self) -> StateMachineKind {
+        StateMachineKind::Counter
+    }
+
+    fn apply(&mut self, _round: Round, tx: &Transaction) -> ApplyOutcome {
+        match &tx.kind {
+            TxKind::Write { key, .. } => {
+                self.bump(*key);
+                ApplyOutcome { value_bytes: 0, keys_written: 1 }
+            }
+            TxKind::MultiWrite { keys, .. } => {
+                for key in keys {
+                    self.bump(*key);
+                }
+                ApplyOutcome { value_bytes: 0, keys_written: keys.len() as u32 }
+            }
+            TxKind::Read { .. } | TxKind::Scan { .. } => ApplyOutcome::default(),
+        }
+    }
+
+    fn read_len(&self, _key: u64) -> u32 {
+        0
+    }
+
+    fn scan_bytes(&self, _start_key: u64, _count: u32) -> u64 {
+        0
+    }
+
+    fn entries(&self) -> u64 {
+        self.state.len() as u64
+    }
+
+    fn value_bytes(&self) -> u64 {
+        0
+    }
+
+    fn digest(&self) -> [u8; 32] {
+        let mut acc = [0u8; 32];
+        for (k, v) in &self.state {
+            xor_acc(&mut acc, &Self::entry_hash(*k, *v));
+        }
+        acc
+    }
+
+    fn snapshot(&self) -> StateSnapshot {
+        StateSnapshot::Counter(self.state.clone())
+    }
+}
+
+/// One committed KV entry: a versioned value and the round of its last writer.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct KvEntry {
+    /// Monotone per-key write counter (1 on first write).
+    pub version: u64,
+    /// The round whose execution last wrote the key.
+    pub last_writer_round: u64,
+    /// The committed value bytes (deterministically materialised — see
+    /// [`KvMachine::fill_value`]).
+    pub value: Vec<u8>,
+}
+
+impl KvEntry {
+    /// Wire size of the entry: key (8) + version (8) + round (8) + length
+    /// prefix (4) + value bytes.
+    pub fn wire_bytes(&self) -> usize {
+        28 + self.value.len()
+    }
+}
+
+/// The real keyed KV machine: `key → {version, value bytes, last-writer
+/// round}`, with multi-key writes and range reads.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct KvMachine {
+    entries: BTreeMap<u64, KvEntry>,
+    acc: [u8; 32],
+    value_bytes: u64,
+}
+
+impl KvMachine {
+    /// Restore from a KV snapshot map, recomputing the set-hash accumulator
+    /// and byte total (O(state), paid once at adoption time).
+    pub fn from_state(entries: BTreeMap<u64, KvEntry>) -> Self {
+        let mut acc = [0u8; 32];
+        let mut value_bytes = 0u64;
+        for (k, e) in &entries {
+            xor_acc(&mut acc, &Self::entry_hash(*k, e));
+            value_bytes += e.value.len() as u64;
+        }
+        KvMachine { entries, acc, value_bytes }
+    }
+
+    /// The underlying entry map.
+    pub fn entries_map(&self) -> &BTreeMap<u64, KvEntry> {
+        &self.entries
+    }
+
+    /// The committed entry under `key`, if any.
+    pub fn get(&self, key: u64) -> Option<&KvEntry> {
+        self.entries.get(&key)
+    }
+
+    /// Deterministic value content for `(key, version)`: the simulator carries
+    /// real bytes (so snapshot/transfer sizes and digests are meaningful)
+    /// without shipping client payloads through the ordering path.
+    pub fn fill_value(key: u64, version: u64, size: u32) -> Vec<u8> {
+        let seed = key.wrapping_mul(31).wrapping_add(version) as u8;
+        (0..size as usize).map(|i| seed.wrapping_add(i as u8)).collect()
+    }
+
+    fn entry_hash(key: u64, e: &KvEntry) -> [u8; 32] {
+        let mut h = Sha256::new();
+        h.update(b"ava-kv-entry");
+        h.update(&key.to_le_bytes());
+        h.update(&e.version.to_le_bytes());
+        h.update(&e.last_writer_round.to_le_bytes());
+        h.update(&(e.value.len() as u32).to_le_bytes());
+        h.update(&e.value);
+        h.finalize()
+    }
+
+    fn write_one(&mut self, round: Round, key: u64, value_size: u32) -> u64 {
+        let version = self.entries.get(&key).map_or(1, |e| e.version + 1);
+        let value = Self::fill_value(key, version, value_size);
+        let written = value.len() as u64;
+        let entry = KvEntry { version, last_writer_round: round.0, value };
+        let new_hash = Self::entry_hash(key, &entry);
+        if let Some(old) = self.entries.insert(key, entry) {
+            self.value_bytes -= old.value.len() as u64;
+            xor_acc(&mut self.acc, &Self::entry_hash(key, &old));
+        }
+        self.value_bytes += written;
+        xor_acc(&mut self.acc, &new_hash);
+        written
+    }
+}
+
+impl StateMachine for KvMachine {
+    fn kind(&self) -> StateMachineKind {
+        StateMachineKind::Kv
+    }
+
+    fn apply(&mut self, round: Round, tx: &Transaction) -> ApplyOutcome {
+        match &tx.kind {
+            TxKind::Write { key, value_size } => {
+                let value_bytes = self.write_one(round, *key, *value_size);
+                ApplyOutcome { value_bytes, keys_written: 1 }
+            }
+            TxKind::MultiWrite { keys, value_size } => {
+                let mut value_bytes = 0;
+                for key in keys {
+                    value_bytes += self.write_one(round, *key, *value_size);
+                }
+                ApplyOutcome { value_bytes, keys_written: keys.len() as u32 }
+            }
+            TxKind::Read { .. } | TxKind::Scan { .. } => ApplyOutcome::default(),
+        }
+    }
+
+    fn read_len(&self, key: u64) -> u32 {
+        self.entries.get(&key).map_or(0, |e| e.value.len() as u32)
+    }
+
+    fn scan_bytes(&self, start_key: u64, count: u32) -> u64 {
+        self.entries
+            .range(start_key..)
+            .take(count as usize)
+            .map(|(_, e)| e.value.len() as u64)
+            .sum()
+    }
+
+    fn entries(&self) -> u64 {
+        self.entries.len() as u64
+    }
+
+    fn value_bytes(&self) -> u64 {
+        self.value_bytes
+    }
+
+    fn digest(&self) -> [u8; 32] {
+        self.acc
+    }
+
+    fn snapshot(&self) -> StateSnapshot {
+        StateSnapshot::Kv(self.entries.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ava_types::{ClientId, TxId};
+
+    fn write(seq: u64, key: u64, size: u32) -> Transaction {
+        Transaction::write(ClientId(1), seq, key, size)
+    }
+
+    #[test]
+    fn counter_machine_matches_legacy_semantics() {
+        let mut m = CounterMachine::default();
+        m.apply(Round(1), &write(0, 7, 1024));
+        m.apply(Round(2), &write(1, 7, 1024));
+        m.apply(Round(2), &write(2, 9, 1024));
+        assert_eq!(m.state().get(&7), Some(&2));
+        assert_eq!(m.state().get(&9), Some(&1));
+        assert_eq!(m.value_bytes(), 0, "counter writes carry no value bytes");
+        assert_eq!(m.read_len(7), 0, "counter reads return no value bytes");
+        // Reads are defensive no-ops.
+        let before = m.digest();
+        m.apply(Round(3), &Transaction::read(ClientId(1), 3, 7));
+        assert_eq!(m.digest(), before);
+    }
+
+    #[test]
+    fn kv_machine_versions_values_and_tracks_bytes() {
+        let mut m = KvMachine::default();
+        let out = m.apply(Round(4), &write(0, 7, 256));
+        assert_eq!(out.value_bytes, 256);
+        let e = m.get(7).expect("written");
+        assert_eq!((e.version, e.last_writer_round, e.value.len()), (1, 4, 256));
+
+        // Overwrite bumps the version, replaces the bytes, moves the round.
+        let out = m.apply(Round(9), &write(1, 7, 64));
+        assert_eq!(out.value_bytes, 64);
+        let e = m.get(7).expect("rewritten");
+        assert_eq!((e.version, e.last_writer_round, e.value.len()), (2, 9, 64));
+        assert_eq!(m.value_bytes(), 64, "old value bytes must be released");
+        assert_eq!(m.read_len(7), 64);
+        assert_eq!(m.entries(), 1);
+    }
+
+    #[test]
+    fn kv_multiwrite_and_scan() {
+        let mut m = KvMachine::default();
+        let tx = Transaction {
+            id: TxId { client: ClientId(1), seq: 0 },
+            kind: TxKind::MultiWrite { keys: vec![3, 5, 9], value_size: 100 },
+            payload_size: 300,
+        };
+        let out = m.apply(Round(2), &tx);
+        assert_eq!((out.keys_written, out.value_bytes), (3, 300));
+        assert_eq!(m.scan_bytes(4, 2), 200, "scan takes the first present keys >= start");
+        assert_eq!(m.scan_bytes(0, 10), 300);
+        assert_eq!(m.scan_bytes(10, 4), 0);
+    }
+
+    #[test]
+    fn digest_is_history_independent() {
+        // Same final state via different histories → same digest.
+        let mut a = KvMachine::default();
+        a.apply(Round(1), &write(0, 1, 100));
+        a.apply(Round(2), &write(1, 2, 100));
+        a.apply(Round(3), &write(2, 1, 100)); // key 1 reaches version 2 in round 3
+
+        let mut b = KvMachine::default();
+        b.apply(Round(2), &write(5, 2, 100));
+        b.apply(Round(1), &write(6, 1, 100));
+        b.apply(Round(3), &write(7, 1, 100));
+        assert_eq!(a.digest(), b.digest());
+
+        // Restoring from the snapshot recomputes the identical digest.
+        let restored = match a.snapshot() {
+            StateSnapshot::Kv(entries) => KvMachine::from_state(entries),
+            s => panic!("kv machine must produce a kv snapshot, got {s:?}"),
+        };
+        assert_eq!(restored.digest(), a.digest());
+        assert_eq!(restored.value_bytes(), a.value_bytes());
+
+        // And a diverging value is visible.
+        let mut c = KvMachine::default();
+        c.apply(Round(1), &write(0, 1, 100));
+        c.apply(Round(2), &write(1, 2, 101));
+        c.apply(Round(3), &write(2, 1, 100));
+        assert_ne!(a.digest(), c.digest());
+    }
+
+    #[test]
+    fn fill_value_is_deterministic() {
+        assert_eq!(KvMachine::fill_value(7, 2, 64), KvMachine::fill_value(7, 2, 64));
+        assert_ne!(KvMachine::fill_value(7, 2, 64), KvMachine::fill_value(7, 3, 64));
+    }
+}

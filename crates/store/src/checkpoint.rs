@@ -9,6 +9,7 @@
 //! correct (BFT-SMaRt's collaborative state transfer uses the same argument).
 
 use ava_crypto::{Digest, Sha256};
+use ava_state::{chunk_snapshot, SnapshotChunk, StateSnapshot};
 use ava_types::{Membership, ReplicaId, Round};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
@@ -18,8 +19,10 @@ use std::sync::Arc;
 pub struct Checkpoint {
     /// The last executed round the snapshot covers.
     pub round: Round,
-    /// The replicated key-value state (key → write counter) after `round`.
-    pub state: BTreeMap<u64, u64>,
+    /// The replicated state image after `round` (counter map or keyed KV
+    /// entries — see `ava-state`). The counter variant's digest byte stream
+    /// and wire size are bit-identical to the pre-`ava-state` format.
+    pub state: StateSnapshot,
     /// The membership map after applying every reconfiguration up to `round`.
     pub membership: Membership,
     /// The cluster's leader timestamp as of `round` (so a replica recovering
@@ -46,7 +49,7 @@ impl Checkpoint {
     /// Build a checkpoint, computing its canonical digest.
     pub fn new(
         round: Round,
-        state: BTreeMap<u64, u64>,
+        state: StateSnapshot,
         membership: Membership,
         leader_ts: u64,
         next_height: u64,
@@ -56,22 +59,19 @@ impl Checkpoint {
     }
 
     /// The canonical digest of a checkpoint's round-deterministic content.
-    /// `BTreeMap` iteration and the membership map's sorted per-cluster member
-    /// lists make the byte stream deterministic across replicas.
+    /// `BTreeMap` iteration (inside the snapshot's byte stream) and the
+    /// membership map's sorted per-cluster member lists make the byte stream
+    /// deterministic across replicas.
     pub fn digest_of(
         round: Round,
-        state: &BTreeMap<u64, u64>,
+        state: &StateSnapshot,
         membership: &Membership,
         next_height: u64,
     ) -> Digest {
         let mut h = Sha256::new();
         h.update(&round.0.to_le_bytes());
         h.update(&next_height.to_le_bytes());
-        h.update(&(state.len() as u64).to_le_bytes());
-        for (k, v) in state {
-            h.update(&k.to_le_bytes());
-            h.update(&v.to_le_bytes());
-        }
+        state.hash_into(&mut h);
         for (cluster, info) in membership.iter() {
             h.update(&cluster.0.to_le_bytes());
             h.update(&info.id.0.to_le_bytes());
@@ -86,10 +86,17 @@ impl Checkpoint {
         self.digest == Self::digest_of(self.round, &self.state, &self.membership, self.next_height)
     }
 
-    /// Approximate wire size of the snapshot in bytes (state pairs + membership
+    /// Approximate wire size of the snapshot in bytes (state body + membership
     /// entries + header), used for transfer-size accounting.
     pub fn wire_size(&self) -> usize {
-        64 + self.state.len() * 16 + self.membership.total_replicas() * 12
+        64 + self.state.wire_bytes() + self.membership.total_replicas() * 12
+    }
+
+    /// Split the state image into `≤ max_chunk_bytes` digest-certified pieces
+    /// for chunked transfer (reassembly is order-insensitive — see
+    /// `ava_state::SnapshotAssembler`).
+    pub fn chunks(&self, max_chunk_bytes: usize) -> Vec<SnapshotChunk> {
+        chunk_snapshot(&self.state, max_chunk_bytes)
     }
 }
 
@@ -174,9 +181,19 @@ mod tests {
         m
     }
 
+    fn counter_state(writes: u64) -> StateSnapshot {
+        StateSnapshot::Counter((0..writes).map(|k| (k, k + 1)).collect())
+    }
+
     fn checkpoint(round: u64, writes: u64) -> Checkpoint {
-        let state: BTreeMap<u64, u64> = (0..writes).map(|k| (k, k + 1)).collect();
-        Checkpoint::new(Round(round), state, membership(4), 2, round * 3)
+        Checkpoint::new(Round(round), counter_state(writes), membership(4), 2, round * 3)
+    }
+
+    fn corrupt(cp: &mut Checkpoint) {
+        let StateSnapshot::Counter(state) = &mut cp.state else {
+            panic!("test checkpoints carry counter state");
+        };
+        state.insert(99, 7); // mutate the snapshot after digest computation
     }
 
     #[test]
@@ -196,10 +213,64 @@ mod tests {
     }
 
     #[test]
+    fn counter_digest_matches_the_legacy_byte_stream() {
+        // The pre-`ava-state` digest hashed round, next_height, state.len(),
+        // each (key, counter) pair, then the membership — all LE. A counter
+        // snapshot must reproduce that stream exactly, or every historical
+        // checkpoint digest (and the determinism goldens built on them) moves.
+        let cp = checkpoint(8, 3);
+        let mut h = Sha256::new();
+        h.update(&8u64.to_le_bytes());
+        h.update(&24u64.to_le_bytes());
+        let StateSnapshot::Counter(state) = &cp.state else { unreachable!() };
+        h.update(&(state.len() as u64).to_le_bytes());
+        for (k, v) in state {
+            h.update(&k.to_le_bytes());
+            h.update(&v.to_le_bytes());
+        }
+        for (cluster, info) in cp.membership.iter() {
+            h.update(&cluster.0.to_le_bytes());
+            h.update(&info.id.0.to_le_bytes());
+            h.update(&[info.region.index() as u8]);
+        }
+        assert_eq!(cp.digest, Digest(h.finalize()));
+        assert_eq!(cp.wire_size(), 64 + 3 * 16 + 4 * 12, "legacy wire accounting");
+    }
+
+    #[test]
+    fn kv_checkpoints_carry_value_bytes_and_chunk_cleanly() {
+        use ava_state::{machine_for, SnapshotAssembler, StateMachineKind};
+        use ava_types::{ClientId, Transaction};
+        let mut m = machine_for(StateMachineKind::Kv);
+        for seq in 0..40u64 {
+            m.apply(Round(2), &Transaction::write(ClientId(1), seq, seq % 16, 128));
+        }
+        let cp = Checkpoint::new(Round(8), m.snapshot(), membership(4), 2, 24);
+        assert!(cp.verify());
+        assert!(
+            cp.wire_size() > 16 * 128,
+            "kv snapshots must account real value bytes, got {}",
+            cp.wire_size()
+        );
+        // Chunked transfer round-trips through the order-insensitive assembler.
+        let mut chunks = cp.chunks(512);
+        assert!(chunks.len() > 1);
+        chunks.reverse();
+        let mut asm = SnapshotAssembler::new();
+        for chunk in chunks {
+            assert!(asm.offer(chunk));
+        }
+        assert_eq!(asm.assemble().expect("assembles"), cp.state);
+        // Same logical content under the two machines must NOT collide.
+        let counter = checkpoint(8, 16);
+        assert_ne!(cp.digest, counter.digest);
+    }
+
+    #[test]
     fn tampered_checkpoint_fails_verification() {
         let mut cp = checkpoint(8, 3);
         assert!(cp.verify());
-        cp.state.insert(99, 1); // corrupt the snapshot after digest computation
+        corrupt(&mut cp);
         assert!(!cp.verify());
     }
 
@@ -219,7 +290,7 @@ mod tests {
     fn collector_rejects_corrupted_offers() {
         let mut c = CheckpointCollector::new(1);
         let mut bad = checkpoint(8, 3);
-        bad.state.insert(99, 7); // forged state under the old digest
+        corrupt(&mut bad); // forged state under the old digest
         assert!(!c.offer(ReplicaId(1), Arc::new(bad)));
         assert_eq!(c.rejected(), 1);
         assert!(c.agreed().is_none());

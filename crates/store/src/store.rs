@@ -172,7 +172,13 @@ mod tests {
     }
 
     fn checkpoint(round: u64) -> Arc<Checkpoint> {
-        Arc::new(Checkpoint::new(Round(round), BTreeMap::new(), Membership::new(), 0, 0))
+        Arc::new(Checkpoint::new(
+            Round(round),
+            ava_state::StateSnapshot::Counter(BTreeMap::new()),
+            Membership::new(),
+            0,
+            0,
+        ))
     }
 
     #[test]

@@ -236,6 +236,29 @@ pub enum Output {
         /// When the conflict was observed.
         at: Time,
     },
+    /// A replica's full state digest after executing a round. Emitted only by
+    /// deployments running the keyed KV state machine (legacy counter runs
+    /// never produce it, which keeps their output streams golden-stable). The
+    /// digest is history-independent — a function of committed state only — so
+    /// every correct replica, including ones that recovered via snapshot
+    /// adoption, reports the same digest for the same round; the fuzzer's
+    /// execution-agreement checker compares these across replicas.
+    StateDigest {
+        /// Reporting replica.
+        replica: ReplicaId,
+        /// Its cluster.
+        cluster: ClusterId,
+        /// The executed round the digest covers.
+        round: Round,
+        /// The machine's state digest after the round.
+        digest: [u8; 32],
+        /// Number of keys present.
+        entries: u64,
+        /// Total committed value bytes.
+        value_bytes: u64,
+        /// When the round's execution finished.
+        at: Time,
+    },
     /// Free-form named measurement (used by benches for auxiliary series).
     Custom {
         /// Metric name.
@@ -288,6 +311,7 @@ impl Output {
             | Output::BatchOpCommitted { at, .. }
             | Output::ByzantineRejected { at, .. }
             | Output::EquivocationObserved { at, .. }
+            | Output::StateDigest { at, .. }
             | Output::Custom { at, .. } => *at,
         }
     }

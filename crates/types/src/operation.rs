@@ -9,24 +9,43 @@ use crate::encode::{Encode, EncodeSink};
 use crate::ids::{ClientId, Region, ReplicaId, Round, TxId};
 
 /// The kind of a YCSB-style key/value transaction.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub enum TxKind {
     /// Read the value of `key`.
     Read { key: u64 },
     /// Write `value_size` bytes under `key`.
     Write { key: u64, value_size: u32 },
+    /// Atomically write `value_size` bytes under each of `keys` (YCSB-style
+    /// multi-key transaction; ordered through the three stages like a write).
+    MultiWrite {
+        /// The keys written, in application order.
+        keys: Vec<u64>,
+        /// Bytes written under each key.
+        value_size: u32,
+    },
+    /// Range read: the values of the first `count` present keys at or after
+    /// `start_key`. Served cluster-locally from committed state, like `Read`.
+    Scan {
+        /// First key of the range.
+        start_key: u64,
+        /// Maximum number of keys returned.
+        count: u32,
+    },
 }
 
 impl TxKind {
     /// Whether this is a write transaction (goes through the three stages).
     pub fn is_write(&self) -> bool {
-        matches!(self, TxKind::Write { .. })
+        matches!(self, TxKind::Write { .. } | TxKind::MultiWrite { .. })
     }
 
-    /// The key accessed by the transaction.
+    /// The primary key accessed by the transaction (the first key for
+    /// multi-key writes, the range start for scans).
     pub fn key(&self) -> u64 {
-        match *self {
-            TxKind::Read { key } | TxKind::Write { key, .. } => key,
+        match self {
+            TxKind::Read { key } | TxKind::Write { key, .. } => *key,
+            TxKind::MultiWrite { keys, .. } => keys.first().copied().unwrap_or(0),
+            TxKind::Scan { start_key, .. } => *start_key,
         }
     }
 }
@@ -55,6 +74,27 @@ impl Transaction {
     /// Construct a read transaction.
     pub fn read(client: ClientId, seq: u64, key: u64) -> Self {
         Transaction { id: TxId { client, seq }, kind: TxKind::Read { key }, payload_size: 64 }
+    }
+
+    /// Construct a multi-key write transaction: `value_size` bytes under each
+    /// of `keys`. The request payload carries every value.
+    pub fn multi_write(client: ClientId, seq: u64, keys: Vec<u64>, value_size: u32) -> Self {
+        let payload_size = value_size.saturating_mul(keys.len().min(u32::MAX as usize) as u32);
+        Transaction {
+            id: TxId { client, seq },
+            kind: TxKind::MultiWrite { keys, value_size },
+            payload_size,
+        }
+    }
+
+    /// Construct a range-read (scan) transaction over up to `count` keys
+    /// starting at `start_key`.
+    pub fn scan(client: ClientId, seq: u64, start_key: u64, count: u32) -> Self {
+        Transaction {
+            id: TxId { client, seq },
+            kind: TxKind::Scan { start_key, count },
+            payload_size: 64,
+        }
     }
 }
 
@@ -168,7 +208,7 @@ impl OperationBatch {
 
 impl Encode for TxKind {
     fn encode(&self, out: &mut dyn EncodeSink) {
-        match *self {
+        match self {
             TxKind::Read { key } => {
                 out.write(&[0]);
                 key.encode(out);
@@ -177,6 +217,16 @@ impl Encode for TxKind {
                 out.write(&[1]);
                 key.encode(out);
                 value_size.encode(out);
+            }
+            TxKind::MultiWrite { keys, value_size } => {
+                out.write(&[2]);
+                keys.encode(out);
+                value_size.encode(out);
+            }
+            TxKind::Scan { start_key, count } => {
+                out.write(&[3]);
+                start_key.encode(out);
+                count.encode(out);
             }
         }
     }
@@ -253,6 +303,22 @@ mod tests {
         assert!(TxKind::Write { key: 1, value_size: 10 }.is_write());
         assert!(!TxKind::Read { key: 1 }.is_write());
         assert_eq!(TxKind::Read { key: 42 }.key(), 42);
+    }
+
+    #[test]
+    fn multi_key_and_scan_kinds() {
+        let mw = TxKind::MultiWrite { keys: vec![5, 9], value_size: 10 };
+        assert!(mw.is_write(), "multi-key writes are ordered like writes");
+        assert_eq!(mw.key(), 5);
+        let scan = TxKind::Scan { start_key: 3, count: 4 };
+        assert!(!scan.is_write(), "scans are served from committed state");
+        assert_eq!(scan.key(), 3);
+        assert_ne!(mw.encoded(), scan.encoded());
+        assert_ne!(
+            mw.encoded(),
+            TxKind::MultiWrite { keys: vec![9, 5], value_size: 10 }.encoded(),
+            "key order is part of the identity"
+        );
     }
 
     #[test]

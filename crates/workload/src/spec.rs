@@ -15,11 +15,32 @@ pub struct WorkloadSpec {
     pub zipf_theta: f64,
     /// Payload size of write operations in bytes (the paper uses 1 KB).
     pub payload_size: u32,
+    /// Fraction of *writes* issued as multi-key transactions
+    /// ([`ava_types::TxKind::MultiWrite`] over [`WorkloadSpec::multi_key_span`]
+    /// keys). At 0.0 the generator draws no extra randomness, so legacy
+    /// single-key streams are bit-identical to pre-KV builds.
+    pub multi_key_fraction: f64,
+    /// Keys per multi-key write (first is Zipfian, the rest fresh draws).
+    pub multi_key_span: u32,
+    /// Fraction of *reads* issued as range scans
+    /// ([`ava_types::TxKind::Scan`] over [`WorkloadSpec::scan_count`] keys).
+    /// At 0.0 the generator draws no extra randomness.
+    pub scan_fraction: f64,
+    /// Maximum keys returned per scan.
+    pub scan_count: u32,
 }
 
 /// The paper's default workload: YCSB, 85% reads, Zipfian keys, 1 KB operations.
-pub const YCSB_DEFAULT: WorkloadSpec =
-    WorkloadSpec { read_ratio: 0.85, key_space: 100_000, zipf_theta: 0.9, payload_size: 1024 };
+pub const YCSB_DEFAULT: WorkloadSpec = WorkloadSpec {
+    read_ratio: 0.85,
+    key_space: 100_000,
+    zipf_theta: 0.9,
+    payload_size: 1024,
+    multi_key_fraction: 0.0,
+    multi_key_span: 4,
+    scan_fraction: 0.0,
+    scan_count: 16,
+};
 
 impl Default for WorkloadSpec {
     fn default() -> Self {
@@ -28,9 +49,56 @@ impl Default for WorkloadSpec {
 }
 
 impl WorkloadSpec {
+    /// YCSB-A: update-heavy, 50% reads / 50% writes, Zipfian skew.
+    pub fn ycsb_a() -> Self {
+        WorkloadSpec { read_ratio: 0.5, ..WorkloadSpec::default() }
+    }
+
+    /// YCSB-B: read-mostly, 95% reads / 5% writes, Zipfian skew.
+    pub fn ycsb_b() -> Self {
+        WorkloadSpec { read_ratio: 0.95, ..WorkloadSpec::default() }
+    }
+
+    /// YCSB-C: read-only, 100% reads, Zipfian skew.
+    pub fn ycsb_c() -> Self {
+        WorkloadSpec { read_ratio: 1.0, ..WorkloadSpec::default() }
+    }
+
     /// A write-only variant (used by the reconfiguration experiments E5.2).
     pub fn write_only(mut self) -> Self {
         self.read_ratio = 0.0;
+        self
+    }
+
+    /// Override the Zipfian skew parameter (E13 sweeps).
+    pub fn with_zipf(mut self, theta: f64) -> Self {
+        self.zipf_theta = theta;
+        self
+    }
+
+    /// Override the read ratio (E13 sweeps).
+    pub fn with_read_ratio(mut self, ratio: f64) -> Self {
+        self.read_ratio = ratio;
+        self
+    }
+
+    /// Override the value/payload size in bytes.
+    pub fn with_payload(mut self, bytes: u32) -> Self {
+        self.payload_size = bytes;
+        self
+    }
+
+    /// Issue `fraction` of writes as multi-key transactions over `span` keys.
+    pub fn with_multi_key(mut self, fraction: f64, span: u32) -> Self {
+        self.multi_key_fraction = fraction;
+        self.multi_key_span = span.max(1);
+        self
+    }
+
+    /// Issue `fraction` of reads as range scans over up to `count` keys.
+    pub fn with_scans(mut self, fraction: f64, count: u32) -> Self {
+        self.scan_fraction = fraction;
+        self.scan_count = count.max(1);
         self
     }
 
@@ -40,6 +108,11 @@ impl WorkloadSpec {
     }
 
     /// Generate the next transaction for `client` with sequence number `seq`.
+    ///
+    /// RNG discipline: the legacy draw sequence (one key sample + one mix draw)
+    /// is preserved exactly; the multi-key and scan branches only draw further
+    /// randomness when their fraction is strictly positive, so every workload
+    /// with both fractions at 0.0 reproduces the pre-KV stream bit-for-bit.
     pub fn next_transaction<R: Rng + ?Sized>(
         &self,
         client: ClientId,
@@ -49,7 +122,24 @@ impl WorkloadSpec {
     ) -> Transaction {
         let key = sampler.sample(rng);
         if rng.gen::<f64>() < self.read_ratio {
-            Transaction::read(client, seq, key)
+            if self.scan_fraction > 0.0 && rng.gen::<f64>() < self.scan_fraction {
+                Transaction::scan(client, seq, key, self.scan_count)
+            } else {
+                Transaction::read(client, seq, key)
+            }
+        } else if self.multi_key_fraction > 0.0 && rng.gen::<f64>() < self.multi_key_fraction {
+            // Span cannot exceed the key space or the distinct-key loop below
+            // would never terminate.
+            let span = (self.multi_key_span as u64).min(self.key_space).max(1) as usize;
+            let mut keys = Vec::with_capacity(span);
+            keys.push(key);
+            while keys.len() < span {
+                let next = sampler.sample(rng);
+                if !keys.contains(&next) {
+                    keys.push(next);
+                }
+            }
+            Transaction::multi_write(client, seq, keys, self.payload_size)
         } else {
             Transaction::write(client, seq, key, self.payload_size)
         }
@@ -145,6 +235,81 @@ mod tests {
         assert_eq!(wl.spec().read_ratio, 0.0);
         for _ in 0..200 {
             assert!(wl.next_tx(&mut rng).kind.is_write());
+        }
+    }
+
+    #[test]
+    fn ycsb_presets_match_standard_mixes() {
+        assert_eq!(WorkloadSpec::ycsb_a().read_ratio, 0.5);
+        assert_eq!(WorkloadSpec::ycsb_b().read_ratio, 0.95);
+        assert_eq!(WorkloadSpec::ycsb_c().read_ratio, 1.0);
+        for spec in [WorkloadSpec::ycsb_a(), WorkloadSpec::ycsb_b(), WorkloadSpec::ycsb_c()] {
+            assert_eq!(spec.zipf_theta, 0.9);
+            assert_eq!(spec.payload_size, 1024);
+        }
+    }
+
+    #[test]
+    fn zero_fractions_reproduce_the_legacy_stream() {
+        // The fraction-gated branches must not consume RNG draws at 0.0, or
+        // every pre-KV golden fingerprint would shift.
+        let legacy = WorkloadSpec::default();
+        let gated = WorkloadSpec::default().with_multi_key(0.0, 4).with_scans(0.0, 16);
+        let sampler = legacy.sampler();
+        let mut rng_a = StdRng::seed_from_u64(77);
+        let mut rng_b = StdRng::seed_from_u64(77);
+        for seq in 0..2_000 {
+            let a = legacy.next_transaction(ClientId(0), seq, &sampler, &mut rng_a);
+            let b = gated.next_transaction(ClientId(0), seq, &sampler, &mut rng_b);
+            assert_eq!(a, b, "streams diverged at seq {seq}");
+        }
+    }
+
+    #[test]
+    fn multi_key_and_scan_fractions_are_respected() {
+        use ava_types::TxKind;
+        let spec = WorkloadSpec { read_ratio: 0.5, key_space: 1_000, ..WorkloadSpec::default() }
+            .with_multi_key(0.5, 4)
+            .with_scans(0.5, 8);
+        let sampler = spec.sampler();
+        let mut rng = StdRng::seed_from_u64(3);
+        let (mut multi, mut scans, mut total) = (0usize, 0usize, 0usize);
+        for seq in 0..4_000 {
+            total += 1;
+            match spec.next_transaction(ClientId(0), seq, &sampler, &mut rng).kind {
+                TxKind::MultiWrite { keys, .. } => {
+                    multi += 1;
+                    assert_eq!(keys.len(), 4);
+                    let mut sorted = keys.clone();
+                    sorted.sort_unstable();
+                    sorted.dedup();
+                    assert_eq!(sorted.len(), keys.len(), "multi-write keys must be distinct");
+                }
+                TxKind::Scan { count, .. } => {
+                    scans += 1;
+                    assert_eq!(count, 8);
+                }
+                TxKind::Read { .. } | TxKind::Write { .. } => {}
+            }
+        }
+        // 50% writes × 50% multi → ~25%; same for scans.
+        assert!((multi as f64 / total as f64 - 0.25).abs() < 0.03, "multi {multi}/{total}");
+        assert!((scans as f64 / total as f64 - 0.25).abs() < 0.03, "scans {scans}/{total}");
+    }
+
+    #[test]
+    fn multi_key_span_is_capped_by_the_key_space() {
+        let spec = WorkloadSpec { read_ratio: 0.0, key_space: 2, ..WorkloadSpec::default() }
+            .with_multi_key(1.0, 8);
+        let sampler = spec.sampler();
+        let mut rng = StdRng::seed_from_u64(6);
+        for seq in 0..100 {
+            let tx = spec.next_transaction(ClientId(0), seq, &sampler, &mut rng);
+            if let ava_types::TxKind::MultiWrite { keys, .. } = tx.kind {
+                assert!(keys.len() <= 2, "span must not exceed the key space");
+            } else {
+                panic!("expected only multi-writes");
+            }
         }
     }
 

@@ -19,6 +19,7 @@ pub use ava_hamava as hamava;
 pub use ava_hotstuff as hotstuff;
 pub use ava_scenario as scenario;
 pub use ava_simnet as simnet;
+pub use ava_state as state;
 pub use ava_store as store;
 pub use ava_types as types;
 pub use ava_workload as workload;

@@ -40,6 +40,7 @@ fn golden_opts() -> DeploymentOptions {
         clients_per_cluster: 1,
         client_concurrency: 32,
         store: None,
+        state_machine: hamava_repro::hamava::StateMachineKind::Counter,
     }
 }
 
@@ -161,6 +162,36 @@ fn fuzz_case_golden_fingerprints_are_stable() {
         report.output_digest, FUZZ_OUTPUT_GOLDEN,
         "fuzz seed 42's run diverged from the PR 6 capture"
     );
+}
+
+/// Fingerprint of the keyed-KV golden run, captured at PR 10 when the
+/// `ava-state` subsystem landed. Same scenario as [`HOTSTUFF_GOLDEN`] but with
+/// `StateMachineKind::Kv`: versioned values, per-round `StateDigest` outputs
+/// and value-byte execution costs all join the fingerprint, so any drift in
+/// the KV machine's apply order, set-hash digest or snapshot-backed costs
+/// shows up here even though the counter goldens above cannot see it.
+const KV_GOLDEN: &str = "dd389de83775f0de3e95bb3f798af335ed4f89b7f8c7139c9c5a036a7199a3ec";
+
+fn run_kv_golden() -> String {
+    let mut opts = golden_opts();
+    opts.state_machine = hamava_repro::hamava::StateMachineKind::Kv;
+    let run = Scenario::builder(Protocol::AvaHotStuff, golden_config())
+        .options(opts)
+        .run_for(Duration::from_secs(8))
+        .build()
+        .run();
+    assert!(
+        run.outputs.iter().any(|o| matches!(o, Output::StateDigest { .. })),
+        "the KV golden run must emit per-round state digests"
+    );
+    fingerprint(&run.outputs, &run.stats)
+}
+
+#[test]
+fn kv_state_machine_golden_fingerprint_is_stable() {
+    let fp = run_kv_golden();
+    println!("kv fingerprint: {fp}");
+    assert_eq!(fp, KV_GOLDEN, "keyed-KV golden run diverged from the PR 10 capture");
 }
 
 #[test]

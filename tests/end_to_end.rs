@@ -17,6 +17,7 @@ fn quick_opts(seed: u64) -> DeploymentOptions {
         clients_per_cluster: 1,
         client_concurrency: 48,
         store: None,
+        state_machine: hamava_repro::hamava::StateMachineKind::Counter,
     }
 }
 

@@ -96,6 +96,76 @@ fn throughput_recovers_after_restart() {
 }
 
 #[test]
+fn kv_machine_catch_up_transfers_snapshot_bytes_and_rejoins_with_matching_digest() {
+    // PR 10: with the keyed KV machine the checkpoint carries a real state
+    // snapshot (keys + versioned values), not just a counter — catch-up must
+    // move those bytes, and the recovered replica's post-rejoin state digest
+    // must agree with its peers' digest for the same round (the same property
+    // the execution-agreement checker enforces globally).
+    use hamava_repro::types::{ReplicaId, Round};
+    use std::collections::BTreeMap;
+
+    let mut recovery = RecoveryObserver::new();
+    let run = crash_restart_scenario(8, 24)
+        .state_machine(hamava_repro::hamava::StateMachineKind::Kv)
+        .build()
+        .run_observed(&mut [&mut recovery]);
+
+    assert_eq!(recovery.traces().len(), 4, "all four crashed replicas must restart");
+    assert!(recovery.all_caught_up(), "every restarted replica must catch up: {recovery:?}");
+
+    // The adopted checkpoint carried a populated snapshot: every completed
+    // recovery reports nonzero transferred bytes.
+    for o in &run.outputs {
+        if let Output::RecoveryCompleted { replica, bytes_transferred, .. } = o {
+            assert!(
+                *bytes_transferred > 0,
+                "{replica} recovered without transferring snapshot bytes"
+            );
+        }
+    }
+    // And the snapshot was adopted from peers, not taken locally.
+    assert!(
+        run.outputs.iter().any(|o| matches!(o, Output::CheckpointInstalled { adopted: true, .. })),
+        "catch-up must install an adopted peer checkpoint"
+    );
+
+    // Index every (replica, round) -> digest report.
+    let mut digests: BTreeMap<(ReplicaId, Round), [u8; 32]> = BTreeMap::new();
+    let mut entries_seen = 0u64;
+    for o in &run.outputs {
+        if let Output::StateDigest { replica, round, digest, entries, .. } = o {
+            digests.insert((*replica, *round), *digest);
+            entries_seen = entries_seen.max(*entries);
+        }
+    }
+    assert!(entries_seen > 0, "the KV run must commit real keys");
+
+    for (&replica, trace) in recovery.traces() {
+        let caught_up = trace.caught_up_round.expect("caught up");
+        // The recovered replica's latest digest report after rejoining...
+        let (&(_, round), own) = digests
+            .iter()
+            .filter(|((r, round), _)| *r == replica && *round >= caught_up)
+            .next_back()
+            .unwrap_or_else(|| panic!("{replica} reported no state digest after {caught_up}"));
+        // ...must match every peer that reported the same round.
+        let peers = digests
+            .iter()
+            .filter(|((r, rd), _)| *r != replica && *rd == round)
+            .map(|(_, d)| d)
+            .collect::<Vec<_>>();
+        assert!(!peers.is_empty(), "some peer must also report round {round}");
+        for peer in peers {
+            assert_eq!(
+                peer, own,
+                "{replica}'s post-recovery digest for {round} diverges from its peers"
+            );
+        }
+    }
+}
+
+#[test]
 fn storeless_deployments_still_recover_via_synthesized_checkpoints() {
     // Without a store, peers synthesize a current-state checkpoint; the restarted
     // replica adopts it once f+1 digests match (rounds move in lockstep).

@@ -22,6 +22,7 @@ fn quick_opts() -> DeploymentOptions {
         clients_per_cluster: 1,
         client_concurrency: 32,
         store: None,
+        state_machine: hamava_repro::hamava::StateMachineKind::Counter,
     }
 }
 
